@@ -1,0 +1,101 @@
+//! Ablation benchmark: meta-classification quality and cost for different
+//! metric subsets (all metrics vs entropy-only vs geometry-only vs
+//! dispersion-only) and for the multi-resolution extension.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg::multires::{multires_segment_metrics, MultiResConfig};
+use metaseg::{segment_metrics, FeatureSet, MetaSeg, MetricsConfig};
+use metaseg_data::{Frame, FrameId};
+use metaseg_eval::auroc;
+use metaseg_learners::{BinaryClassifier, LogisticConfig, LogisticRegression, StandardScaler};
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn make_frames(count: usize) -> Vec<Frame> {
+    let mut rng = StdRng::seed_from_u64(41);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    (0..count)
+        .map(|i| {
+            let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+            let gt = scene.render();
+            let probs = sim.predict(&gt, &mut rng);
+            Frame::labeled(FrameId::new(0, i), gt, probs).expect("matching shapes")
+        })
+        .collect()
+}
+
+/// Trains a logistic meta classifier on the chosen feature subset and prints
+/// the resulting AUROC once (so the ablation result lands in the bench log),
+/// then benchmarks the training cost.
+fn bench_ablation_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_metrics");
+    group.sample_size(10);
+
+    let frames = make_frames(6);
+    let metaseg = MetaSeg::new(Default::default());
+    let records = metaseg.collect_records(&frames);
+
+    for feature_set in [
+        FeatureSet::All,
+        FeatureSet::EntropyOnly,
+        FeatureSet::GeometryOnly,
+        FeatureSet::DispersionOnly,
+    ] {
+        let dataset = MetaSeg::build_dataset(&records, feature_set);
+        let labels = dataset.binary_targets(0.0);
+        if let Ok(scaler) = StandardScaler::fit(&dataset.features) {
+            let features = scaler.transform(&dataset.features);
+            if let Ok(model) =
+                LogisticRegression::fit(&features, &labels, LogisticConfig::default())
+            {
+                let scores = model.predict_proba(&features);
+                println!(
+                    "ablation_metrics: {} -> training AUROC {:.4} ({} segments, {} features)",
+                    feature_set.name(),
+                    auroc(&scores, &labels),
+                    dataset.len(),
+                    dataset.feature_dim()
+                );
+            }
+        }
+        group.bench_function(format!("logistic_fit_{}", feature_set.name().replace(' ', "_")), |b| {
+            b.iter(|| {
+                let scaler = StandardScaler::fit(&dataset.features).expect("fit scaler");
+                let features = scaler.transform(&dataset.features);
+                black_box(LogisticRegression::fit(
+                    &features,
+                    &labels,
+                    LogisticConfig::default(),
+                ))
+            })
+        });
+    }
+
+    // Multi-resolution ablation: metric construction cost with and without
+    // the nested-crop ensemble.
+    let frame = &frames[0];
+    group.bench_function("single_scale_metrics", |b| {
+        b.iter(|| {
+            black_box(segment_metrics(
+                &frame.prediction,
+                frame.ground_truth.as_ref(),
+                &MetricsConfig::default(),
+            ))
+        })
+    });
+    group.bench_function("multires_metrics", |b| {
+        b.iter(|| {
+            black_box(multires_segment_metrics(
+                &frame.prediction,
+                frame.ground_truth.as_ref(),
+                &MultiResConfig::default(),
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_metrics);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation benchmark: meta-model families (linear vs gradient boosting vs
+//! shallow MLP) on the same time-series dataset, and the Bayes vs ML decision
+//! rule on the same predictions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg::timedyn::{MetaModel, TimeDynConfig, TimeDynamic};
+use metaseg_learners::{LinearRegression, Regressor, TabularDataset};
+use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn time_series_data() -> (TimeDynamic, TabularDataset, TabularDataset) {
+    let mut rng = StdRng::seed_from_u64(51);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    let scenario = VideoScenario::generate(&VideoConfig::small(), &sim, &mut rng);
+    let pipeline = TimeDynamic::new(TimeDynConfig::default());
+    let mut train = TabularDataset::new();
+    let mut test = TabularDataset::new();
+    for (i, sequence) in scenario.dataset().sequences.iter().enumerate() {
+        let analysis = pipeline.analyze_sequence(sequence);
+        let ds = pipeline.time_series_dataset(&analysis, 3);
+        if i == 0 {
+            test.extend_from(&ds);
+        } else {
+            train.extend_from(&ds);
+        }
+    }
+    (pipeline, train, test)
+}
+
+fn bench_ablation_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_models");
+    group.sample_size(10);
+
+    let (pipeline, train, test) = time_series_data();
+
+    // Print the ablation outcome once so it lands in the bench log.
+    for model in [MetaModel::GradientBoosting, MetaModel::NeuralNetwork] {
+        if let Ok(scores) = pipeline.fit_and_evaluate(model, &train, &test, 1) {
+            println!(
+                "ablation_models: {} -> test AUROC {:.4}, R2 {:.4}",
+                model.name(),
+                scores.auroc,
+                scores.r2
+            );
+        }
+    }
+    if let Ok(linear) = LinearRegression::fit(&train.features, &train.targets) {
+        let predictions: Vec<f64> = linear
+            .predict(&test.features)
+            .into_iter()
+            .map(|v| v.clamp(0.0, 1.0))
+            .collect();
+        let r2 = metaseg_eval::r_squared(&predictions, &test.targets);
+        println!("ablation_models: linear baseline -> test R2 {r2:.4}");
+    }
+
+    group.bench_function("fit_gradient_boosting", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .fit_and_evaluate(MetaModel::GradientBoosting, &train, &test, 1)
+                    .expect("fit"),
+            )
+        })
+    });
+    group.bench_function("fit_neural_network", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .fit_and_evaluate(MetaModel::NeuralNetwork, &train, &test, 1)
+                    .expect("fit"),
+            )
+        })
+    });
+    group.bench_function("fit_linear_baseline", |b| {
+        b.iter(|| black_box(LinearRegression::fit(&train.features, &train.targets).expect("fit")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation_models);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benchmark: decision-rule application and prior estimation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg_data::LabelMap;
+use metaseg_rules::{DecisionRule, PriorMap};
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_decision_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision_rules");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let config = SceneConfig::small();
+    let maps: Vec<LabelMap> = (0..20)
+        .map(|_| Scene::generate(&config, &mut rng).render())
+        .collect();
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    let probs = sim.predict(&maps[0], &mut rng);
+
+    group.bench_function("prior_estimation_20_maps", |b| {
+        b.iter(|| black_box(PriorMap::estimate(&maps, 1.0)))
+    });
+
+    let priors = PriorMap::estimate(&maps, 1.0);
+    group.bench_function("bayes_rule_apply", |b| {
+        b.iter(|| black_box(DecisionRule::Bayes.apply(&probs)))
+    });
+    group.bench_function("maximum_likelihood_rule_apply", |b| {
+        let rule = DecisionRule::MaximumLikelihood(priors.clone());
+        b.iter(|| black_box(rule.apply(&probs)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision_rules);
+criterion_main!(benches);

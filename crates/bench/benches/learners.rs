@@ -1,0 +1,65 @@
+//! Criterion benchmark: meta-model training throughput (linear, logistic,
+//! gradient boosting, shallow MLP) on a synthetic structured dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg_learners::{
+    BoostingConfig, GradientBoostingClassifier, GradientBoostingRegressor, LinearRegression,
+    LogisticConfig, LogisticRegression, MlpConfig, MlpRegressor,
+};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn synthetic_data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let targets: Vec<f64> = features
+        .iter()
+        .map(|row| (row[0] * 0.6 + row[1] * 0.3 + 0.5).clamp(0.0, 1.0))
+        .collect();
+    let labels: Vec<bool> = targets.iter().map(|t| *t > 0.5).collect();
+    (features, targets, labels)
+}
+
+fn bench_learners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learners");
+    group.sample_size(10);
+    let (features, targets, labels) = synthetic_data(400, 34);
+
+    group.bench_function("linear_regression_fit", |b| {
+        b.iter(|| black_box(LinearRegression::fit(&features, &targets).expect("fit")))
+    });
+    group.bench_function("logistic_regression_fit", |b| {
+        b.iter(|| {
+            black_box(
+                LogisticRegression::fit(&features, &labels, LogisticConfig::default())
+                    .expect("fit"),
+            )
+        })
+    });
+    group.bench_function("gradient_boosting_regressor_fit", |b| {
+        b.iter(|| {
+            black_box(
+                GradientBoostingRegressor::fit(&features, &targets, BoostingConfig::fast())
+                    .expect("fit"),
+            )
+        })
+    });
+    group.bench_function("gradient_boosting_classifier_fit", |b| {
+        b.iter(|| {
+            black_box(
+                GradientBoostingClassifier::fit(&features, &labels, BoostingConfig::fast())
+                    .expect("fit"),
+            )
+        })
+    });
+    group.bench_function("mlp_regressor_fit", |b| {
+        b.iter(|| black_box(MlpRegressor::fit(&features, &targets, MlpConfig::fast()).expect("fit")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_learners);
+criterion_main!(benches);

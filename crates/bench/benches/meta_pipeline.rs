@@ -1,0 +1,57 @@
+//! Criterion benchmark: the Table I MetaSeg pipeline (metric construction
+//! plus linear meta models) end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg::{segment_metrics, MetaSeg, MetaSegConfig, MetricsConfig};
+use metaseg_data::{Frame, FrameId};
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn make_frames(count: usize) -> Vec<Frame> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    (0..count)
+        .map(|i| {
+            let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+            let gt = scene.render();
+            let probs = sim.predict(&gt, &mut rng);
+            Frame::labeled(FrameId::new(0, i), gt, probs).expect("matching shapes")
+        })
+        .collect()
+}
+
+fn bench_meta_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_pipeline");
+    group.sample_size(10);
+
+    let frames = make_frames(6);
+
+    group.bench_function("segment_metrics_per_frame", |b| {
+        let frame = &frames[0];
+        let config = MetricsConfig::default();
+        b.iter(|| {
+            black_box(segment_metrics(
+                &frame.prediction,
+                frame.ground_truth.as_ref(),
+                &config,
+            ))
+        })
+    });
+
+    group.bench_function("table1_pipeline_single_run", |b| {
+        let metaseg = MetaSeg::new(MetaSegConfig {
+            runs: 1,
+            ..MetaSegConfig::default()
+        });
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            black_box(metaseg.run(&frames, &mut rng).expect("pipeline runs"))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_meta_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark: scene generation and network simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_scene_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scene_generation");
+    group.sample_size(20);
+
+    group.bench_function("generate_and_render_small", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SceneConfig::small();
+        b.iter(|| {
+            let scene = Scene::generate(&config, &mut rng);
+            black_box(scene.render())
+        })
+    });
+
+    group.bench_function("generate_and_render_cityscapes_like", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = SceneConfig::cityscapes_like();
+        b.iter(|| {
+            let scene = Scene::generate(&config, &mut rng);
+            black_box(scene.render())
+        })
+    });
+
+    group.bench_function("network_inference_strong", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+        let gt = scene.render();
+        let sim = NetworkSim::new(NetworkProfile::strong());
+        b.iter(|| black_box(sim.predict(&gt, &mut rng)))
+    });
+
+    group.bench_function("network_inference_weak", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+        let gt = scene.render();
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        b.iter(|| black_box(sim.predict(&gt, &mut rng)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scene_generation);
+criterion_main!(benches);

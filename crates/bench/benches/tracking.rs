@@ -1,0 +1,39 @@
+//! Criterion benchmark: segment tracking and time-series dataset assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use metaseg::timedyn::{TimeDynConfig, TimeDynamic};
+use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
+use metaseg_tracking::{SegmentTracker, TrackerConfig};
+use rand::{rngs::StdRng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracking");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(21);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    let scenario = VideoScenario::generate(&VideoConfig::small(), &sim, &mut rng);
+    let sequence = &scenario.dataset().sequences[0];
+    let predicted_maps: Vec<_> = sequence
+        .frames
+        .iter()
+        .map(|f| f.prediction.argmax_map())
+        .collect();
+
+    group.bench_function("track_12_frame_sequence", |b| {
+        let tracker = SegmentTracker::new(TrackerConfig::default());
+        b.iter(|| black_box(tracker.track(&predicted_maps)))
+    });
+
+    group.bench_function("time_series_dataset_length_5", |b| {
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let analysis = pipeline.analyze_sequence(sequence);
+        b.iter(|| black_box(pipeline.time_series_dataset(&analysis, 5)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

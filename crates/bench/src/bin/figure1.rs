@@ -1,0 +1,38 @@
+//! Regenerates Fig. 1: true vs predicted IoU panels on one held-out scene.
+
+use metaseg::experiment::figure1::{self, Figure1Config};
+use metaseg_bench::{figures_dir, scaled};
+
+fn main() {
+    let config = Figure1Config {
+        training_scenes: scaled(60, 6),
+        ..Figure1Config::default()
+    };
+    match figure1::run(&config) {
+        Ok(result) => {
+            let dir = figures_dir();
+            let panels = [
+                ("figure1_ground_truth.ppm", &result.ground_truth_panel),
+                ("figure1_prediction.ppm", &result.prediction_panel),
+                ("figure1_true_iou.ppm", &result.true_iou_panel),
+                ("figure1_predicted_iou.ppm", &result.predicted_iou_panel),
+            ];
+            for (name, panel) in panels {
+                let path = dir.join(name);
+                if let Err(err) = panel.save(&path) {
+                    eprintln!("could not write {}: {err}", path.display());
+                } else {
+                    println!("wrote {}", path.display());
+                }
+            }
+            println!(
+                "figure1: {} segments, Pearson correlation between true and predicted IoU: {:.3}",
+                result.segment_count, result.correlation
+            );
+        }
+        Err(err) => {
+            eprintln!("figure1 failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

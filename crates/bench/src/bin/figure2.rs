@@ -1,0 +1,64 @@
+//! Regenerates Fig. 2: meta-classification AUROC as a function of the
+//! time-series length for every training-data composition and both meta
+//! models (gradient boosting, shallow MLP with L2).
+
+use metaseg::experiment::video::{self, VideoExperimentConfig};
+use metaseg::timedyn::MetaModel;
+use metaseg::Composition;
+use metaseg_bench::scaled;
+use metaseg_sim::VideoConfig;
+
+fn main() {
+    let config = VideoExperimentConfig {
+        video: VideoConfig {
+            sequence_count: scaled(12, 4),
+            frames_per_sequence: scaled(24, 12),
+            label_stride: 6,
+            scene: metaseg_sim::SceneConfig::cityscapes_like(),
+        },
+        lengths: (1..=scaled(11, 4)).collect(),
+        runs: scaled(3, 1),
+        ..VideoExperimentConfig::default()
+    };
+    eprintln!(
+        "figure2: {} sequences x {} frames, lengths 1..={}, {} runs",
+        config.video.sequence_count,
+        config.video.frames_per_sequence,
+        config.lengths.len(),
+        config.runs
+    );
+    match video::run(&config) {
+        Ok(result) => {
+            for model in [MetaModel::NeuralNetwork, MetaModel::GradientBoosting] {
+                println!("\nAUROC vs number of considered frames — {}", model.name());
+                print!("{:<8}", "frames");
+                for composition in Composition::ALL {
+                    print!("{:>10}", composition.short_name());
+                }
+                println!();
+                for &length in &config.lengths {
+                    print!("{:<8}", length);
+                    for composition in Composition::ALL {
+                        let value = result
+                            .auroc_series(model, composition)
+                            .into_iter()
+                            .find(|(l, _)| *l == length)
+                            .map(|(_, v)| v)
+                            .unwrap_or(f64::NAN);
+                        print!("{:>10.4}", value);
+                    }
+                    println!();
+                }
+            }
+            let json = serde_json::to_string_pretty(&result).expect("result serialises");
+            let path = metaseg_bench::figures_dir().join("figure2.json");
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(err) => {
+            eprintln!("figure2 failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

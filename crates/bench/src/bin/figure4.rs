@@ -1,0 +1,29 @@
+//! Regenerates Fig. 4: the pixel-wise prior heat map of the class `person`.
+
+use metaseg::experiment::figure4::{self, Figure4Config};
+use metaseg_bench::{figures_dir, scaled};
+
+fn main() {
+    let config = Figure4Config {
+        scene_count: scaled(200, 12),
+        ..Figure4Config::default()
+    };
+    match figure4::run(&config) {
+        Ok(result) => {
+            let path = figures_dir().join("figure4_person_prior.ppm");
+            if let Err(err) = result.panel.save(&path) {
+                eprintln!("could not write {}: {err}", path.display());
+            } else {
+                println!("wrote {}", path.display());
+            }
+            println!(
+                "figure4: mean person prior — sidewalk band {:.4}, sky band {:.4}",
+                result.mean_prior_in_band, result.mean_prior_in_sky
+            );
+        }
+        Err(err) => {
+            eprintln!("figure4 failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table I: meta classification / regression for both networks.
+
+use metaseg::experiment::table1::{self, Table1Config};
+use metaseg::MetaSegConfig;
+use metaseg_bench::scaled;
+use metaseg_sim::SceneConfig;
+
+fn main() {
+    let config = Table1Config {
+        scene_count: scaled(120, 10),
+        scene: SceneConfig::cityscapes_like(),
+        metaseg: MetaSegConfig {
+            runs: scaled(10, 2),
+            ..MetaSegConfig::default()
+        },
+        seed: 2020,
+    };
+    eprintln!(
+        "table1: {} scenes per network, {} meta runs",
+        config.scene_count, config.metaseg.runs
+    );
+    match table1::run(&config) {
+        Ok(result) => {
+            println!("{}", result.format_table());
+            let json = serde_json::to_string_pretty(&result).expect("result serialises");
+            let path = metaseg_bench::figures_dir().join("table1.json");
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(err) => {
+            eprintln!("table1 failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerates Table II: best-over-length meta classification / regression
+//! per training-data composition and meta model.
+
+use metaseg::experiment::video::{self, VideoExperimentConfig};
+use metaseg_bench::scaled;
+use metaseg_sim::VideoConfig;
+
+fn main() {
+    let config = VideoExperimentConfig {
+        video: VideoConfig {
+            sequence_count: scaled(12, 4),
+            frames_per_sequence: scaled(24, 12),
+            label_stride: 6,
+            scene: metaseg_sim::SceneConfig::cityscapes_like(),
+        },
+        lengths: (1..=scaled(11, 4)).collect(),
+        runs: scaled(3, 1),
+        ..VideoExperimentConfig::default()
+    };
+    match video::run(&config) {
+        Ok(result) => {
+            println!(
+                "{}",
+                result.format_table2(&config.models, &config.compositions)
+            );
+            let json = serde_json::to_string_pretty(&result).expect("result serialises");
+            let path = metaseg_bench::figures_dir().join("table2.json");
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(err) => {
+            eprintln!("table2 failed: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! # metaseg-bench
+//!
+//! Benchmark harness of the MetaSeg reproduction.
+//!
+//! * `src/bin/` contains one binary per paper artefact (`table1`, `figure1`,
+//!   `figure2`, `table2`, `figure3`, `figure4`, `figure5`) that regenerates
+//!   the corresponding table or figure and writes any image panels to
+//!   `figures/`,
+//! * `benches/` contains Criterion micro benchmarks of the building blocks
+//!   (scene generation, metric construction, meta-model training, tracking,
+//!   decision rules) plus the ablation benches called out in `DESIGN.md`.
+
+use std::path::{Path, PathBuf};
+
+/// Directory the figure binaries write their PPM panels to.
+pub fn figures_dir() -> PathBuf {
+    let dir = Path::new("figures");
+    if !dir.exists() {
+        // A best-effort create; the caller reports the error if writing fails.
+        let _ = std::fs::create_dir_all(dir);
+    }
+    dir.to_path_buf()
+}
+
+/// Returns the scale factor for experiment sizes taken from the
+/// `METASEG_SCALE` environment variable (default `1.0`). Values below 1
+/// shrink the experiments for quick smoke runs, values above 1 enlarge them.
+pub fn scale() -> f64 {
+    std::env::var("METASEG_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scales a count by [`scale`], keeping at least `minimum`.
+pub fn scaled(base: usize, minimum: usize) -> usize {
+    ((base as f64 * scale()).round() as usize).max(minimum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_respects_minimum() {
+        assert!(scaled(10, 2) >= 2);
+        assert_eq!(scaled(0, 3), 3);
+    }
+
+    #[test]
+    fn figures_dir_is_creatable() {
+        let dir = figures_dir();
+        assert_eq!(dir.file_name().unwrap(), "figures");
+    }
+}

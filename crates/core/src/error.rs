@@ -1,0 +1,81 @@
+//! Error type of the MetaSeg pipelines.
+
+use metaseg_data::DataError;
+use metaseg_learners::LearnError;
+use std::fmt;
+
+/// Errors produced by the MetaSeg pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaSegError {
+    /// A data-model operation failed.
+    Data(DataError),
+    /// Fitting a meta model failed.
+    Learn(LearnError),
+    /// The pipeline was given no frames or no labelled frames.
+    NoLabeledData,
+    /// The collected structured dataset contains only one meta class
+    /// (everything is a false positive, or nothing is), so meta
+    /// classification cannot be trained.
+    DegenerateMetaLabels,
+    /// A configuration value is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MetaSegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaSegError::Data(e) => write!(f, "data error: {e}"),
+            MetaSegError::Learn(e) => write!(f, "meta-model training error: {e}"),
+            MetaSegError::NoLabeledData => {
+                write!(f, "the pipeline requires at least one labelled frame")
+            }
+            MetaSegError::DegenerateMetaLabels => write!(
+                f,
+                "meta classification requires both IoU = 0 and IoU > 0 segments in the training data"
+            ),
+            MetaSegError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaSegError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetaSegError::Data(e) => Some(e),
+            MetaSegError::Learn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for MetaSegError {
+    fn from(value: DataError) -> Self {
+        MetaSegError::Data(value)
+    }
+}
+
+impl From<LearnError> for MetaSegError {
+    fn from(value: LearnError) -> Self {
+        MetaSegError::Learn(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: MetaSegError = DataError::EmptyCollection("frames").into();
+        assert!(e.to_string().contains("frames"));
+        let e: MetaSegError = LearnError::EmptyTrainingSet.into();
+        assert!(e.to_string().contains("training"));
+        assert!(MetaSegError::NoLabeledData.to_string().contains("labelled"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetaSegError>();
+    }
+}

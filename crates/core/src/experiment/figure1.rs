@@ -1,0 +1,163 @@
+//! Fig. 1: visual comparison of true vs predicted segment IoU on one scene.
+
+use crate::error::MetaSegError;
+use crate::metaseg::MetaSeg;
+use crate::metrics::{segment_metrics, FeatureSet, MetricsConfig};
+use crate::visualize::{render_labels, render_segment_values};
+use metaseg_data::ClassCatalog;
+use metaseg_eval::pearson_correlation;
+use metaseg_imgproc::{Connectivity, Ppm};
+use metaseg_learners::{LinearRegression, Regressor, StandardScaler};
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Fig. 1 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure1Config {
+    /// Number of training scenes used to fit the meta-regression model.
+    pub training_scenes: usize,
+    /// Scene geometry.
+    pub scene: SceneConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Figure1Config {
+    fn default() -> Self {
+        Self {
+            training_scenes: 60,
+            scene: SceneConfig::cityscapes_like(),
+            seed: 11,
+        }
+    }
+}
+
+impl Figure1Config {
+    /// Small configuration for the test suite.
+    pub fn quick() -> Self {
+        Self {
+            training_scenes: 6,
+            scene: SceneConfig::small(),
+            seed: 3,
+        }
+    }
+}
+
+/// Result of the Fig. 1 reproduction: the four panels plus summary numbers.
+#[derive(Debug, Clone)]
+pub struct Figure1Result {
+    /// Ground-truth panel (bottom left of the paper's figure).
+    pub ground_truth_panel: Ppm,
+    /// Predicted-segments panel (bottom right).
+    pub prediction_panel: Ppm,
+    /// True-IoU panel (top left).
+    pub true_iou_panel: Ppm,
+    /// Predicted-IoU panel (top right).
+    pub predicted_iou_panel: Ppm,
+    /// Pearson correlation between true and predicted IoU on the held-out scene.
+    pub correlation: f64,
+    /// Number of segments on the held-out scene with an IoU target.
+    pub segment_count: usize,
+}
+
+/// Runs the Fig. 1 reproduction: fits a linear meta-regression model on
+/// training scenes and visualises true vs predicted IoU on one held-out scene.
+///
+/// # Errors
+///
+/// Propagates [`MetaSegError`] if model fitting fails.
+pub fn run(config: &Figure1Config) -> Result<Figure1Result, MetaSegError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sim = NetworkSim::new(NetworkProfile::strong());
+    let catalog = ClassCatalog::cityscapes_like();
+    let metrics_config = MetricsConfig::default();
+
+    // Training data.
+    let mut records = Vec::new();
+    for _ in 0..config.training_scenes {
+        let scene = Scene::generate(&config.scene, &mut rng);
+        let gt = scene.render();
+        let probs = sim.predict(&gt, &mut rng);
+        records.extend(segment_metrics(&probs, Some(&gt), &metrics_config));
+    }
+    let train = MetaSeg::build_dataset(&records, FeatureSet::All);
+    let scaler = StandardScaler::fit(&train.features)?;
+    let model = LinearRegression::fit(&scaler.transform(&train.features), &train.targets)?;
+
+    // Held-out scene.
+    let scene = Scene::generate(&config.scene, &mut rng);
+    let ground_truth = scene.render();
+    let prediction = sim.predict(&ground_truth, &mut rng);
+    let predicted_labels = prediction.argmax_map();
+    let eval_records = segment_metrics(&prediction, Some(&ground_truth), &metrics_config);
+
+    let true_values: Vec<Option<f64>> = eval_records.iter().map(|r| r.iou).collect();
+    let predicted_values: Vec<Option<f64>> = eval_records
+        .iter()
+        .map(|r| {
+            r.iou.map(|_| {
+                model
+                    .predict_one(&scaler.transform_row(&FeatureSet::All.select(&r.metrics)))
+                    .clamp(0.0, 1.0)
+            })
+        })
+        .collect();
+
+    let paired: Vec<(f64, f64)> = true_values
+        .iter()
+        .zip(&predicted_values)
+        .filter_map(|(t, p)| Some(((*t)?, (*p)?)))
+        .collect();
+    let correlation = if paired.len() >= 2 {
+        let (truths, predictions): (Vec<f64>, Vec<f64>) = paired.iter().cloned().unzip();
+        pearson_correlation(&predictions, &truths)
+    } else {
+        0.0
+    };
+
+    Ok(Figure1Result {
+        ground_truth_panel: render_labels(&ground_truth, &catalog),
+        prediction_panel: render_labels(&predicted_labels, &catalog),
+        true_iou_panel: render_segment_values(
+            &predicted_labels,
+            &eval_records,
+            &true_values,
+            Connectivity::Eight,
+        ),
+        predicted_iou_panel: render_segment_values(
+            &predicted_labels,
+            &eval_records,
+            &predicted_values,
+            Connectivity::Eight,
+        ),
+        correlation,
+        segment_count: paired.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_figure1_produces_correlated_panels() {
+        let result = run(&Figure1Config::quick()).unwrap();
+        assert!(result.segment_count > 3);
+        // Predicted IoU should correlate positively with the true IoU; the
+        // paper reports Pearson R up to 0.85, we only require a positive link.
+        assert!(
+            result.correlation > 0.1,
+            "correlation was {}",
+            result.correlation
+        );
+        let (w, h) = (result.ground_truth_panel.width(), result.ground_truth_panel.height());
+        assert_eq!((result.prediction_panel.width(), result.prediction_panel.height()), (w, h));
+        assert_eq!((result.true_iou_panel.width(), result.true_iou_panel.height()), (w, h));
+        assert_eq!(
+            (result.predicted_iou_panel.width(), result.predicted_iou_panel.height()),
+            (w, h)
+        );
+    }
+}

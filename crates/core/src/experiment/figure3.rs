@@ -1,0 +1,116 @@
+//! Fig. 3: segmentation masks under the Bayes vs Maximum-Likelihood rule.
+
+use crate::error::MetaSegError;
+use crate::fnr::estimate_priors;
+use crate::visualize::render_labels;
+use metaseg_data::{ClassCatalog, Frame, FrameId};
+use metaseg_imgproc::Ppm;
+use metaseg_rules::DecisionRule;
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Fig. 3 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Config {
+    /// Number of scenes used to estimate the pixel-wise priors.
+    pub prior_scenes: usize,
+    /// Scene geometry.
+    pub scene: SceneConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Figure3Config {
+    fn default() -> Self {
+        Self {
+            prior_scenes: 80,
+            scene: SceneConfig::cityscapes_like(),
+            seed: 19,
+        }
+    }
+}
+
+impl Figure3Config {
+    /// Small configuration for the test suite.
+    pub fn quick() -> Self {
+        Self {
+            prior_scenes: 8,
+            scene: SceneConfig::small(),
+            seed: 4,
+        }
+    }
+}
+
+/// Result of the Fig. 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure3Result {
+    /// Mask obtained with the Bayes decision rule (left panel).
+    pub bayes_panel: Ppm,
+    /// Mask obtained with the Maximum-Likelihood rule (right panel).
+    pub ml_panel: Ppm,
+    /// Ground-truth mask (for reference).
+    pub ground_truth_panel: Ppm,
+    /// Number of pixels predicted as a rare critical class under Bayes.
+    pub bayes_rare_pixels: usize,
+    /// Number of pixels predicted as a rare critical class under ML.
+    pub ml_rare_pixels: usize,
+}
+
+/// Runs the Fig. 3 reproduction.
+///
+/// # Errors
+///
+/// Currently infallible but kept fallible for API consistency.
+pub fn run(config: &Figure3Config) -> Result<Figure3Result, MetaSegError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    let catalog = ClassCatalog::cityscapes_like();
+
+    // Frames for prior estimation.
+    let prior_frames: Vec<Frame> = (0..config.prior_scenes)
+        .map(|i| {
+            let scene = Scene::generate(&config.scene, &mut rng);
+            let gt = scene.render();
+            let probs = sim.predict(&gt, &mut rng);
+            Frame::labeled(FrameId::new(0, i), gt, probs).expect("matching shapes")
+        })
+        .collect();
+    let priors = estimate_priors(&prior_frames, 1.0);
+
+    // One display scene.
+    let scene = Scene::generate(&config.scene, &mut rng);
+    let ground_truth = scene.render();
+    let prediction = sim.predict(&ground_truth, &mut rng);
+    let bayes = DecisionRule::Bayes.apply(&prediction);
+    let ml = DecisionRule::MaximumLikelihood(priors).apply(&prediction);
+
+    let rare = catalog.rare_critical_classes();
+    let count_rare = |map: &metaseg_data::LabelMap| -> usize {
+        rare.iter().map(|&c| map.class_pixel_count(c)).sum()
+    };
+
+    Ok(Figure3Result {
+        bayes_rare_pixels: count_rare(&bayes),
+        ml_rare_pixels: count_rare(&ml),
+        bayes_panel: render_labels(&bayes, &catalog),
+        ml_panel: render_labels(&ml, &catalog),
+        ground_truth_panel: render_labels(&ground_truth, &catalog),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ml_mask_contains_at_least_as_many_rare_pixels() {
+        let result = run(&Figure3Config::quick()).unwrap();
+        // The ML rule is more sensitive towards rare classes, so it marks at
+        // least as many rare-class pixels as Bayes (usually strictly more).
+        assert!(result.ml_rare_pixels >= result.bayes_rare_pixels);
+        assert_eq!(result.bayes_panel.width(), result.ml_panel.width());
+        assert_eq!(result.ground_truth_panel.height(), result.ml_panel.height());
+    }
+}

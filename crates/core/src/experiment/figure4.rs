@@ -1,0 +1,122 @@
+//! Fig. 4: pixel-wise prior probability heat map of the class `person`.
+
+use crate::error::MetaSegError;
+use crate::visualize::render_heatmap;
+use metaseg_data::{LabelMap, SemanticClass};
+use metaseg_imgproc::{Grid, Ppm};
+use metaseg_rules::PriorMap;
+use metaseg_sim::{Scene, SceneConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Fig. 4 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure4Config {
+    /// Number of ground-truth scenes used for the prior estimate.
+    pub scene_count: usize,
+    /// Scene geometry.
+    pub scene: SceneConfig,
+    /// Laplace smoothing of the prior estimate.
+    pub smoothing: f64,
+    /// Class whose heat map is rendered (the paper shows `person`).
+    pub class: SemanticClass,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Figure4Config {
+    fn default() -> Self {
+        Self {
+            scene_count: 200,
+            scene: SceneConfig::cityscapes_like(),
+            smoothing: 1.0,
+            class: SemanticClass::Human,
+            seed: 23,
+        }
+    }
+}
+
+impl Figure4Config {
+    /// Small configuration for the test suite.
+    pub fn quick() -> Self {
+        Self {
+            scene_count: 12,
+            scene: SceneConfig::small(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of the Fig. 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure4Result {
+    /// The prior heat map of the requested class.
+    pub heatmap: Grid<f64>,
+    /// The rendered heat-map panel.
+    pub panel: Ppm,
+    /// Mean prior of the class inside the sidewalk band (where humans live).
+    pub mean_prior_in_band: f64,
+    /// Mean prior of the class in the sky band (should be near zero).
+    pub mean_prior_in_sky: f64,
+}
+
+/// Runs the Fig. 4 reproduction.
+///
+/// # Errors
+///
+/// Currently infallible but kept fallible for API consistency.
+pub fn run(config: &Figure4Config) -> Result<Figure4Result, MetaSegError> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let maps: Vec<LabelMap> = (0..config.scene_count)
+        .map(|_| Scene::generate(&config.scene, &mut rng).render())
+        .collect();
+    let priors = PriorMap::estimate(&maps, config.smoothing);
+    let heatmap = priors.class_heatmap(config.class);
+
+    let height = heatmap.height();
+    let band_rows = (height * 55 / 100)..(height * 75 / 100).max(height * 55 / 100 + 1);
+    let sky_rows = 0..(height / 5).max(1);
+    let mean_rows = |rows: std::ops::Range<usize>| -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for y in rows {
+            for x in 0..heatmap.width() {
+                total += *heatmap.get(x, y);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    };
+
+    Ok(Figure4Result {
+        panel: render_heatmap(&heatmap),
+        mean_prior_in_band: mean_rows(band_rows),
+        mean_prior_in_sky: mean_rows(sky_rows),
+        heatmap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_prior_concentrates_in_the_sidewalk_band() {
+        let result = run(&Figure4Config::quick()).unwrap();
+        assert!(
+            result.mean_prior_in_band > result.mean_prior_in_sky,
+            "band prior {} should exceed sky prior {}",
+            result.mean_prior_in_band,
+            result.mean_prior_in_sky
+        );
+        assert_eq!(result.panel.width(), result.heatmap.width());
+        // Priors are probabilities.
+        assert!(result.heatmap.max() <= 1.0 + 1e-9);
+        assert!(result.heatmap.min() >= 0.0);
+    }
+}

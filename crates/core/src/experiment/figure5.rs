@@ -1,0 +1,174 @@
+//! Fig. 5: empirical CDFs of segment-wise precision and recall of the class
+//! `person` under the Bayes vs Maximum-Likelihood rule, for both networks.
+
+use crate::error::MetaSegError;
+use crate::fnr::{compare_decision_rules, FalseNegativeReport};
+use crate::visualize::render_cdf_plot;
+use metaseg_data::{Frame, FrameId, SemanticClass};
+use metaseg_imgproc::{Color, Ppm};
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Fig. 5 reproduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure5Config {
+    /// Number of scenes used for prior estimation (train split).
+    pub prior_scenes: usize,
+    /// Number of scenes used for evaluation.
+    pub eval_scenes: usize,
+    /// Scene geometry.
+    pub scene: SceneConfig,
+    /// Class of interest.
+    pub class: SemanticClass,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Figure5Config {
+    fn default() -> Self {
+        Self {
+            prior_scenes: 80,
+            eval_scenes: 120,
+            scene: SceneConfig::cityscapes_like(),
+            class: SemanticClass::Human,
+            seed: 29,
+        }
+    }
+}
+
+impl Figure5Config {
+    /// Small configuration for the test suite.
+    pub fn quick() -> Self {
+        Self {
+            prior_scenes: 8,
+            eval_scenes: 12,
+            scene: SceneConfig::small(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of the Fig. 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Figure5Result {
+    /// Bayes-vs-ML report for the strong (Xception65-like) network.
+    pub strong: FalseNegativeReport,
+    /// Bayes-vs-ML report for the weak (MobilenetV2-like) network.
+    pub weak: FalseNegativeReport,
+    /// Rendered precision-CDF panel (all four curves).
+    pub precision_plot: Ppm,
+    /// Rendered recall-CDF panel (all four curves).
+    pub recall_plot: Ppm,
+}
+
+fn frames_for(profile: NetworkProfile, scene: &SceneConfig, count: usize, seed: u64) -> Vec<Frame> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sim = NetworkSim::new(profile);
+    (0..count)
+        .map(|i| {
+            let scene = Scene::generate(scene, &mut rng);
+            let gt = scene.render();
+            let probs = sim.predict(&gt, &mut rng);
+            Frame::labeled(FrameId::new(0, i), gt, probs).expect("matching shapes")
+        })
+        .collect()
+}
+
+fn curves_of(report: &FalseNegativeReport, recall: bool) -> Vec<Vec<(f64, f64)>> {
+    let pick = |outcome: &crate::fnr::RuleOutcome| {
+        let cdf = if recall {
+            outcome.recall_cdf()
+        } else {
+            outcome.precision_cdf()
+        };
+        cdf.map(|c| c.curve(0.0, 1.0, 50)).unwrap_or_default()
+    };
+    vec![pick(&report.bayes), pick(&report.maximum_likelihood)]
+}
+
+/// Runs the Fig. 5 reproduction.
+///
+/// # Errors
+///
+/// Currently infallible but kept fallible for API consistency.
+pub fn run(config: &Figure5Config) -> Result<Figure5Result, MetaSegError> {
+    let mut reports = Vec::new();
+    for (offset, profile) in [(1u64, NetworkProfile::strong()), (2u64, NetworkProfile::weak())] {
+        let prior_frames = frames_for(
+            profile.clone(),
+            &config.scene,
+            config.prior_scenes,
+            config.seed ^ (offset * 17),
+        );
+        let eval_frames = frames_for(
+            profile,
+            &config.scene,
+            config.eval_scenes,
+            config.seed ^ (offset * 31),
+        );
+        reports.push(compare_decision_rules(
+            &prior_frames,
+            &eval_frames,
+            config.class,
+            1.0,
+        ));
+    }
+    let weak = reports.pop().expect("two reports were built");
+    let strong = reports.pop().expect("two reports were built");
+
+    // Four curves per panel: Bayes/ML x strong/weak.
+    let colors = [
+        Color::new(30, 90, 200),  // Bayes strong
+        Color::new(200, 60, 40),  // ML strong
+        Color::new(90, 160, 255), // Bayes weak
+        Color::new(255, 140, 90), // ML weak
+    ];
+    let mut precision_curves = curves_of(&strong, false);
+    precision_curves.extend(curves_of(&weak, false));
+    let mut recall_curves = curves_of(&strong, true);
+    recall_curves.extend(curves_of(&weak, true));
+
+    Ok(Figure5Result {
+        precision_plot: render_cdf_plot(&precision_curves, &colors, 320, 240),
+        recall_plot: render_cdf_plot(&recall_curves, &colors, 320, 240),
+        strong,
+        weak,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_figure5_reproduces_the_orderings() {
+        let result = run(&Figure5Config::quick()).unwrap();
+        let mean = |values: &[f64]| -> f64 {
+            if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            }
+        };
+        for report in [&result.strong, &result.weak] {
+            // ML misses no more ground-truth segments than Bayes (F^r_B(0) >= F^r_ML(0)).
+            assert!(report.ml_reduces_missed_segments());
+            // ML trades precision for recall: its mean segment precision does
+            // not exceed the Bayes rule's (small tolerance for the tiny quick
+            // configuration), while it predicts at least as many segments.
+            let bayes_precision = mean(&report.bayes.scores.precision);
+            let ml_precision = mean(&report.maximum_likelihood.scores.precision);
+            assert!(
+                ml_precision <= bayes_precision + 0.1,
+                "ML precision {ml_precision} should not exceed Bayes precision {bayes_precision}"
+            );
+            assert!(
+                report.maximum_likelihood.predicted_segments >= report.bayes.predicted_segments
+            );
+        }
+        assert_eq!(result.precision_plot.width(), 320);
+        assert_eq!(result.recall_plot.height(), 240);
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment runners that regenerate every table and figure of the paper.
+//!
+//! | paper artefact | module | bench binary |
+//! |---|---|---|
+//! | Table I   | [`table1`]  | `table1` |
+//! | Fig. 1    | [`figure1`] | `figure1` |
+//! | Fig. 2    | [`video`]   | `figure2` |
+//! | Table II  | [`video`]   | `table2` |
+//! | Fig. 3    | [`figure3`] | `figure3` |
+//! | Fig. 4    | [`figure4`] | `figure4` |
+//! | Fig. 5    | [`figure5`] | `figure5` |
+//!
+//! Every runner has a `quick()` configuration used by the test suite and a
+//! default configuration used by the `metaseg-bench` binaries. Absolute
+//! numbers differ from the paper (the substrate is a simulator, not
+//! DeepLabv3+ on Cityscapes/KITTI), but the qualitative ordering reproduced
+//! in `EXPERIMENTS.md` holds.
+
+pub mod figure1;
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod table1;
+pub mod video;
+
+pub use figure1::{Figure1Config, Figure1Result};
+pub use figure3::{Figure3Config, Figure3Result};
+pub use figure4::{Figure4Config, Figure4Result};
+pub use figure5::{Figure5Config, Figure5Result};
+pub use table1::{Table1Config, Table1Result};
+pub use video::{VideoCell, VideoExperimentConfig, VideoExperimentResult};

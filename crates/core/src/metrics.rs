@@ -1,0 +1,445 @@
+//! Segment-wise metric construction — the paper's map `µ : K̂_x → R^m`.
+//!
+//! For every connected component (segment) of the predicted segmentation the
+//! module aggregates per-pixel dispersion heat maps (entropy, probability
+//! margin, variation ratio) over the whole segment, its inner boundary and
+//! its interior, and adds geometry metrics (size, boundary length,
+//! fractality) plus the mean softmax probability of every class. When ground
+//! truth is available, each segment also receives its IoU target (eq. (2) of
+//! the paper) and thereby its meta-classification label `IoU = 0` vs
+//! `IoU > 0`.
+
+use metaseg_data::{LabelMap, ProbMap, SemanticClass};
+use metaseg_imgproc::{inner_boundary, iou, Connectivity, PixelSet};
+use serde::{Deserialize, Serialize};
+
+/// Number of evaluated classes (softmax channels).
+const NUM_CHANNELS: usize = 19;
+
+/// Number of scalar metrics before the per-class mean probabilities.
+const BASE_METRIC_COUNT: usize = 15;
+
+/// Total dimensionality of the full metric vector.
+pub const METRIC_COUNT: usize = BASE_METRIC_COUNT + NUM_CHANNELS;
+
+/// Configuration of the metric construction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricsConfig {
+    /// Connectivity used when extracting predicted segments.
+    pub connectivity: Connectivity,
+    /// Segments smaller than this many pixels are skipped entirely (0 keeps all).
+    pub min_segment_area: usize,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> Self {
+        Self {
+            connectivity: Connectivity::Eight,
+            min_segment_area: 1,
+        }
+    }
+}
+
+/// Which subset of the metric vector a meta model sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureSet {
+    /// The full metric vector (dispersion + geometry + class probabilities).
+    All,
+    /// Only the mean segment entropy — the paper's entropy baseline.
+    EntropyOnly,
+    /// Only the geometry metrics (size, boundary, fractality) — used by the
+    /// metric-ablation benchmark.
+    GeometryOnly,
+    /// Only dispersion metrics (entropy / margin / variation ratio aggregates).
+    DispersionOnly,
+}
+
+impl FeatureSet {
+    /// Selects this feature subset from a full metric vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `metrics` does not have [`METRIC_COUNT`] entries.
+    pub fn select(&self, metrics: &[f64]) -> Vec<f64> {
+        assert_eq!(metrics.len(), METRIC_COUNT, "unexpected metric vector length");
+        match self {
+            FeatureSet::All => metrics.to_vec(),
+            FeatureSet::EntropyOnly => vec![metrics[0]],
+            FeatureSet::GeometryOnly => metrics[9..15].to_vec(),
+            FeatureSet::DispersionOnly => metrics[0..9].to_vec(),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FeatureSet::All => "all metrics",
+            FeatureSet::EntropyOnly => "entropy only",
+            FeatureSet::GeometryOnly => "geometry only",
+            FeatureSet::DispersionOnly => "dispersion only",
+        }
+    }
+}
+
+/// Human readable names of the metric vector entries, in order.
+pub fn metric_names() -> Vec<String> {
+    let mut names = vec![
+        "entropy_mean".to_string(),
+        "entropy_boundary".to_string(),
+        "entropy_interior".to_string(),
+        "margin_mean".to_string(),
+        "margin_boundary".to_string(),
+        "margin_interior".to_string(),
+        "variation_ratio_mean".to_string(),
+        "variation_ratio_boundary".to_string(),
+        "variation_ratio_interior".to_string(),
+        "area".to_string(),
+        "boundary_length".to_string(),
+        "interior_area".to_string(),
+        "relative_interior_area".to_string(),
+        "fractality".to_string(),
+        "max_prob_mean".to_string(),
+    ];
+    for class in SemanticClass::ALL.iter().take(NUM_CHANNELS) {
+        names.push(format!("mean_prob_{}", class.name().replace(' ', "_")));
+    }
+    names
+}
+
+/// One predicted segment together with its metric vector and (if ground truth
+/// is available) its IoU target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentRecord {
+    /// Connected-component id of the segment inside its frame.
+    pub region_id: usize,
+    /// Predicted class of the segment.
+    pub class: SemanticClass,
+    /// Segment size in pixels.
+    pub area: usize,
+    /// Inner boundary length in pixels.
+    pub boundary_length: usize,
+    /// Centroid of the segment in pixel coordinates.
+    pub centroid: (f64, f64),
+    /// The full metric vector `µ(k)` (length [`METRIC_COUNT`]).
+    pub metrics: Vec<f64>,
+    /// IoU of the segment with the same-class ground truth (eq. (2)); `None`
+    /// when no ground truth is available or the segment lies entirely in a
+    /// void region.
+    pub iou: Option<f64>,
+}
+
+impl SegmentRecord {
+    /// Meta-classification label: `true` iff `IoU > 0` (not a false positive).
+    /// `None` when the segment has no IoU target.
+    pub fn is_true_positive(&self) -> Option<bool> {
+        self.iou.map(|v| v > 0.0)
+    }
+}
+
+fn mean_over(values: &metaseg_imgproc::Grid<f64>, pixels: &[(usize, usize)]) -> f64 {
+    if pixels.is_empty() {
+        return 0.0;
+    }
+    pixels.iter().map(|&(x, y)| *values.get(x, y)).sum::<f64>() / pixels.len() as f64
+}
+
+/// Computes the metric vector and IoU target of every predicted segment.
+///
+/// `prediction` is the softmax field; segments are the connected components
+/// of its Bayes (argmax) label map. `ground_truth` is optional — without it,
+/// the records carry `iou = None` and can still be used for inference.
+pub fn segment_metrics(
+    prediction: &ProbMap,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+) -> Vec<SegmentRecord> {
+    let predicted_labels = prediction.argmax_map();
+    let components = predicted_labels.segments(config.connectivity);
+    let entropy = prediction.entropy_map();
+    let margin = prediction.margin_map();
+    let variation = prediction.variation_ratio_map();
+
+    // Ground-truth components grouped by class for the IoU computation.
+    let gt_components = ground_truth.map(|gt| gt.segments(config.connectivity));
+
+    let mut records = Vec::with_capacity(components.component_count());
+    for region in components.regions() {
+        if region.area() < config.min_segment_area.max(1) {
+            continue;
+        }
+        let class = SemanticClass::from_id(region.class_id).expect("valid class id");
+        let boundary_pixels = inner_boundary(region, components.labels());
+        let interior_pixels: Vec<(usize, usize)> = {
+            let boundary_set: PixelSet = boundary_pixels.iter().copied().collect();
+            region
+                .pixels
+                .iter()
+                .copied()
+                .filter(|p| !boundary_set.contains(p))
+                .collect()
+        };
+
+        let area = region.area() as f64;
+        let boundary_length = boundary_pixels.len() as f64;
+        let interior_area = interior_pixels.len() as f64;
+
+        let mut metrics = Vec::with_capacity(METRIC_COUNT);
+        // Dispersion aggregates: whole segment, boundary, interior. For
+        // segments without interior the interior aggregate falls back to the
+        // segment mean (matches the convention of the reference code).
+        for heat in [&entropy, &margin, &variation] {
+            let mean_all = mean_over(heat, &region.pixels);
+            let mean_boundary = mean_over(heat, &boundary_pixels);
+            let mean_interior = if interior_pixels.is_empty() {
+                mean_all
+            } else {
+                mean_over(heat, &interior_pixels)
+            };
+            metrics.push(mean_all);
+            metrics.push(mean_boundary);
+            metrics.push(mean_interior);
+        }
+        // Geometry metrics.
+        metrics.push(area);
+        metrics.push(boundary_length);
+        metrics.push(interior_area);
+        metrics.push(if area > 0.0 { interior_area / area } else { 0.0 });
+        metrics.push(if boundary_length > 0.0 {
+            area / boundary_length
+        } else {
+            area
+        });
+        // Mean maximum softmax probability.
+        let mean_max: f64 = region
+            .pixels
+            .iter()
+            .map(|&(x, y)| prediction.top2(x, y).0)
+            .sum::<f64>()
+            / area;
+        metrics.push(mean_max);
+        // Mean class probabilities.
+        for channel in 0..NUM_CHANNELS {
+            let class_of_channel = SemanticClass::from_id(channel as u16).expect("valid channel");
+            let mean_prob: f64 = region
+                .pixels
+                .iter()
+                .map(|&(x, y)| prediction.prob_at(x, y, class_of_channel))
+                .sum::<f64>()
+                / area;
+            metrics.push(mean_prob);
+        }
+        debug_assert_eq!(metrics.len(), METRIC_COUNT);
+
+        // IoU target (eq. (2)): union of ground-truth components of the same
+        // class that intersect the segment.
+        let iou_target = match (&gt_components, ground_truth) {
+            (Some(gt_cc), Some(gt_map)) => {
+                let non_void = region
+                    .pixels
+                    .iter()
+                    .filter(|&&(x, y)| gt_map.class_at(x, y) != SemanticClass::Void)
+                    .count();
+                if non_void == 0 {
+                    None
+                } else {
+                    let pred_set: PixelSet = region.pixels.iter().copied().collect();
+                    // Ground-truth components of the same class touching the segment.
+                    let mut union_set: PixelSet = PixelSet::new();
+                    for gt_region in gt_cc.regions() {
+                        if gt_region.class_id != region.class_id {
+                            continue;
+                        }
+                        let touches = gt_region
+                            .pixels
+                            .iter()
+                            .any(|p| pred_set.contains(p));
+                        if touches {
+                            union_set.extend(gt_region.pixels.iter().copied());
+                        }
+                    }
+                    if union_set.is_empty() {
+                        Some(0.0)
+                    } else {
+                        Some(iou(&pred_set, &union_set))
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        records.push(SegmentRecord {
+            region_id: region.id,
+            class,
+            area: region.area(),
+            boundary_length: boundary_pixels.len(),
+            centroid: region.centroid(),
+            metrics,
+            iou: iou_target,
+        });
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaseg_data::{LabelMap, ProbMap};
+    use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn simple_frame() -> (ProbMap, LabelMap) {
+        // Ground truth: left half road, right half car.
+        let gt = LabelMap::from_fn(10, 6, |x, _| {
+            if x < 5 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::Car
+            }
+        });
+        let probs = ProbMap::one_hot(&gt, 19);
+        (probs, gt)
+    }
+
+    #[test]
+    fn metric_names_match_metric_count() {
+        assert_eq!(metric_names().len(), METRIC_COUNT);
+    }
+
+    #[test]
+    fn perfect_prediction_has_unit_iou_and_zero_entropy() {
+        let (probs, gt) = simple_frame();
+        let records = segment_metrics(&probs, Some(&gt), &MetricsConfig::default());
+        assert_eq!(records.len(), 2);
+        for record in &records {
+            assert_eq!(record.iou, Some(1.0));
+            assert_eq!(record.is_true_positive(), Some(true));
+            // One-hot probabilities: zero entropy everywhere.
+            assert!(record.metrics[0].abs() < 1e-9);
+            assert_eq!(record.metrics[9] as usize, record.area);
+        }
+    }
+
+    #[test]
+    fn hallucinated_segment_has_zero_iou() {
+        // Ground truth all road; prediction contains a spurious car block.
+        let gt = LabelMap::filled(10, 6, SemanticClass::Road);
+        let predicted = LabelMap::from_fn(10, 6, |x, y| {
+            if x >= 6 && y >= 2 && y < 5 {
+                SemanticClass::Car
+            } else {
+                SemanticClass::Road
+            }
+        });
+        let probs = ProbMap::one_hot(&predicted, 19);
+        let records = segment_metrics(&probs, Some(&gt), &MetricsConfig::default());
+        let car = records
+            .iter()
+            .find(|r| r.class == SemanticClass::Car)
+            .expect("car segment exists");
+        assert_eq!(car.iou, Some(0.0));
+        assert_eq!(car.is_true_positive(), Some(false));
+        let road = records
+            .iter()
+            .find(|r| r.class == SemanticClass::Road)
+            .unwrap();
+        assert!(road.iou.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn void_only_segments_are_excluded_from_targets() {
+        let gt = LabelMap::from_fn(8, 4, |x, _| {
+            if x < 4 {
+                SemanticClass::Void
+            } else {
+                SemanticClass::Road
+            }
+        });
+        let predicted = LabelMap::from_fn(8, 4, |x, _| {
+            if x < 4 {
+                SemanticClass::Car
+            } else {
+                SemanticClass::Road
+            }
+        });
+        let probs = ProbMap::one_hot(&predicted, 19);
+        let records = segment_metrics(&probs, Some(&gt), &MetricsConfig::default());
+        let car = records.iter().find(|r| r.class == SemanticClass::Car).unwrap();
+        assert_eq!(car.iou, None);
+        assert_eq!(car.is_true_positive(), None);
+    }
+
+    #[test]
+    fn without_ground_truth_no_targets() {
+        let (probs, _) = simple_frame();
+        let records = segment_metrics(&probs, None, &MetricsConfig::default());
+        assert!(records.iter().all(|r| r.iou.is_none()));
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn feature_sets_select_expected_dimensions() {
+        let metrics: Vec<f64> = (0..METRIC_COUNT).map(|i| i as f64).collect();
+        assert_eq!(FeatureSet::All.select(&metrics).len(), METRIC_COUNT);
+        assert_eq!(FeatureSet::EntropyOnly.select(&metrics), vec![0.0]);
+        assert_eq!(FeatureSet::GeometryOnly.select(&metrics).len(), 6);
+        assert_eq!(FeatureSet::DispersionOnly.select(&metrics).len(), 9);
+        assert_eq!(FeatureSet::All.name(), "all metrics");
+    }
+
+    #[test]
+    fn dispersion_correlates_with_errors_on_simulated_scene() {
+        // On a simulated scene, false-positive segments must on average have
+        // higher mean entropy than well-matched ones — this is the core
+        // correlation MetaSeg exploits.
+        let mut rng = StdRng::seed_from_u64(12);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let mut fp_entropy = Vec::new();
+        let mut tp_entropy = Vec::new();
+        for _ in 0..6 {
+            let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+            let gt = scene.render();
+            let probs = sim.predict(&gt, &mut rng);
+            for record in segment_metrics(&probs, Some(&gt), &MetricsConfig::default()) {
+                match record.is_true_positive() {
+                    Some(false) => fp_entropy.push(record.metrics[0]),
+                    Some(true) => tp_entropy.push(record.metrics[0]),
+                    None => {}
+                }
+            }
+        }
+        assert!(!fp_entropy.is_empty(), "simulation should produce false positives");
+        assert!(!tp_entropy.is_empty());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&fp_entropy) > mean(&tp_entropy),
+            "false positives should be more uncertain: fp {} vs tp {}",
+            mean(&fp_entropy),
+            mean(&tp_entropy)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Metric vectors always have the documented length and IoU targets in [0, 1].
+        #[test]
+        fn prop_metric_vector_invariants(seed in 0u64..200) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+            let gt = scene.render();
+            let sim = NetworkSim::new(NetworkProfile::strong());
+            let probs = sim.predict(&gt, &mut rng);
+            let records = segment_metrics(&probs, Some(&gt), &MetricsConfig::default());
+            prop_assert!(!records.is_empty());
+            for record in &records {
+                prop_assert_eq!(record.metrics.len(), METRIC_COUNT);
+                if let Some(iou_value) = record.iou {
+                    prop_assert!((0.0..=1.0).contains(&iou_value));
+                }
+                prop_assert!(record.area >= 1);
+                prop_assert!(record.boundary_length >= 1);
+                prop_assert!(record.boundary_length <= record.area);
+            }
+        }
+    }
+}

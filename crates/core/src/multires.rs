@@ -1,0 +1,261 @@
+//! Nested multi-resolution MetaSeg (the Section II extension from
+//! Rottmann & Schubert, arXiv:1904.04516).
+//!
+//! A sequence of nested, centred crops of the softmax field is resized to the
+//! full resolution and treated as an ensemble of predictions. The ensemble
+//! mean replaces the single-scale field, and the per-pixel variance of the
+//! ensemble becomes an additional resolution-dependent uncertainty heat map
+//! whose segment-wise aggregates are appended to the metric vector.
+
+use crate::metrics::{segment_metrics, MetricsConfig, SegmentRecord, METRIC_COUNT};
+use metaseg_data::{LabelMap, ProbMap};
+use metaseg_imgproc::{inner_boundary, resize_bilinear, CropWindow, Grid};
+use serde::{Deserialize, Serialize};
+
+/// Number of extra metrics appended by the multi-resolution ensemble
+/// (mean ensemble variance over segment / boundary / interior).
+pub const MULTIRES_EXTRA_METRICS: usize = 3;
+
+/// Total metric count of multi-resolution records.
+pub const MULTIRES_METRIC_COUNT: usize = METRIC_COUNT + MULTIRES_EXTRA_METRICS;
+
+/// Configuration of the nested-crop ensemble.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiResConfig {
+    /// Linear scales of the nested crops; `1.0` (the full image) is always
+    /// included implicitly.
+    pub crop_scales: Vec<f64>,
+    /// Metric-construction configuration applied to the ensemble mean.
+    pub metrics: MetricsConfig,
+}
+
+impl Default for MultiResConfig {
+    fn default() -> Self {
+        Self {
+            crop_scales: vec![0.75, 0.5],
+            metrics: MetricsConfig::default(),
+        }
+    }
+}
+
+/// The ensemble produced by inferring nested crops at a common resolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiResEnsemble {
+    /// Ensemble-mean softmax field (same shape as the input).
+    pub mean: ProbMap,
+    /// Per-pixel variance of the predicted-class probability across the
+    /// ensemble members that cover the pixel.
+    pub variance: Grid<f64>,
+}
+
+/// Builds the nested-crop ensemble for one softmax field.
+///
+/// Every crop is resized back to the full image size with bilinear
+/// interpolation (per channel, renormalised); pixels outside a crop are not
+/// covered by that member. The variance map is the per-pixel variance of the
+/// maximum-probability value across covering members — a cheap proxy for the
+/// resolution-dependent uncertainty of the paper's extension.
+///
+/// # Panics
+///
+/// Panics if any crop scale is outside `(0, 1]`.
+pub fn build_ensemble(prediction: &ProbMap, config: &MultiResConfig) -> MultiResEnsemble {
+    let (width, height) = prediction.shape();
+    let channels = prediction.num_classes();
+
+    // Member 0: the original field. Further members: resized crops.
+    let mut member_max: Vec<Grid<f64>> = Vec::new();
+    let mut member_cover: Vec<Grid<bool>> = Vec::new();
+    let mut sum_probs = vec![0.0f64; width * height * channels];
+    let mut cover_count = vec![0u32; width * height];
+
+    let mut add_member = |field: &ProbMap, x0: usize, y0: usize, cw: usize, ch: usize| {
+        let mut max_map = Grid::filled(width, height, 0.0f64);
+        let mut cover = Grid::filled(width, height, false);
+        for y in 0..ch {
+            for x in 0..cw {
+                let dist = field.distribution(x, y);
+                let gx = x0 + x;
+                let gy = y0 + y;
+                let off = (gy * width + gx) * channels;
+                for (c, p) in dist.iter().enumerate() {
+                    sum_probs[off + c] += p;
+                }
+                cover_count[gy * width + gx] += 1;
+                let top = dist.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                max_map.set(gx, gy, top);
+                cover.set(gx, gy, true);
+            }
+        }
+        member_max.push(max_map);
+        member_cover.push(cover);
+    };
+
+    add_member(prediction, 0, 0, width, height);
+
+    for &scale in &config.crop_scales {
+        let window = CropWindow::new(scale);
+        let (x0, y0, cw, ch) = window.rect(width, height);
+        // Crop per channel, resize to full size, renormalise, then resize
+        // back down to the crop rectangle so the member aligns with the crop.
+        let mut channel_grids: Vec<Grid<f64>> = Vec::with_capacity(channels);
+        for c in 0..channels {
+            let crop = Grid::from_fn(cw, ch, |x, y| {
+                prediction.distribution(x0 + x, y0 + y)[c]
+            });
+            // Upsample to the full resolution (this is the "infer the crop at
+            // the common size" step) and back down, which low-passes the field.
+            let up = resize_bilinear(&crop, width, height);
+            let down = resize_bilinear(&up, cw, ch);
+            channel_grids.push(down);
+        }
+        let mut member = ProbMap::uniform(cw, ch, channels);
+        for y in 0..ch {
+            for x in 0..cw {
+                let mut dist: Vec<f64> = channel_grids.iter().map(|g| *g.get(x, y)).collect();
+                let sum: f64 = dist.iter().sum();
+                if sum > 0.0 {
+                    for v in dist.iter_mut() {
+                        *v /= sum;
+                    }
+                }
+                member.set_distribution_unchecked(x, y, &dist);
+            }
+        }
+        add_member(&member, x0, y0, cw, ch);
+    }
+
+    // Ensemble mean field.
+    let mut mean = ProbMap::uniform(width, height, channels);
+    for y in 0..height {
+        for x in 0..width {
+            let count = cover_count[y * width + x].max(1) as f64;
+            let off = (y * width + x) * channels;
+            let mut dist: Vec<f64> = (0..channels).map(|c| sum_probs[off + c] / count).collect();
+            let sum: f64 = dist.iter().sum();
+            if sum > 0.0 {
+                for v in dist.iter_mut() {
+                    *v /= sum;
+                }
+            }
+            mean.set_distribution_unchecked(x, y, &dist);
+        }
+    }
+
+    // Per-pixel variance of the max probability over covering members.
+    let variance = Grid::from_fn(width, height, |x, y| {
+        let values: Vec<f64> = member_max
+            .iter()
+            .zip(&member_cover)
+            .filter(|(_, cover)| *cover.get(x, y))
+            .map(|(max_map, _)| *max_map.get(x, y))
+            .collect();
+        if values.len() < 2 {
+            return 0.0;
+        }
+        let mean_value: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        values.iter().map(|v| (v - mean_value).powi(2)).sum::<f64>() / values.len() as f64
+    });
+
+    MultiResEnsemble { mean, variance }
+}
+
+/// Computes segment records on the ensemble-mean field with the ensemble
+/// variance aggregates appended to each metric vector.
+pub fn multires_segment_metrics(
+    prediction: &ProbMap,
+    ground_truth: Option<&LabelMap>,
+    config: &MultiResConfig,
+) -> Vec<SegmentRecord> {
+    let ensemble = build_ensemble(prediction, config);
+    let mut records = segment_metrics(&ensemble.mean, ground_truth, &config.metrics);
+
+    // Re-derive the predicted components to aggregate the variance map over
+    // the same segments (ids match because both use the ensemble mean).
+    let predicted_labels = ensemble.mean.argmax_map();
+    let components = predicted_labels.segments(config.metrics.connectivity);
+    for record in records.iter_mut() {
+        if let Some(region) = components.region(record.region_id) {
+            let boundary = inner_boundary(region, components.labels());
+            let boundary_set: std::collections::HashSet<(usize, usize)> =
+                boundary.iter().copied().collect();
+            let mean_of = |pixels: &[(usize, usize)]| -> f64 {
+                if pixels.is_empty() {
+                    0.0
+                } else {
+                    pixels
+                        .iter()
+                        .map(|&(x, y)| *ensemble.variance.get(x, y))
+                        .sum::<f64>()
+                        / pixels.len() as f64
+                }
+            };
+            let interior: Vec<(usize, usize)> = region
+                .pixels
+                .iter()
+                .copied()
+                .filter(|p| !boundary_set.contains(p))
+                .collect();
+            let all = mean_of(&region.pixels);
+            let bd = mean_of(&boundary);
+            let int = if interior.is_empty() { all } else { mean_of(&interior) };
+            record.metrics.push(all);
+            record.metrics.push(bd);
+            record.metrics.push(int);
+        } else {
+            record.metrics.extend_from_slice(&[0.0; MULTIRES_EXTRA_METRICS]);
+        }
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn simulated_frame(seed: u64) -> (ProbMap, LabelMap) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+        let gt = scene.render();
+        let probs = NetworkSim::new(NetworkProfile::strong()).predict(&gt, &mut rng);
+        (probs, gt)
+    }
+
+    #[test]
+    fn ensemble_mean_is_a_valid_field() {
+        let (probs, _) = simulated_frame(4);
+        let ensemble = build_ensemble(&probs, &MultiResConfig::default());
+        assert_eq!(ensemble.mean.shape(), probs.shape());
+        assert!(ensemble.mean.validate().is_ok());
+        // Variance is non-negative and zero outside every nested crop... at
+        // least non-negative everywhere.
+        assert!(ensemble.variance.min() >= 0.0);
+    }
+
+    #[test]
+    fn variance_is_zero_with_no_extra_crops() {
+        let (probs, _) = simulated_frame(5);
+        let config = MultiResConfig {
+            crop_scales: vec![],
+            ..MultiResConfig::default()
+        };
+        let ensemble = build_ensemble(&probs, &config);
+        assert!(ensemble.variance.max() <= 1e-12);
+    }
+
+    #[test]
+    fn multires_records_have_extended_metric_vectors() {
+        let (probs, gt) = simulated_frame(6);
+        let records = multires_segment_metrics(&probs, Some(&gt), &MultiResConfig::default());
+        assert!(!records.is_empty());
+        for record in &records {
+            assert_eq!(record.metrics.len(), MULTIRES_METRIC_COUNT);
+            // The appended variance aggregates are non-negative.
+            for v in &record.metrics[METRIC_COUNT..] {
+                assert!(*v >= 0.0);
+            }
+        }
+    }
+}

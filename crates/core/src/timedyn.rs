@@ -1,0 +1,358 @@
+//! Time-dynamic MetaSeg (Section III of the paper).
+//!
+//! Segments of consecutive frames are matched by the light-weight tracker of
+//! `metaseg-tracking`; each tracked segment's metric vector is extended to a
+//! *time series* by concatenating the metric vectors of the same track in up
+//! to `max_history` previous frames. Gradient boosting and a shallow MLP with
+//! L2 penalty are then trained on these time-series features for both meta
+//! tasks.
+
+use crate::error::MetaSegError;
+use crate::metrics::{segment_metrics, MetricsConfig, SegmentRecord, METRIC_COUNT};
+use metaseg_data::Sequence;
+use metaseg_eval::{accuracy, auroc, r_squared, residual_sigma};
+use metaseg_learners::{
+    BinaryClassifier, BoostingConfig, GradientBoostingClassifier, GradientBoostingRegressor,
+    MlpClassifier, MlpConfig, MlpRegressor, Regressor, StandardScaler, TabularDataset,
+};
+use metaseg_tracking::{SegmentTracker, TrackerConfig, TrackingResult};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the time-dynamic pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeDynConfig {
+    /// Maximum number of *previous* frames whose metrics are concatenated
+    /// (the paper considers up to 10, i.e. time-series lengths 1..=11).
+    pub max_history: usize,
+    /// Metric-construction configuration.
+    pub metrics: MetricsConfig,
+    /// Tracker configuration.
+    pub tracker: TrackerConfig,
+}
+
+impl Default for TimeDynConfig {
+    fn default() -> Self {
+        Self {
+            max_history: 10,
+            metrics: MetricsConfig::default(),
+            tracker: TrackerConfig::default(),
+        }
+    }
+}
+
+/// Which meta model family is trained on the time series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetaModel {
+    /// Gradient-boosted trees.
+    GradientBoosting,
+    /// Shallow neural network with L2 penalisation.
+    NeuralNetwork,
+}
+
+impl MetaModel {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetaModel::GradientBoosting => "gradient boosting",
+            MetaModel::NeuralNetwork => "neural network (L2)",
+        }
+    }
+}
+
+/// Per-frame analysis of one sequence: segment records plus track assignments.
+#[derive(Debug, Clone)]
+pub struct SequenceAnalysis {
+    /// Segment records of every frame (in temporal order).
+    pub records: Vec<Vec<SegmentRecord>>,
+    /// Tracking result over the predicted label maps of the sequence.
+    pub tracking: TrackingResult,
+    /// Indices of frames that carry (real or pseudo) ground truth.
+    pub labeled_frames: Vec<usize>,
+}
+
+/// The time-dynamic MetaSeg pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeDynamic {
+    config: TimeDynConfig,
+}
+
+impl TimeDynamic {
+    /// Creates the pipeline with the given configuration.
+    pub fn new(config: TimeDynConfig) -> Self {
+        Self { config }
+    }
+
+    /// The pipeline's configuration.
+    pub fn config(&self) -> &TimeDynConfig {
+        &self.config
+    }
+
+    /// Extracts segment records and tracking for one sequence.
+    pub fn analyze_sequence(&self, sequence: &Sequence) -> SequenceAnalysis {
+        let predicted_maps: Vec<_> = sequence
+            .frames
+            .iter()
+            .map(|f| f.prediction.argmax_map())
+            .collect();
+        let tracker = SegmentTracker::new(self.config.tracker);
+        let tracking = tracker.track(&predicted_maps);
+
+        let records: Vec<Vec<SegmentRecord>> = sequence
+            .frames
+            .iter()
+            .map(|frame| {
+                segment_metrics(
+                    &frame.prediction,
+                    frame.ground_truth.as_ref(),
+                    &self.config.metrics,
+                )
+            })
+            .collect();
+
+        SequenceAnalysis {
+            records,
+            tracking,
+            labeled_frames: sequence.labeled_indices(),
+        }
+    }
+
+    /// Builds the structured time-series dataset of one analysed sequence for
+    /// a given time-series length (`length = 1` reproduces plain MetaSeg).
+    ///
+    /// Only segments of labelled frames with an IoU target contribute rows;
+    /// missing history (track too young) is padded by repeating the oldest
+    /// available metric vector, as in the reference implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is zero or exceeds `max_history + 1`.
+    pub fn time_series_dataset(&self, analysis: &SequenceAnalysis, length: usize) -> TabularDataset {
+        assert!(
+            length >= 1 && length <= self.config.max_history + 1,
+            "length must lie in 1..=max_history+1"
+        );
+        // Index: (frame, track_id) -> index into records[frame].
+        let mut by_track: Vec<HashMap<usize, usize>> = Vec::with_capacity(analysis.records.len());
+        for (frame_idx, frame_records) in analysis.records.iter().enumerate() {
+            let mut map = HashMap::new();
+            if let Some(frame_tracks) = analysis.tracking.frames().get(frame_idx) {
+                for (record_idx, record) in frame_records.iter().enumerate() {
+                    if let Some(track_id) = frame_tracks.track_of_region(record.region_id) {
+                        map.insert(track_id, record_idx);
+                    }
+                }
+            }
+            by_track.push(map);
+        }
+
+        let mut dataset = TabularDataset::new();
+        for &frame_idx in &analysis.labeled_frames {
+            let frame_records = &analysis.records[frame_idx];
+            let frame_tracks = match analysis.tracking.frames().get(frame_idx) {
+                Some(t) => t,
+                None => continue,
+            };
+            for record in frame_records {
+                let target = match record.iou {
+                    Some(v) => v,
+                    None => continue,
+                };
+                let track_id = match frame_tracks.track_of_region(record.region_id) {
+                    Some(id) => id,
+                    None => continue,
+                };
+                // Assemble the time series: current frame first, then history.
+                let mut features = Vec::with_capacity(length * METRIC_COUNT);
+                features.extend_from_slice(&record.metrics);
+                let mut last = record.metrics.clone();
+                for step in 1..length {
+                    let past_frame = frame_idx.checked_sub(step);
+                    let past = past_frame
+                        .and_then(|pf| by_track[pf].get(&track_id).map(|&idx| (pf, idx)))
+                        .map(|(pf, idx)| analysis.records[pf][idx].metrics.clone());
+                    match past {
+                        Some(metrics) => {
+                            features.extend_from_slice(&metrics);
+                            last = metrics;
+                        }
+                        // Track does not reach back this far: pad with the
+                        // oldest observation found so far.
+                        None => features.extend_from_slice(&last),
+                    }
+                }
+                dataset.push(features, target);
+            }
+        }
+        dataset
+    }
+
+    /// Trains the chosen meta models on `train` and evaluates them on `test`,
+    /// returning `(accuracy, auroc, sigma, r2)` on the test split.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MetaSegError`] if the datasets are empty or degenerate.
+    pub fn fit_and_evaluate(
+        &self,
+        model: MetaModel,
+        train: &TabularDataset,
+        test: &TabularDataset,
+        seed: u64,
+    ) -> Result<TimeDynScores, MetaSegError> {
+        if train.is_empty() || test.is_empty() {
+            return Err(MetaSegError::NoLabeledData);
+        }
+        let train_labels = train.binary_targets(0.0);
+        let test_labels = test.binary_targets(0.0);
+        let positives = train_labels.iter().filter(|&&l| l).count();
+        if positives == 0 || positives == train_labels.len() {
+            return Err(MetaSegError::DegenerateMetaLabels);
+        }
+
+        let scaler = StandardScaler::fit(&train.features)?;
+        let train_features = scaler.transform(&train.features);
+        let test_features = scaler.transform(&test.features);
+
+        let (scores, predictions): (Vec<f64>, Vec<f64>) = match model {
+            MetaModel::GradientBoosting => {
+                let config = BoostingConfig {
+                    n_estimators: 40,
+                    learning_rate: 0.15,
+                    ..BoostingConfig::default()
+                };
+                let classifier =
+                    GradientBoostingClassifier::fit(&train_features, &train_labels, config)?;
+                let regressor =
+                    GradientBoostingRegressor::fit(&train_features, &train.targets, config)?;
+                (
+                    classifier.predict_proba(&test_features),
+                    regressor.predict(&test_features),
+                )
+            }
+            MetaModel::NeuralNetwork => {
+                let config = MlpConfig {
+                    hidden_units: 24,
+                    l2_penalty: 1e-3,
+                    epochs: 120,
+                    seed,
+                    ..MlpConfig::default()
+                };
+                let classifier = MlpClassifier::fit(&train_features, &train_labels, config)?;
+                let regressor = MlpRegressor::fit(&train_features, &train.targets, config)?;
+                (
+                    classifier.predict_proba(&test_features),
+                    regressor.predict(&test_features),
+                )
+            }
+        };
+        let predictions: Vec<f64> = predictions.into_iter().map(|v| v.clamp(0.0, 1.0)).collect();
+        let hard: Vec<bool> = scores.iter().map(|s| *s >= 0.5).collect();
+
+        Ok(TimeDynScores {
+            accuracy: accuracy(&hard, &test_labels),
+            auroc: auroc(&scores, &test_labels),
+            sigma: residual_sigma(&predictions, &test.targets),
+            r2: r_squared(&predictions, &test.targets),
+        })
+    }
+}
+
+/// Test-split scores of one time-dynamic training run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeDynScores {
+    /// Meta-classification accuracy.
+    pub accuracy: f64,
+    /// Meta-classification AUROC.
+    pub auroc: f64,
+    /// Meta-regression residual standard deviation.
+    pub sigma: f64,
+    /// Meta-regression R².
+    pub r2: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn small_scenario(seed: u64) -> VideoScenario {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        VideoScenario::generate(&VideoConfig::small(), &sim, &mut rng)
+    }
+
+    #[test]
+    fn analysis_produces_records_and_tracks() {
+        let scenario = small_scenario(1);
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let analysis = pipeline.analyze_sequence(&scenario.dataset().sequences[0]);
+        assert_eq!(analysis.records.len(), 12);
+        assert_eq!(analysis.tracking.frames().len(), 12);
+        assert_eq!(analysis.labeled_frames, vec![0, 4, 8]);
+        assert!(analysis.tracking.track_count() > 0);
+    }
+
+    #[test]
+    fn time_series_feature_dimensions_grow_with_length() {
+        let scenario = small_scenario(2);
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let analysis = pipeline.analyze_sequence(&scenario.dataset().sequences[0]);
+        let ds1 = pipeline.time_series_dataset(&analysis, 1);
+        let ds3 = pipeline.time_series_dataset(&analysis, 3);
+        assert!(!ds1.is_empty());
+        assert_eq!(ds1.len(), ds3.len());
+        assert_eq!(ds1.feature_dim(), METRIC_COUNT);
+        assert_eq!(ds3.feature_dim(), 3 * METRIC_COUNT);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_length_panics() {
+        let scenario = small_scenario(3);
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let analysis = pipeline.analyze_sequence(&scenario.dataset().sequences[0]);
+        let _ = pipeline.time_series_dataset(&analysis, 0);
+    }
+
+    #[test]
+    fn fit_and_evaluate_produces_reasonable_scores() {
+        let scenario = small_scenario(4);
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let mut train = TabularDataset::new();
+        let mut test = TabularDataset::new();
+        for (i, sequence) in scenario.dataset().sequences.iter().enumerate() {
+            let analysis = pipeline.analyze_sequence(sequence);
+            let ds = pipeline.time_series_dataset(&analysis, 2);
+            if i == 0 {
+                test.extend_from(&ds);
+            } else {
+                train.extend_from(&ds);
+            }
+        }
+        let scores = pipeline
+            .fit_and_evaluate(MetaModel::GradientBoosting, &train, &test, 0)
+            .unwrap();
+        assert!(scores.auroc > 0.4);
+        assert!((0.0..=1.0).contains(&scores.accuracy));
+        assert!(scores.sigma >= 0.0);
+        assert!(scores.r2 <= 1.0);
+    }
+
+    #[test]
+    fn empty_data_is_an_error() {
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let empty = TabularDataset::new();
+        assert!(matches!(
+            pipeline.fit_and_evaluate(MetaModel::GradientBoosting, &empty, &empty, 0),
+            Err(MetaSegError::NoLabeledData)
+        ));
+    }
+
+    #[test]
+    fn model_names() {
+        assert_eq!(MetaModel::GradientBoosting.name(), "gradient boosting");
+        assert_eq!(MetaModel::NeuralNetwork.name(), "neural network (L2)");
+    }
+}

@@ -1,0 +1,278 @@
+//! Connected-component labelling of equal-valued regions.
+//!
+//! The paper treats every connected component of a predicted class mask as a
+//! *segment* (an "instance" in the FP/FN sense). This module provides the
+//! labelling pass that turns a dense label map into such segments.
+
+use crate::grid::Grid;
+use serde::{Deserialize, Serialize};
+
+/// Pixel connectivity used when growing components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// 4-connectivity (edge-adjacent pixels).
+    Four,
+    /// 8-connectivity (edge- or corner-adjacent pixels).
+    Eight,
+}
+
+impl Default for Connectivity {
+    fn default() -> Self {
+        Connectivity::Eight
+    }
+}
+
+/// A single connected component (segment) extracted from a label map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Component id, dense in `0..component_count`.
+    pub id: usize,
+    /// The label value shared by all pixels of this component.
+    pub class_id: u16,
+    /// All member pixels as `(x, y)` coordinates.
+    pub pixels: Vec<(usize, usize)>,
+    /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)` (inclusive).
+    pub bbox: (usize, usize, usize, usize),
+}
+
+impl Region {
+    /// Number of pixels of the component (its "size" `S` in the paper).
+    pub fn area(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// Centroid of the component in pixel coordinates.
+    pub fn centroid(&self) -> (f64, f64) {
+        let n = self.pixels.len() as f64;
+        let (sx, sy) = self
+            .pixels
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x as f64, sy + y as f64));
+        (sx / n, sy / n)
+    }
+
+    /// Width and height of the bounding box.
+    pub fn bbox_size(&self) -> (usize, usize) {
+        let (x0, y0, x1, y1) = self.bbox;
+        (x1 - x0 + 1, y1 - y0 + 1)
+    }
+}
+
+/// Result of a connected-component labelling pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComponentLabels {
+    labels: Grid<usize>,
+    regions: Vec<Region>,
+}
+
+/// Sentinel stored in the label grid before a pixel is assigned.
+const UNASSIGNED: usize = usize::MAX;
+
+impl ComponentLabels {
+    /// Component id of pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the grid.
+    pub fn component_of(&self, x: usize, y: usize) -> usize {
+        *self.labels.get(x, y)
+    }
+
+    /// Number of connected components found.
+    pub fn component_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// All regions, ordered by component id.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region with the given component id, if it exists.
+    pub fn region(&self, id: usize) -> Option<&Region> {
+        self.regions.get(id)
+    }
+
+    /// The dense component-id grid.
+    pub fn labels(&self) -> &Grid<usize> {
+        &self.labels
+    }
+
+    /// Consumes the labelling and returns `(label grid, regions)`.
+    pub fn into_parts(self) -> (Grid<usize>, Vec<Region>) {
+        (self.labels, self.regions)
+    }
+}
+
+/// Labels the connected components of equal-valued regions of `map`.
+///
+/// Pixels carry a `u16` class label; two adjacent pixels belong to the same
+/// component iff their labels are equal. Component ids are dense and assigned
+/// in scan order of the first pixel encountered.
+///
+/// ```
+/// use metaseg_imgproc::{Grid, connected_components, Connectivity};
+///
+/// let map = Grid::from_rows(vec![
+///     vec![5u16, 5, 7],
+///     vec![7, 5, 7],
+/// ]).unwrap();
+/// let cc = connected_components(&map, Connectivity::Four);
+/// assert_eq!(cc.component_count(), 3);
+/// assert_eq!(cc.component_of(0, 0), cc.component_of(1, 1));
+/// assert_ne!(cc.component_of(0, 1), cc.component_of(2, 0));
+/// ```
+pub fn connected_components(map: &Grid<u16>, connectivity: Connectivity) -> ComponentLabels {
+    let (width, height) = map.shape();
+    let mut labels = Grid::filled(width, height, UNASSIGNED);
+    let mut regions: Vec<Region> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+
+    for y in 0..height {
+        for x in 0..width {
+            if *labels.get(x, y) != UNASSIGNED {
+                continue;
+            }
+            let class_id = *map.get(x, y);
+            let id = regions.len();
+            let mut pixels = Vec::new();
+            let (mut min_x, mut min_y, mut max_x, mut max_y) = (x, y, x, y);
+
+            stack.push((x, y));
+            labels.set(x, y, id);
+            while let Some((cx, cy)) = stack.pop() {
+                pixels.push((cx, cy));
+                min_x = min_x.min(cx);
+                min_y = min_y.min(cy);
+                max_x = max_x.max(cx);
+                max_y = max_y.max(cy);
+
+                let neighbors = match connectivity {
+                    Connectivity::Four => map.neighbors4(cx, cy),
+                    Connectivity::Eight => map.neighbors8(cx, cy),
+                };
+                for (nx, ny) in neighbors {
+                    if *labels.get(nx, ny) == UNASSIGNED && *map.get(nx, ny) == class_id {
+                        labels.set(nx, ny, id);
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+
+            regions.push(Region {
+                id,
+                class_id,
+                pixels,
+                bbox: (min_x, min_y, max_x, max_y),
+            });
+        }
+    }
+
+    ComponentLabels { labels, regions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid_3x3(values: [[u16; 3]; 3]) -> Grid<u16> {
+        Grid::from_rows(values.iter().map(|r| r.to_vec()).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_uniform_component() {
+        let g = Grid::filled(5, 4, 3u16);
+        let cc = connected_components(&g, Connectivity::Four);
+        assert_eq!(cc.component_count(), 1);
+        assert_eq!(cc.regions()[0].area(), 20);
+        assert_eq!(cc.regions()[0].class_id, 3);
+        assert_eq!(cc.regions()[0].bbox, (0, 0, 4, 3));
+    }
+
+    #[test]
+    fn diagonal_pixels_depend_on_connectivity() {
+        let g = grid_3x3([[1, 0, 0], [0, 1, 0], [0, 0, 1]]);
+        let cc4 = connected_components(&g, Connectivity::Four);
+        let cc8 = connected_components(&g, Connectivity::Eight);
+        // With 4-connectivity the three diagonal 1-pixels are separate.
+        let ones_4 = cc4.regions().iter().filter(|r| r.class_id == 1).count();
+        assert_eq!(ones_4, 3);
+        // With 8-connectivity they merge into one component.
+        let ones_8 = cc8.regions().iter().filter(|r| r.class_id == 1).count();
+        assert_eq!(ones_8, 1);
+    }
+
+    #[test]
+    fn component_ids_are_dense_scan_order() {
+        let g = grid_3x3([[1, 1, 2], [3, 1, 2], [3, 3, 3]]);
+        let cc = connected_components(&g, Connectivity::Four);
+        assert_eq!(cc.component_count(), 3);
+        assert_eq!(cc.component_of(0, 0), 0);
+        assert_eq!(cc.component_of(2, 0), 1);
+        assert_eq!(cc.component_of(0, 1), 2);
+    }
+
+    #[test]
+    fn region_lookup_and_centroid() {
+        let g = grid_3x3([[9, 9, 9], [0, 0, 0], [0, 0, 0]]);
+        let cc = connected_components(&g, Connectivity::Four);
+        let top = cc.region(cc.component_of(1, 0)).unwrap();
+        assert_eq!(top.area(), 3);
+        let (cx, cy) = top.centroid();
+        assert!((cx - 1.0).abs() < 1e-12);
+        assert!((cy - 0.0).abs() < 1e-12);
+        assert_eq!(top.bbox_size(), (3, 1));
+        assert!(cc.region(99).is_none());
+    }
+
+    proptest! {
+        /// Components partition the grid: every pixel belongs to exactly one
+        /// region, region pixels are disjoint, and they cover the grid.
+        #[test]
+        fn prop_components_partition_grid(
+            w in 1usize..12,
+            h in 1usize..12,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = Grid::from_fn(w, h, |_, _| rng.gen_range(0u16..3));
+            for connectivity in [Connectivity::Four, Connectivity::Eight] {
+                let cc = connected_components(&g, connectivity);
+                let total: usize = cc.regions().iter().map(Region::area).sum();
+                prop_assert_eq!(total, w * h);
+                // Every pixel's component id agrees with the region that lists it.
+                for region in cc.regions() {
+                    for &(x, y) in &region.pixels {
+                        prop_assert_eq!(cc.component_of(x, y), region.id);
+                        prop_assert_eq!(*g.get(x, y), region.class_id);
+                    }
+                }
+            }
+        }
+
+        /// Pixels of the same component are connected, pixels of adjacent
+        /// different classes are in different components.
+        #[test]
+        fn prop_adjacent_different_labels_are_split(
+            w in 2usize..10,
+            h in 2usize..10,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = Grid::from_fn(w, h, |_, _| rng.gen_range(0u16..4));
+            let cc = connected_components(&g, Connectivity::Four);
+            for y in 0..h {
+                for x in 0..w.saturating_sub(1) {
+                    if g.get(x, y) != g.get(x + 1, y) {
+                        prop_assert_ne!(cc.component_of(x, y), cc.component_of(x + 1, y));
+                    } else {
+                        prop_assert_eq!(cc.component_of(x, y), cc.component_of(x + 1, y));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # metaseg-imgproc
+//!
+//! Two-dimensional grid processing substrate for the MetaSeg reproduction.
+//!
+//! Semantic segmentation operates on dense per-pixel maps; every higher layer
+//! of the reproduction (the scene simulator, the segment metric construction,
+//! the tracking algorithm and the decision rules) needs the same small set of
+//! raster primitives:
+//!
+//! * [`Grid`] — a rectangular, row-major container of arbitrary values,
+//! * [`connected_components`] — 4-/8-connected labelling of equal-valued
+//!   regions (the paper's notion of a *segment* is a connected component of a
+//!   predicted class mask),
+//! * [`boundary`] — inner-boundary extraction and boundary length,
+//! * [`iou`] — intersection-over-union between pixel sets and masks,
+//! * [`resize`] — nearest-neighbour and bilinear resampling (used by the
+//!   nested multi-resolution variant of MetaSeg),
+//! * [`render`] — tiny PPM/PGM writers and colour maps so that the figure
+//!   regeneration binaries can emit actual images without an image crate.
+//!
+//! ```
+//! use metaseg_imgproc::{Grid, connected_components, Connectivity};
+//!
+//! let labels = Grid::from_rows(vec![
+//!     vec![1, 1, 0],
+//!     vec![0, 1, 0],
+//!     vec![2, 2, 2],
+//! ]).unwrap();
+//! let cc = connected_components(&labels, Connectivity::Four);
+//! assert_eq!(cc.component_count(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boundary;
+mod components;
+mod error;
+mod grid;
+mod iou;
+mod morphology;
+mod render;
+mod resize;
+
+pub use boundary::{boundary_length, boundary_mask, inner_boundary, interior_mask};
+pub use components::{connected_components, ComponentLabels, Connectivity, Region};
+pub use error::GridError;
+pub use grid::Grid;
+pub use iou::{iou, iou_adjusted, mask_intersection, mask_union, PixelSet};
+pub use morphology::{dilate, distance_to_boundary, erode};
+pub use render::{Color, ColorMap, Ppm};
+pub use resize::{resize_bilinear, resize_nearest, CropWindow};

@@ -1,0 +1,187 @@
+//! Simple binary morphology and a distance-to-boundary transform.
+//!
+//! The scene simulator uses dilation/erosion to roughen object outlines, and
+//! the metric construction uses the distance-to-boundary transform to weight
+//! interior pixels.
+
+use crate::grid::Grid;
+
+/// Dilates a boolean mask by one pixel (4-connectivity), `iterations` times.
+pub fn dilate(mask: &Grid<bool>, iterations: usize) -> Grid<bool> {
+    let mut current = mask.clone();
+    for _ in 0..iterations {
+        let mut next = current.clone();
+        for y in 0..current.height() {
+            for x in 0..current.width() {
+                if *current.get(x, y) {
+                    continue;
+                }
+                if current.neighbors4(x, y).iter().any(|&(nx, ny)| *current.get(nx, ny)) {
+                    next.set(x, y, true);
+                }
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// Erodes a boolean mask by one pixel (4-connectivity), `iterations` times.
+///
+/// Pixels on the image border are eroded as if the outside were `false`.
+pub fn erode(mask: &Grid<bool>, iterations: usize) -> Grid<bool> {
+    let mut current = mask.clone();
+    for _ in 0..iterations {
+        let mut next = current.clone();
+        for y in 0..current.height() {
+            for x in 0..current.width() {
+                if !*current.get(x, y) {
+                    continue;
+                }
+                let neighbors = current.neighbors4(x, y);
+                let on_border = neighbors.len() < 4;
+                if on_border || neighbors.iter().any(|&(nx, ny)| !*current.get(nx, ny)) {
+                    next.set(x, y, false);
+                }
+            }
+        }
+        current = next;
+    }
+    current
+}
+
+/// Chebyshev-style distance of every `true` pixel to the nearest `false`
+/// pixel (or image border), computed with a two-pass chamfer sweep using
+/// 4-connectivity (so it is the L1 / city-block distance). `false` pixels get
+/// distance `0`.
+pub fn distance_to_boundary(mask: &Grid<bool>) -> Grid<u32> {
+    let (width, height) = mask.shape();
+    let inf = (width + height) as u32 + 1;
+    let mut dist = mask.map(|&inside| if inside { inf } else { 0u32 });
+
+    // Treat the outside of the image as background: border true-pixels are 1.
+    // Forward pass.
+    for y in 0..height {
+        for x in 0..width {
+            if !*mask.get(x, y) {
+                continue;
+            }
+            let mut best = *dist.get(x, y);
+            let left = if x > 0 { *dist.get(x - 1, y) } else { 0 };
+            let up = if y > 0 { *dist.get(x, y - 1) } else { 0 };
+            best = best.min(left.saturating_add(1)).min(up.saturating_add(1));
+            dist.set(x, y, best);
+        }
+    }
+    // Backward pass.
+    for y in (0..height).rev() {
+        for x in (0..width).rev() {
+            if !*mask.get(x, y) {
+                continue;
+            }
+            let mut best = *dist.get(x, y);
+            let right = if x + 1 < width { *dist.get(x + 1, y) } else { 0 };
+            let down = if y + 1 < height { *dist.get(x, y + 1) } else { 0 };
+            best = best.min(right.saturating_add(1)).min(down.saturating_add(1));
+            dist.set(x, y, best);
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dilate_grows_single_pixel() {
+        let mut mask = Grid::filled(5, 5, false);
+        mask.set(2, 2, true);
+        let d = dilate(&mask, 1);
+        assert_eq!(d.count_equal(&true), 5);
+        let d2 = dilate(&mask, 2);
+        assert_eq!(d2.count_equal(&true), 13);
+    }
+
+    #[test]
+    fn erode_shrinks_block() {
+        let mut mask = Grid::filled(5, 5, false);
+        for y in 1..4 {
+            for x in 1..4 {
+                mask.set(x, y, true);
+            }
+        }
+        let e = erode(&mask, 1);
+        assert_eq!(e.count_equal(&true), 1);
+        assert!(*e.get(2, 2));
+    }
+
+    #[test]
+    fn erode_respects_image_border() {
+        let mask = Grid::filled(3, 3, true);
+        let e = erode(&mask, 1);
+        // Everything touches the border except the center.
+        assert_eq!(e.count_equal(&true), 1);
+    }
+
+    #[test]
+    fn distance_transform_center_of_full_mask() {
+        let mask = Grid::filled(5, 5, true);
+        let d = distance_to_boundary(&mask);
+        assert_eq!(*d.get(0, 0), 1);
+        assert_eq!(*d.get(2, 2), 3);
+        assert_eq!(*d.get(4, 4), 1);
+    }
+
+    #[test]
+    fn distance_transform_background_is_zero() {
+        let mut mask = Grid::filled(4, 4, false);
+        mask.set(1, 1, true);
+        let d = distance_to_boundary(&mask);
+        assert_eq!(*d.get(0, 0), 0);
+        assert_eq!(*d.get(1, 1), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dilate_is_monotone(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = Grid::from_fn(8, 8, |_, _| rng.gen_bool(0.3));
+            let d = dilate(&mask, 1);
+            // Dilation only adds pixels.
+            for ((x, y), &v) in mask.iter_pixels() {
+                if v {
+                    prop_assert!(*d.get(x, y));
+                }
+            }
+            prop_assert!(d.count_equal(&true) >= mask.count_equal(&true));
+        }
+
+        #[test]
+        fn prop_erode_dilate_bounds(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = Grid::from_fn(8, 8, |_, _| rng.gen_bool(0.5));
+            let e = erode(&mask, 1);
+            // Erosion only removes pixels.
+            for ((x, y), &v) in e.iter_pixels() {
+                if v {
+                    prop_assert!(*mask.get(x, y));
+                }
+            }
+        }
+
+        #[test]
+        fn prop_distance_positive_iff_inside(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mask = Grid::from_fn(10, 6, |_, _| rng.gen_bool(0.5));
+            let d = distance_to_boundary(&mask);
+            for ((x, y), &inside) in mask.iter_pixels() {
+                prop_assert_eq!(*d.get(x, y) > 0, inside);
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Error type for model fitting.
+
+use std::fmt;
+
+/// Errors produced when fitting or applying a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LearnError {
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// Features and targets have different lengths.
+    LengthMismatch {
+        /// Number of feature rows.
+        features: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// Feature rows have inconsistent dimensionality.
+    InconsistentFeatureDim {
+        /// Dimensionality of the first row.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        found: usize,
+        /// Index of the offending row.
+        row: usize,
+    },
+    /// The normal-equation system is singular and cannot be solved.
+    SingularSystem,
+    /// A hyper-parameter has an invalid value.
+    InvalidHyperParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human readable description of the violation.
+        reason: String,
+    },
+    /// Binary classification training requires both classes to be present.
+    SingleClassTraining,
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::EmptyTrainingSet => write!(f, "training set must not be empty"),
+            LearnError::LengthMismatch { features, targets } => write!(
+                f,
+                "feature rows ({features}) and targets ({targets}) have different lengths"
+            ),
+            LearnError::InconsistentFeatureDim {
+                expected,
+                found,
+                row,
+            } => write!(
+                f,
+                "feature row {row} has dimension {found}, expected {expected}"
+            ),
+            LearnError::SingularSystem => {
+                write!(f, "normal equations are singular; try adding regularisation")
+            }
+            LearnError::InvalidHyperParameter { name, reason } => {
+                write!(f, "invalid hyper-parameter `{name}`: {reason}")
+            }
+            LearnError::SingleClassTraining => {
+                write!(f, "binary classifier training requires both classes present")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// Validates a feature matrix / target pairing shared by all `fit` functions.
+pub(crate) fn validate_xy(features: &[Vec<f64>], targets: &[f64]) -> Result<usize, LearnError> {
+    if features.is_empty() || targets.is_empty() {
+        return Err(LearnError::EmptyTrainingSet);
+    }
+    if features.len() != targets.len() {
+        return Err(LearnError::LengthMismatch {
+            features: features.len(),
+            targets: targets.len(),
+        });
+    }
+    let dim = features[0].len();
+    if dim == 0 {
+        return Err(LearnError::InvalidHyperParameter {
+            name: "features",
+            reason: "feature rows must have at least one column".to_string(),
+        });
+    }
+    for (row, feature_row) in features.iter().enumerate() {
+        if feature_row.len() != dim {
+            return Err(LearnError::InconsistentFeatureDim {
+                expected: dim,
+                found: feature_row.len(),
+                row,
+            });
+        }
+    }
+    Ok(dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_problems() {
+        assert_eq!(validate_xy(&[], &[]), Err(LearnError::EmptyTrainingSet));
+        assert_eq!(
+            validate_xy(&[vec![1.0]], &[1.0, 2.0]),
+            Err(LearnError::LengthMismatch {
+                features: 1,
+                targets: 2
+            })
+        );
+        assert_eq!(
+            validate_xy(&[vec![1.0, 2.0], vec![1.0]], &[1.0, 2.0]),
+            Err(LearnError::InconsistentFeatureDim {
+                expected: 2,
+                found: 1,
+                row: 1
+            })
+        );
+        assert_eq!(validate_xy(&[vec![1.0, 2.0]], &[1.0]), Ok(2));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let err = LearnError::InvalidHyperParameter {
+            name: "learning_rate",
+            reason: "must be positive".to_string(),
+        };
+        assert!(err.to_string().contains("learning_rate"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LearnError>();
+    }
+}

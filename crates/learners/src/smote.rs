@@ -1,0 +1,218 @@
+//! SMOTE for regression (SmoteR) data augmentation.
+//!
+//! Section III of the paper augments the sparse KITTI-style meta-training set
+//! with "a variant of SMOTE for continuous target variables" (Torgo et al.).
+//! This module implements that variant: rare samples (targets far from the
+//! target median) are oversampled by interpolating between a seed sample and
+//! one of its k nearest neighbours in feature space, with the target
+//! interpolated by the same mixing weight.
+
+use crate::dataset::TabularDataset;
+use crate::error::LearnError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of [`smote_regression`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SmoteConfig {
+    /// Number of nearest neighbours considered for interpolation.
+    pub k_neighbors: usize,
+    /// Fraction of synthetic samples to generate, relative to the number of
+    /// rare seed samples (`1.0` doubles the rare region).
+    pub oversample_ratio: f64,
+    /// Fraction of the sample (by distance of the target from the median)
+    /// treated as "rare" and used as interpolation seeds.
+    pub rare_fraction: f64,
+}
+
+impl Default for SmoteConfig {
+    fn default() -> Self {
+        Self {
+            k_neighbors: 5,
+            oversample_ratio: 1.0,
+            rare_fraction: 0.3,
+        }
+    }
+}
+
+impl SmoteConfig {
+    fn validate(&self) -> Result<(), LearnError> {
+        if self.k_neighbors == 0 {
+            return Err(LearnError::InvalidHyperParameter {
+                name: "k_neighbors",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        if self.oversample_ratio < 0.0 {
+            return Err(LearnError::InvalidHyperParameter {
+                name: "oversample_ratio",
+                reason: "must be non-negative".to_string(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.rare_fraction) {
+            return Err(LearnError::InvalidHyperParameter {
+                name: "rare_fraction",
+                reason: "must be in [0, 1]".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Generates synthetic samples with the SmoteR scheme and returns them as a
+/// new dataset (the caller decides whether to merge them with the original).
+///
+/// Rare samples are those whose target is farthest from the median target;
+/// each synthetic sample interpolates a rare seed with one of its k nearest
+/// neighbours (among the rare samples) at a uniformly random mixing weight.
+///
+/// # Errors
+///
+/// Returns a [`LearnError`] if the configuration is invalid or the dataset
+/// has fewer than two samples.
+pub fn smote_regression<R: Rng>(
+    dataset: &TabularDataset,
+    config: SmoteConfig,
+    rng: &mut R,
+) -> Result<TabularDataset, LearnError> {
+    config.validate()?;
+    if dataset.len() < 2 {
+        return Err(LearnError::EmptyTrainingSet);
+    }
+
+    // Rank samples by |target - median|; the top `rare_fraction` are seeds.
+    let mut sorted_targets: Vec<f64> = dataset.targets.clone();
+    sorted_targets.sort_by(|a, b| a.partial_cmp(b).expect("finite targets"));
+    let median = sorted_targets[sorted_targets.len() / 2];
+
+    let mut by_rarity: Vec<usize> = (0..dataset.len()).collect();
+    by_rarity.sort_by(|&a, &b| {
+        let da = (dataset.targets[a] - median).abs();
+        let db = (dataset.targets[b] - median).abs();
+        db.partial_cmp(&da).expect("finite targets")
+    });
+    let rare_count = ((dataset.len() as f64 * config.rare_fraction).round() as usize)
+        .clamp(2, dataset.len());
+    let rare: Vec<usize> = by_rarity[..rare_count].to_vec();
+
+    let synthetic_count = (rare.len() as f64 * config.oversample_ratio).round() as usize;
+    let mut synthetic = TabularDataset::new();
+
+    for _ in 0..synthetic_count {
+        let seed_idx = rare[rng.gen_range(0..rare.len())];
+        let seed_features = &dataset.features[seed_idx];
+
+        // k nearest rare neighbours of the seed (excluding the seed itself).
+        let mut neighbors: Vec<(usize, f64)> = rare
+            .iter()
+            .filter(|&&i| i != seed_idx)
+            .map(|&i| (i, squared_distance(seed_features, &dataset.features[i])))
+            .collect();
+        neighbors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        neighbors.truncate(config.k_neighbors.max(1));
+        if neighbors.is_empty() {
+            continue;
+        }
+        let (neighbor_idx, _) = neighbors[rng.gen_range(0..neighbors.len())];
+        let neighbor_features = &dataset.features[neighbor_idx];
+
+        let mix: f64 = rng.gen_range(0.0..1.0);
+        let new_features: Vec<f64> = seed_features
+            .iter()
+            .zip(neighbor_features)
+            .map(|(a, b)| a + mix * (b - a))
+            .collect();
+        let new_target =
+            dataset.targets[seed_idx] + mix * (dataset.targets[neighbor_idx] - dataset.targets[seed_idx]);
+        synthetic.push(new_features, new_target);
+    }
+
+    Ok(synthetic)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy_dataset() -> TabularDataset {
+        let features: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 / 30.0, (i as f64 * 0.4).sin()])
+            .collect();
+        let targets: Vec<f64> = (0..30).map(|i| (i % 10) as f64 / 10.0).collect();
+        TabularDataset::from_parts(features, targets).unwrap()
+    }
+
+    #[test]
+    fn generates_requested_number_of_samples() {
+        let ds = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = SmoteConfig {
+            oversample_ratio: 2.0,
+            ..SmoteConfig::default()
+        };
+        let synthetic = smote_regression(&ds, config, &mut rng).unwrap();
+        let rare_count = (30.0 * config.rare_fraction).round() as usize;
+        assert_eq!(synthetic.len(), rare_count * 2);
+        assert_eq!(synthetic.feature_dim(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(0);
+        let bad_k = SmoteConfig {
+            k_neighbors: 0,
+            ..SmoteConfig::default()
+        };
+        assert!(smote_regression(&ds, bad_k, &mut rng).is_err());
+        let bad_frac = SmoteConfig {
+            rare_fraction: 1.5,
+            ..SmoteConfig::default()
+        };
+        assert!(smote_regression(&ds, bad_frac, &mut rng).is_err());
+        let tiny = TabularDataset::from_parts(vec![vec![0.0]], vec![0.0]).unwrap();
+        assert!(smote_regression(&tiny, SmoteConfig::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn zero_ratio_generates_nothing() {
+        let ds = toy_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SmoteConfig {
+            oversample_ratio: 0.0,
+            ..SmoteConfig::default()
+        };
+        let synthetic = smote_regression(&ds, config, &mut rng).unwrap();
+        assert!(synthetic.is_empty());
+    }
+
+    proptest! {
+        /// Every synthetic sample lies inside the bounding box of the original
+        /// features and targets (convex combinations cannot escape it).
+        #[test]
+        fn prop_synthetic_samples_in_convex_bounds(seed in 0u64..200) {
+            let ds = toy_dataset();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let synthetic = smote_regression(&ds, SmoteConfig::default(), &mut rng).unwrap();
+            let dim = ds.feature_dim();
+            for d in 0..dim {
+                let lo = ds.features.iter().map(|r| r[d]).fold(f64::INFINITY, f64::min);
+                let hi = ds.features.iter().map(|r| r[d]).fold(f64::NEG_INFINITY, f64::max);
+                for row in &synthetic.features {
+                    prop_assert!(row[d] >= lo - 1e-9 && row[d] <= hi + 1e-9);
+                }
+            }
+            let t_lo = ds.targets.iter().cloned().fold(f64::INFINITY, f64::min);
+            let t_hi = ds.targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for t in &synthetic.targets {
+                prop_assert!(*t >= t_lo - 1e-9 && *t <= t_hi + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! CART-style regression trees (the weak learner of gradient boosting).
+
+use crate::error::{validate_xy, LearnError};
+use crate::traits::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a [`RegressionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum depth of the tree (a depth of 0 is a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of samples required in each child after a split.
+    pub min_samples_leaf: usize,
+    /// Minimum decrease of the summed squared error required to accept a split.
+    pub min_impurity_decrease: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 3,
+            min_samples_leaf: 2,
+            min_impurity_decrease: 1e-9,
+        }
+    }
+}
+
+/// A node of the regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A binary regression tree grown by recursive variance-reduction splitting.
+///
+/// ```
+/// use metaseg_learners::{RegressionTree, Regressor, TreeConfig};
+///
+/// let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+/// let y = vec![0.0, 0.0, 1.0, 1.0];
+/// let tree = RegressionTree::fit(&x, &y, TreeConfig::default()).unwrap();
+/// assert!(tree.predict_one(&[0.5]) < 0.5);
+/// assert!(tree.predict_one(&[10.5]) > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    root: Node,
+    config: TreeConfig,
+    feature_dim: usize,
+}
+
+impl RegressionTree {
+    /// Grows a tree on the given data.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LearnError`] for inconsistent data shapes or a zero
+    /// `min_samples_leaf`.
+    pub fn fit(
+        features: &[Vec<f64>],
+        targets: &[f64],
+        config: TreeConfig,
+    ) -> Result<Self, LearnError> {
+        let dim = validate_xy(features, targets)?;
+        if config.min_samples_leaf == 0 {
+            return Err(LearnError::InvalidHyperParameter {
+                name: "min_samples_leaf",
+                reason: "must be at least 1".to_string(),
+            });
+        }
+        let indices: Vec<usize> = (0..targets.len()).collect();
+        let root = grow(features, targets, &indices, &config, 0);
+        Ok(Self {
+            root,
+            config,
+            feature_dim: dim,
+        })
+    }
+
+    /// The configuration the tree was grown with.
+    pub fn config(&self) -> &TreeConfig {
+        &self.config
+    }
+
+    /// Number of leaves of the tree.
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn predict_one(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.feature_dim,
+            "feature dimension mismatch"
+        );
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+fn mean_of(targets: &[f64], indices: &[usize]) -> f64 {
+    indices.iter().map(|&i| targets[i]).sum::<f64>() / indices.len() as f64
+}
+
+fn sse_of(targets: &[f64], indices: &[usize]) -> f64 {
+    let mean = mean_of(targets, indices);
+    indices.iter().map(|&i| (targets[i] - mean).powi(2)).sum()
+}
+
+fn grow(
+    features: &[Vec<f64>],
+    targets: &[f64],
+    indices: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+) -> Node {
+    let leaf = Node::Leaf {
+        value: mean_of(targets, indices),
+    };
+    if depth >= config.max_depth || indices.len() < 2 * config.min_samples_leaf {
+        return leaf;
+    }
+    let parent_sse = sse_of(targets, indices);
+    if parent_sse <= config.min_impurity_decrease {
+        return leaf;
+    }
+
+    let dim = features[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, child sse sum)
+
+    for feature in 0..dim {
+        // Sort indices by this feature and scan all split positions.
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            features[a][feature]
+                .partial_cmp(&features[b][feature])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        // Prefix sums for O(n) SSE evaluation at every split point.
+        let values: Vec<f64> = order.iter().map(|&i| targets[i]).collect();
+        let mut prefix_sum = vec![0.0; values.len() + 1];
+        let mut prefix_sq = vec![0.0; values.len() + 1];
+        for (i, v) in values.iter().enumerate() {
+            prefix_sum[i + 1] = prefix_sum[i] + v;
+            prefix_sq[i + 1] = prefix_sq[i] + v * v;
+        }
+        let total = values.len();
+
+        for split in config.min_samples_leaf..=(total - config.min_samples_leaf) {
+            // Don't split between equal feature values.
+            let left_value = features[order[split - 1]][feature];
+            let right_value = features[order[split]][feature];
+            if (right_value - left_value).abs() < 1e-15 {
+                continue;
+            }
+            let left_n = split as f64;
+            let right_n = (total - split) as f64;
+            let left_sum = prefix_sum[split];
+            let right_sum = prefix_sum[total] - left_sum;
+            let left_sq = prefix_sq[split];
+            let right_sq = prefix_sq[total] - left_sq;
+            let left_sse = left_sq - left_sum * left_sum / left_n;
+            let right_sse = right_sq - right_sum * right_sum / right_n;
+            let child_sse = left_sse + right_sse;
+            if best.map_or(true, |(_, _, b)| child_sse < b) {
+                let threshold = (left_value + right_value) / 2.0;
+                best = Some((feature, threshold, child_sse));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, child_sse))
+            if parent_sse - child_sse >= config.min_impurity_decrease =>
+        {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| features[i][feature] <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                return leaf;
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(features, targets, &left_idx, config, depth + 1)),
+                right: Box::new(grow(features, targets, &right_idx, config, depth + 1)),
+            }
+        }
+        _ => leaf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_leaf_predicts_mean() {
+        let config = TreeConfig {
+            max_depth: 0,
+            ..TreeConfig::default()
+        };
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        let tree = RegressionTree::fit(&x, &y, config).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert!((tree.predict_one(&[5.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let tree = RegressionTree::fit(&x, &y, TreeConfig::default()).unwrap();
+        for (row, target) in x.iter().zip(&y) {
+            assert!((tree.predict_one(row) - target).abs() < 1e-9);
+        }
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+        for depth in 1..5 {
+            let config = TreeConfig {
+                max_depth: depth,
+                ..TreeConfig::default()
+            };
+            let tree = RegressionTree::fit(&x, &y, config).unwrap();
+            assert!(tree.depth() <= depth);
+            assert!(tree.leaf_count() <= 1 << depth);
+        }
+    }
+
+    #[test]
+    fn constant_targets_yield_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![4.2; 10];
+        let tree = RegressionTree::fit(&x, &y, TreeConfig::default()).unwrap();
+        assert_eq!(tree.leaf_count(), 1);
+        assert!((tree.predict_one(&[3.0]) - 4.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let config = TreeConfig {
+            min_samples_leaf: 0,
+            ..TreeConfig::default()
+        };
+        assert!(RegressionTree::fit(&x, &y, config).is_err());
+    }
+
+    proptest! {
+        /// Tree predictions always lie within the range of the training targets.
+        #[test]
+        fn prop_predictions_within_target_range(seed in 0u64..200) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x: Vec<Vec<f64>> = (0..40)
+                .map(|_| vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)])
+                .collect();
+            let y: Vec<f64> = x.iter().map(|r| r[0].sin() + rng.gen_range(-0.2..0.2)).collect();
+            let tree = RegressionTree::fit(&x, &y, TreeConfig { max_depth: 4, ..TreeConfig::default() }).unwrap();
+            let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for _ in 0..20 {
+                let probe = vec![rng.gen_range(-6.0..6.0), rng.gen_range(-6.0..6.0)];
+                let p = tree.predict_one(&probe);
+                prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+            }
+        }
+
+        /// Deeper trees never have a larger training error than depth-0 trees.
+        #[test]
+        fn prop_deeper_trees_fit_no_worse(seed in 0u64..100) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
+            let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 + rng.gen_range(-0.1..0.1)).collect();
+            let sse = |depth: usize| {
+                let config = TreeConfig { max_depth: depth, ..TreeConfig::default() };
+                let tree = RegressionTree::fit(&x, &y, config).unwrap();
+                x.iter().zip(&y).map(|(r, t)| (tree.predict_one(r) - t).powi(2)).sum::<f64>()
+            };
+            prop_assert!(sse(3) <= sse(0) + 1e-9);
+        }
+    }
+}

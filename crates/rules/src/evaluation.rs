@@ -1,0 +1,220 @@
+//! Segment-wise precision and recall under a decision rule.
+//!
+//! Fig. 5 of the paper compares the Bayes and ML decision rules via the
+//! empirical distributions of segment-wise precision (computed per predicted
+//! segment) and recall (computed per ground-truth segment) of a class of
+//! interest (`person`). This module computes those per-segment scores.
+
+use metaseg_data::{LabelMap, SemanticClass};
+use metaseg_imgproc::Connectivity;
+use serde::{Deserialize, Serialize};
+
+/// Per-segment precision and recall values of one class.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SegmentScores {
+    /// One precision value per *predicted* segment of the class: the fraction
+    /// of the predicted segment's pixels that carry the class in the ground
+    /// truth.
+    pub precision: Vec<f64>,
+    /// One recall value per *ground-truth* segment of the class: the fraction
+    /// of the ground-truth segment's pixels that the prediction labels with
+    /// the class.
+    pub recall: Vec<f64>,
+}
+
+impl SegmentScores {
+    /// Number of ground-truth segments that were completely missed
+    /// (recall exactly zero) — the paper's non-detected segment count
+    /// `F^r(0)`.
+    pub fn missed_segments(&self) -> usize {
+        self.recall.iter().filter(|r| **r == 0.0).count()
+    }
+
+    /// Number of predicted segments that are pure false positives
+    /// (precision exactly zero).
+    pub fn false_positive_segments(&self) -> usize {
+        self.precision.iter().filter(|p| **p == 0.0).count()
+    }
+
+    /// Merges the scores of another frame into this collection.
+    pub fn merge(&mut self, other: &SegmentScores) {
+        self.precision.extend_from_slice(&other.precision);
+        self.recall.extend_from_slice(&other.recall);
+    }
+}
+
+/// Computes segment-wise precision and recall of `class` for one frame.
+///
+/// Void pixels in the ground truth are excluded from both statistics: a
+/// predicted segment lying entirely in a void region contributes no precision
+/// entry (there is nothing to compare against), matching the paper's
+/// exclusion of unlabelled regions.
+///
+/// # Panics
+///
+/// Panics if the two maps have different shapes.
+pub fn segment_precision_recall(
+    prediction: &LabelMap,
+    ground_truth: &LabelMap,
+    class: SemanticClass,
+) -> SegmentScores {
+    assert_eq!(
+        prediction.shape(),
+        ground_truth.shape(),
+        "prediction and ground truth must share one shape"
+    );
+    let mut scores = SegmentScores::default();
+
+    // Precision per predicted segment of the class.
+    let predicted_components = prediction.segments(Connectivity::Eight);
+    for region in predicted_components.regions() {
+        if region.class_id != class.id() {
+            continue;
+        }
+        let mut valid = 0usize;
+        let mut correct = 0usize;
+        for &(x, y) in &region.pixels {
+            let gt = ground_truth.class_at(x, y);
+            if gt == SemanticClass::Void {
+                continue;
+            }
+            valid += 1;
+            if gt == class {
+                correct += 1;
+            }
+        }
+        if valid > 0 {
+            scores.precision.push(correct as f64 / valid as f64);
+        }
+    }
+
+    // Recall per ground-truth segment of the class.
+    let gt_components = ground_truth.segments(Connectivity::Eight);
+    for region in gt_components.regions() {
+        if region.class_id != class.id() {
+            continue;
+        }
+        let covered = region
+            .pixels
+            .iter()
+            .filter(|&&(x, y)| prediction.class_at(x, y) == class)
+            .count();
+        scores.recall.push(covered as f64 / region.area() as f64);
+    }
+
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn map_with_human_block(x0: usize, x1: usize) -> LabelMap {
+        LabelMap::from_fn(12, 6, |x, y| {
+            if y >= 2 && y < 5 && x >= x0 && x < x1 {
+                SemanticClass::Human
+            } else {
+                SemanticClass::Road
+            }
+        })
+    }
+
+    #[test]
+    fn perfect_prediction_has_unit_scores() {
+        let gt = map_with_human_block(3, 7);
+        let scores = segment_precision_recall(&gt, &gt, SemanticClass::Human);
+        assert_eq!(scores.precision, vec![1.0]);
+        assert_eq!(scores.recall, vec![1.0]);
+        assert_eq!(scores.missed_segments(), 0);
+        assert_eq!(scores.false_positive_segments(), 0);
+    }
+
+    #[test]
+    fn missed_segment_gives_zero_recall() {
+        let gt = map_with_human_block(3, 7);
+        let prediction = LabelMap::filled(12, 6, SemanticClass::Road);
+        let scores = segment_precision_recall(&prediction, &gt, SemanticClass::Human);
+        assert!(scores.precision.is_empty());
+        assert_eq!(scores.recall, vec![0.0]);
+        assert_eq!(scores.missed_segments(), 1);
+    }
+
+    #[test]
+    fn hallucinated_segment_gives_zero_precision() {
+        let gt = LabelMap::filled(12, 6, SemanticClass::Road);
+        let prediction = map_with_human_block(3, 7);
+        let scores = segment_precision_recall(&prediction, &gt, SemanticClass::Human);
+        assert_eq!(scores.precision, vec![0.0]);
+        assert!(scores.recall.is_empty());
+        assert_eq!(scores.false_positive_segments(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_scores_are_fractional() {
+        let gt = map_with_human_block(3, 7); // columns 3..7
+        let prediction = map_with_human_block(5, 9); // columns 5..9
+        let scores = segment_precision_recall(&prediction, &gt, SemanticClass::Human);
+        // Overlap columns 5..7 of 4 predicted columns -> precision 0.5.
+        assert_eq!(scores.precision.len(), 1);
+        assert!((scores.precision[0] - 0.5).abs() < 1e-12);
+        // Of the 4 ground-truth columns, 2 are covered -> recall 0.5.
+        assert_eq!(scores.recall.len(), 1);
+        assert!((scores.recall[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn void_ground_truth_is_excluded() {
+        let gt = LabelMap::from_fn(8, 4, |x, _| {
+            if x < 4 {
+                SemanticClass::Void
+            } else {
+                SemanticClass::Road
+            }
+        });
+        // Predicted human entirely inside the void region: no precision entry.
+        let prediction = LabelMap::from_fn(8, 4, |x, y| {
+            if x < 3 && y < 2 {
+                SemanticClass::Human
+            } else {
+                SemanticClass::Road
+            }
+        });
+        let scores = segment_precision_recall(&prediction, &gt, SemanticClass::Human);
+        assert!(scores.precision.is_empty());
+        assert!(scores.recall.is_empty());
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = SegmentScores {
+            precision: vec![1.0],
+            recall: vec![0.5],
+        };
+        let b = SegmentScores {
+            precision: vec![0.0, 0.25],
+            recall: vec![],
+        };
+        a.merge(&b);
+        assert_eq!(a.precision.len(), 3);
+        assert_eq!(a.recall.len(), 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// All scores are in [0, 1] and counts are consistent with the maps.
+        #[test]
+        fn prop_scores_bounded(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let classes = [SemanticClass::Road, SemanticClass::Human, SemanticClass::Car];
+            let gt = LabelMap::from_fn(10, 8, |_, _| classes[rng.gen_range(0..3)]);
+            let prediction = LabelMap::from_fn(10, 8, |_, _| classes[rng.gen_range(0..3)]);
+            let scores = segment_precision_recall(&prediction, &gt, SemanticClass::Human);
+            prop_assert!(scores.precision.iter().all(|p| (0.0..=1.0).contains(p)));
+            prop_assert!(scores.recall.iter().all(|r| (0.0..=1.0).contains(r)));
+            prop_assert!(scores.missed_segments() <= scores.recall.len());
+            prop_assert!(scores.false_positive_segments() <= scores.precision.len());
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Frames: one image worth of ground truth and prediction.
+
+use crate::error::DataError;
+use crate::labelmap::LabelMap;
+use crate::probmap::ProbMap;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a frame inside a dataset or sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameId {
+    /// Index of the sequence the frame belongs to (0 for single-image datasets).
+    pub sequence: usize,
+    /// Index of the frame within its sequence.
+    pub index: usize,
+}
+
+impl FrameId {
+    /// Creates a frame id.
+    pub const fn new(sequence: usize, index: usize) -> Self {
+        Self { sequence, index }
+    }
+}
+
+impl std::fmt::Display for FrameId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "seq{:03}/frame{:05}", self.sequence, self.index)
+    }
+}
+
+/// One image worth of data: the predicted softmax field plus, when the frame
+/// is labelled, the ground-truth class map.
+///
+/// The ground truth is optional because the KITTI-style video experiments of
+/// the paper only have sparse labels; unlabelled frames still carry
+/// predictions that can be tracked and used as pseudo ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Identifier within its dataset/sequence.
+    pub id: FrameId,
+    /// Ground-truth label map, if the frame is annotated.
+    pub ground_truth: Option<LabelMap>,
+    /// The segmentation network's softmax output for this frame.
+    pub prediction: ProbMap,
+}
+
+impl Frame {
+    /// Creates a labelled frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::FrameShapeMismatch`] if ground truth and
+    /// prediction shapes differ.
+    pub fn labeled(id: FrameId, ground_truth: LabelMap, prediction: ProbMap) -> Result<Self, DataError> {
+        if ground_truth.shape() != prediction.shape() {
+            return Err(DataError::FrameShapeMismatch {
+                ground_truth: ground_truth.shape(),
+                prediction: prediction.shape(),
+            });
+        }
+        Ok(Self {
+            id,
+            ground_truth: Some(ground_truth),
+            prediction,
+        })
+    }
+
+    /// Creates an unlabelled frame (prediction only).
+    pub fn unlabeled(id: FrameId, prediction: ProbMap) -> Self {
+        Self {
+            id,
+            ground_truth: None,
+            prediction,
+        }
+    }
+
+    /// Whether the frame carries ground truth.
+    pub fn is_labeled(&self) -> bool {
+        self.ground_truth.is_some()
+    }
+
+    /// Shape of the frame as `(width, height)`.
+    pub fn shape(&self) -> (usize, usize) {
+        self.prediction.shape()
+    }
+
+    /// The Bayes/MAP predicted label map of this frame.
+    pub fn predicted_labels(&self) -> LabelMap {
+        self.prediction.argmax_map()
+    }
+
+    /// Replaces the ground truth by a pseudo label map (e.g. the prediction
+    /// of a stronger reference network), keeping the original prediction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::FrameShapeMismatch`] if the shapes differ.
+    pub fn with_pseudo_ground_truth(mut self, pseudo: LabelMap) -> Result<Self, DataError> {
+        if pseudo.shape() != self.prediction.shape() {
+            return Err(DataError::FrameShapeMismatch {
+                ground_truth: pseudo.shape(),
+                prediction: self.prediction.shape(),
+            });
+        }
+        self.ground_truth = Some(pseudo);
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SemanticClass;
+
+    fn small_prediction() -> ProbMap {
+        ProbMap::uniform(4, 3, 19)
+    }
+
+    #[test]
+    fn labeled_frame_requires_matching_shapes() {
+        let gt = LabelMap::filled(4, 3, SemanticClass::Road);
+        let frame = Frame::labeled(FrameId::new(0, 0), gt, small_prediction()).unwrap();
+        assert!(frame.is_labeled());
+        assert_eq!(frame.shape(), (4, 3));
+
+        let bad_gt = LabelMap::filled(2, 2, SemanticClass::Road);
+        assert!(Frame::labeled(FrameId::new(0, 1), bad_gt, small_prediction()).is_err());
+    }
+
+    #[test]
+    fn unlabeled_frame_has_no_ground_truth() {
+        let frame = Frame::unlabeled(FrameId::new(1, 5), small_prediction());
+        assert!(!frame.is_labeled());
+        assert_eq!(frame.id.to_string(), "seq001/frame00005");
+    }
+
+    #[test]
+    fn pseudo_ground_truth_can_be_attached() {
+        let frame = Frame::unlabeled(FrameId::new(0, 0), small_prediction());
+        let pseudo = LabelMap::filled(4, 3, SemanticClass::Car);
+        let frame = frame.with_pseudo_ground_truth(pseudo).unwrap();
+        assert!(frame.is_labeled());
+        assert_eq!(
+            frame.ground_truth.as_ref().unwrap().class_at(0, 0),
+            SemanticClass::Car
+        );
+
+        let frame2 = Frame::unlabeled(FrameId::new(0, 1), small_prediction());
+        let wrong = LabelMap::filled(9, 9, SemanticClass::Car);
+        assert!(frame2.with_pseudo_ground_truth(wrong).is_err());
+    }
+
+    #[test]
+    fn predicted_labels_come_from_argmax() {
+        let labels = LabelMap::filled(3, 3, SemanticClass::Sky);
+        let probs = ProbMap::one_hot(&labels, 19);
+        let frame = Frame::labeled(FrameId::new(0, 0), labels, probs).unwrap();
+        assert_eq!(frame.predicted_labels().class_at(1, 1), SemanticClass::Sky);
+    }
+}

@@ -1,0 +1,380 @@
+//! Dense per-pixel softmax probability fields.
+
+use crate::catalog::SemanticClass;
+use crate::error::DataError;
+use crate::labelmap::LabelMap;
+use metaseg_imgproc::Grid;
+use serde::{Deserialize, Serialize};
+
+/// Tolerance when validating that probability vectors sum to one.
+const DISTRIBUTION_TOLERANCE: f64 = 1e-6;
+
+/// A dense per-pixel softmax field `f_z(y | x, w)`.
+///
+/// For every pixel `z` the map stores one probability per *evaluated*
+/// semantic class (void has no channel), in class-id order. This is the only
+/// thing MetaSeg ever needs from the segmentation network.
+///
+/// ```
+/// use metaseg_data::{ProbMap, SemanticClass};
+///
+/// let num_classes = 19;
+/// let mut probs = ProbMap::uniform(4, 2, num_classes);
+/// assert!((probs.prob_at(0, 0, SemanticClass::Road) - 1.0 / 19.0).abs() < 1e-12);
+/// let onehot: Vec<f64> = (0..19).map(|i| if i == 13 { 1.0 } else { 0.0 }).collect();
+/// probs.set_distribution(1, 1, &onehot).unwrap();
+/// assert_eq!(probs.argmax_class(1, 1), SemanticClass::Car);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbMap {
+    width: usize,
+    height: usize,
+    num_classes: usize,
+    /// Row-major, pixel-major storage: `data[(y * width + x) * num_classes + c]`.
+    data: Vec<f64>,
+}
+
+impl ProbMap {
+    /// Creates a field where every pixel carries the uniform distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the class count is zero.
+    pub fn uniform(width: usize, height: usize, num_classes: usize) -> Self {
+        assert!(
+            width > 0 && height > 0 && num_classes > 0,
+            "dimensions and class count must be non-zero"
+        );
+        Self {
+            width,
+            height,
+            num_classes,
+            data: vec![1.0 / num_classes as f64; width * height * num_classes],
+        }
+    }
+
+    /// Creates a field that puts probability one on the class of `labels` at
+    /// every pixel (void pixels get a uniform distribution). Useful for
+    /// turning a hard prediction into a degenerate softmax field.
+    pub fn one_hot(labels: &LabelMap, num_classes: usize) -> Self {
+        let mut map = Self::uniform(labels.width(), labels.height(), num_classes);
+        for y in 0..labels.height() {
+            for x in 0..labels.width() {
+                let class = labels.class_at(x, y);
+                if !class.is_evaluated() {
+                    continue;
+                }
+                let mut dist = vec![0.0; num_classes];
+                dist[class.id() as usize] = 1.0;
+                map.set_distribution_unchecked(x, y, &dist);
+            }
+        }
+        map
+    }
+
+    /// Width of the field.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the field.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Shape as `(width, height)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.width, self.height)
+    }
+
+    /// Number of softmax channels (evaluated classes).
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    #[inline]
+    fn offset(&self, x: usize, y: usize) -> usize {
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x}, {y}) out of bounds for {}x{} probability map",
+            self.width,
+            self.height
+        );
+        (y * self.width + x) * self.num_classes
+    }
+
+    /// The probability vector at pixel `(x, y)` (one entry per evaluated class).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the field.
+    pub fn distribution(&self, x: usize, y: usize) -> &[f64] {
+        let off = self.offset(x, y);
+        &self.data[off..off + self.num_classes]
+    }
+
+    /// Probability of `class` at pixel `(x, y)` (0 for void / out-of-range channels).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the field.
+    pub fn prob_at(&self, x: usize, y: usize, class: SemanticClass) -> f64 {
+        let channel = class.id() as usize;
+        if channel >= self.num_classes {
+            return 0.0;
+        }
+        self.distribution(x, y)[channel]
+    }
+
+    /// Overwrites the probability vector at `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::WrongClassCount`] if `probs` has the wrong length
+    /// and [`DataError::NotADistribution`] if it has negative entries or does
+    /// not sum to one within `1e-6`.
+    pub fn set_distribution(&mut self, x: usize, y: usize, probs: &[f64]) -> Result<(), DataError> {
+        if probs.len() != self.num_classes {
+            return Err(DataError::WrongClassCount {
+                expected: self.num_classes,
+                found: probs.len(),
+            });
+        }
+        let sum: f64 = probs.iter().sum();
+        if probs.iter().any(|p| *p < 0.0) || (sum - 1.0).abs() > DISTRIBUTION_TOLERANCE {
+            return Err(DataError::NotADistribution { sum });
+        }
+        self.set_distribution_unchecked(x, y, probs);
+        Ok(())
+    }
+
+    /// Overwrites the probability vector at `(x, y)` without validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the field or `probs` has the wrong length.
+    pub fn set_distribution_unchecked(&mut self, x: usize, y: usize, probs: &[f64]) {
+        assert_eq!(probs.len(), self.num_classes, "wrong number of class probabilities");
+        let off = self.offset(x, y);
+        self.data[off..off + self.num_classes].copy_from_slice(probs);
+    }
+
+    /// Index of the most probable channel at `(x, y)` (ties resolve to the
+    /// lowest class id, matching `argmax`).
+    pub fn argmax_channel(&self, x: usize, y: usize) -> usize {
+        let dist = self.distribution(x, y);
+        let mut best = 0usize;
+        let mut best_p = dist[0];
+        for (i, &p) in dist.iter().enumerate().skip(1) {
+            if p > best_p {
+                best = i;
+                best_p = p;
+            }
+        }
+        best
+    }
+
+    /// The maximum a-posteriori (Bayes) class at `(x, y)`.
+    pub fn argmax_class(&self, x: usize, y: usize) -> SemanticClass {
+        SemanticClass::from_id(self.argmax_channel(x, y) as u16)
+            .expect("channel index is a valid class id")
+    }
+
+    /// The Bayes/MAP predicted label map (`argmax` at every pixel).
+    pub fn argmax_map(&self) -> LabelMap {
+        LabelMap::from_fn(self.width, self.height, |x, y| self.argmax_class(x, y))
+    }
+
+    /// Largest and second largest probability at `(x, y)`.
+    pub fn top2(&self, x: usize, y: usize) -> (f64, f64) {
+        let dist = self.distribution(x, y);
+        let mut first = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for &p in dist {
+            if p > first {
+                second = first;
+                first = p;
+            } else if p > second {
+                second = p;
+            }
+        }
+        if dist.len() == 1 {
+            second = 0.0;
+        }
+        (first, second)
+    }
+
+    /// Normalised Shannon entropy at `(x, y)`:
+    /// `E_z = -1/log(q) * Σ_y f_z(y) log f_z(y)` ∈ [0, 1].
+    pub fn entropy_at(&self, x: usize, y: usize) -> f64 {
+        let dist = self.distribution(x, y);
+        let q = dist.len() as f64;
+        let raw: f64 = dist
+            .iter()
+            .filter(|p| **p > 0.0)
+            .map(|p| -p * p.ln())
+            .sum();
+        (raw / q.ln()).clamp(0.0, 1.0)
+    }
+
+    /// Probability margin at `(x, y)`: `D_z = 1 - (p_(1) - p_(2))` ∈ [0, 1],
+    /// large when the two best classes compete.
+    pub fn margin_at(&self, x: usize, y: usize) -> f64 {
+        let (first, second) = self.top2(x, y);
+        (1.0 - (first - second)).clamp(0.0, 1.0)
+    }
+
+    /// Variation ratio at `(x, y)`: `V_z = 1 - p_(1)` ∈ [0, 1].
+    pub fn variation_ratio_at(&self, x: usize, y: usize) -> f64 {
+        let (first, _) = self.top2(x, y);
+        (1.0 - first).clamp(0.0, 1.0)
+    }
+
+    /// Dense normalised-entropy heat map.
+    pub fn entropy_map(&self) -> Grid<f64> {
+        Grid::from_fn(self.width, self.height, |x, y| self.entropy_at(x, y))
+    }
+
+    /// Dense probability-margin heat map.
+    pub fn margin_map(&self) -> Grid<f64> {
+        Grid::from_fn(self.width, self.height, |x, y| self.margin_at(x, y))
+    }
+
+    /// Dense variation-ratio heat map.
+    pub fn variation_ratio_map(&self) -> Grid<f64> {
+        Grid::from_fn(self.width, self.height, |x, y| {
+            self.variation_ratio_at(x, y)
+        })
+    }
+
+    /// Checks that every pixel carries a valid probability distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::NotADistribution`] for the first offending pixel.
+    pub fn validate(&self) -> Result<(), DataError> {
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let dist = self.distribution(x, y);
+                let sum: f64 = dist.iter().sum();
+                if dist.iter().any(|p| *p < 0.0) || (sum - 1.0).abs() > 1e-4 {
+                    return Err(DataError::NotADistribution { sum });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn one_hot_vec(channel: usize, n: usize) -> Vec<f64> {
+        (0..n).map(|i| if i == channel { 1.0 } else { 0.0 }).collect()
+    }
+
+    #[test]
+    fn uniform_has_maximal_entropy() {
+        let map = ProbMap::uniform(2, 2, 19);
+        assert!((map.entropy_at(0, 0) - 1.0).abs() < 1e-9);
+        assert!((map.margin_at(0, 0) - 1.0).abs() < 1e-9);
+        assert!(map.validate().is_ok());
+    }
+
+    #[test]
+    fn one_hot_has_zero_entropy() {
+        let mut map = ProbMap::uniform(2, 2, 19);
+        map.set_distribution(0, 0, &one_hot_vec(3, 19)).unwrap();
+        assert!(map.entropy_at(0, 0).abs() < 1e-12);
+        assert!(map.margin_at(0, 0).abs() < 1e-12);
+        assert!(map.variation_ratio_at(0, 0).abs() < 1e-12);
+        assert_eq!(map.argmax_class(0, 0), SemanticClass::Wall);
+    }
+
+    #[test]
+    fn set_distribution_validates() {
+        let mut map = ProbMap::uniform(2, 2, 3);
+        assert!(matches!(
+            map.set_distribution(0, 0, &[0.5, 0.5]),
+            Err(DataError::WrongClassCount { .. })
+        ));
+        assert!(matches!(
+            map.set_distribution(0, 0, &[0.5, 0.4, 0.4]),
+            Err(DataError::NotADistribution { .. })
+        ));
+        assert!(matches!(
+            map.set_distribution(0, 0, &[-0.1, 0.6, 0.5]),
+            Err(DataError::NotADistribution { .. })
+        ));
+        assert!(map.set_distribution(0, 0, &[0.2, 0.3, 0.5]).is_ok());
+    }
+
+    #[test]
+    fn argmax_map_and_one_hot_roundtrip() {
+        let labels = LabelMap::from_fn(3, 3, |x, y| {
+            if (x + y) % 2 == 0 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::Car
+            }
+        });
+        let probs = ProbMap::one_hot(&labels, 19);
+        let recovered = probs.argmax_map();
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(recovered.class_at(x, y), labels.class_at(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn top2_orders_correctly() {
+        let mut map = ProbMap::uniform(1, 1, 4);
+        map.set_distribution(0, 0, &[0.1, 0.6, 0.25, 0.05]).unwrap();
+        let (first, second) = map.top2(0, 0);
+        assert!((first - 0.6).abs() < 1e-12);
+        assert!((second - 0.25).abs() < 1e-12);
+        assert!((map.margin_at(0, 0) - (1.0 - 0.35)).abs() < 1e-12);
+        assert!((map.variation_ratio_at(0, 0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heatmaps_have_field_shape() {
+        let map = ProbMap::uniform(5, 3, 19);
+        assert_eq!(map.entropy_map().shape(), (5, 3));
+        assert_eq!(map.margin_map().shape(), (5, 3));
+        assert_eq!(map.variation_ratio_map().shape(), (5, 3));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dispersion_measures_in_unit_interval(raw in proptest::collection::vec(0.01f64..10.0, 19)) {
+            let sum: f64 = raw.iter().sum();
+            let dist: Vec<f64> = raw.iter().map(|v| v / sum).collect();
+            let mut map = ProbMap::uniform(1, 1, 19);
+            map.set_distribution(0, 0, &dist).unwrap();
+            let e = map.entropy_at(0, 0);
+            let m = map.margin_at(0, 0);
+            let v = map.variation_ratio_at(0, 0);
+            prop_assert!((0.0..=1.0).contains(&e));
+            prop_assert!((0.0..=1.0).contains(&m));
+            prop_assert!((0.0..=1.0).contains(&v));
+            // The variation ratio is at most the margin: 1 - p1 <= 1 - (p1 - p2).
+            prop_assert!(v <= m + 1e-12);
+        }
+
+        #[test]
+        fn prop_argmax_is_most_probable(raw in proptest::collection::vec(0.01f64..10.0, 19)) {
+            let sum: f64 = raw.iter().sum();
+            let dist: Vec<f64> = raw.iter().map(|v| v / sum).collect();
+            let mut map = ProbMap::uniform(1, 1, 19);
+            map.set_distribution(0, 0, &dist).unwrap();
+            let argmax = map.argmax_channel(0, 0);
+            for &p in &dist {
+                prop_assert!(dist[argmax] >= p - 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Overlap-based segment tracking with expected-location shifting.
+
+use metaseg_data::{LabelMap, SemanticClass};
+use metaseg_imgproc::{Connectivity, PixelSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of the [`SegmentTracker`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Minimum overlap (IoU between the shifted previous segment and the new
+    /// segment) required to continue a track.
+    pub min_overlap: f64,
+    /// Number of past frames whose segments may still be matched (the paper
+    /// matches over multiple frames so short occlusions do not break tracks).
+    pub max_gap: usize,
+    /// Connectivity used when extracting segments from the label maps.
+    pub connectivity: Connectivity,
+    /// Ignore segments smaller than this many pixels (they flicker anyway and
+    /// matching them is meaningless).
+    pub min_segment_area: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            min_overlap: 0.1,
+            max_gap: 2,
+            connectivity: Connectivity::Eight,
+            min_segment_area: 1,
+        }
+    }
+}
+
+/// One segment of one frame together with its assigned track id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackedSegment {
+    /// Persistent track id shared across frames.
+    pub track_id: usize,
+    /// Index of the frame the segment belongs to.
+    pub frame: usize,
+    /// Connected-component id of the segment inside its frame.
+    pub region_id: usize,
+    /// Semantic class of the segment.
+    pub class: SemanticClass,
+    /// Centroid of the segment in pixel coordinates.
+    pub centroid: (f64, f64),
+    /// Number of pixels.
+    pub area: usize,
+}
+
+/// All tracked segments of one frame.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameTracks {
+    /// Segments of the frame with their track assignments.
+    pub segments: Vec<TrackedSegment>,
+}
+
+impl FrameTracks {
+    /// Track id of the segment with the given region id, if it was tracked.
+    pub fn track_of_region(&self, region_id: usize) -> Option<usize> {
+        self.segments
+            .iter()
+            .find(|s| s.region_id == region_id)
+            .map(|s| s.track_id)
+    }
+}
+
+/// Result of tracking a whole sequence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrackingResult {
+    frames: Vec<FrameTracks>,
+    track_count: usize,
+}
+
+impl TrackingResult {
+    /// Per-frame track assignments.
+    pub fn frames(&self) -> &[FrameTracks] {
+        &self.frames
+    }
+
+    /// Total number of distinct tracks created.
+    pub fn track_count(&self) -> usize {
+        self.track_count
+    }
+
+    /// All segments of a given track, ordered by frame.
+    pub fn track_history(&self, track_id: usize) -> Vec<&TrackedSegment> {
+        self.frames
+            .iter()
+            .flat_map(|f| f.segments.iter())
+            .filter(|s| s.track_id == track_id)
+            .collect()
+    }
+
+    /// Length (number of frames) of the longest track.
+    pub fn longest_track_length(&self) -> usize {
+        let mut lengths: HashMap<usize, usize> = HashMap::new();
+        for segment in self.frames.iter().flat_map(|f| f.segments.iter()) {
+            *lengths.entry(segment.track_id).or_default() += 1;
+        }
+        lengths.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Internal per-track state used while matching.
+#[derive(Debug, Clone)]
+struct TrackState {
+    class: SemanticClass,
+    /// Pixels of the most recent observation.
+    pixels: PixelSet,
+    /// Centroid of the most recent observation.
+    centroid: (f64, f64),
+    /// Estimated velocity in pixels per frame.
+    velocity: (f64, f64),
+    /// Frame of the most recent observation.
+    last_frame: usize,
+}
+
+/// The overlap-based tracker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentTracker {
+    config: TrackerConfig,
+}
+
+impl SegmentTracker {
+    /// Creates a tracker with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_overlap` is not in `[0, 1]`.
+    pub fn new(config: TrackerConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.min_overlap),
+            "min_overlap must be in [0, 1]"
+        );
+        Self { config }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// Tracks the segments of a sequence of predicted label maps.
+    ///
+    /// Returns one [`FrameTracks`] per input frame; region ids refer to the
+    /// connected components extracted with the configured connectivity.
+    pub fn track(&self, frames: &[LabelMap]) -> TrackingResult {
+        let mut result = TrackingResult::default();
+        let mut tracks: Vec<TrackState> = Vec::new();
+
+        for (frame_idx, map) in frames.iter().enumerate() {
+            let components = map.segments(self.config.connectivity);
+            let mut frame_tracks = FrameTracks::default();
+            // Sort candidate segments by size (large segments claim tracks first,
+            // which stabilises matching when small fragments split off).
+            let mut region_order: Vec<usize> = (0..components.component_count()).collect();
+            region_order.sort_by_key(|&id| {
+                std::cmp::Reverse(components.region(id).map(|r| r.area()).unwrap_or(0))
+            });
+            let mut claimed: Vec<bool> = vec![false; tracks.len()];
+
+            for region_id in region_order {
+                let region = components
+                    .region(region_id)
+                    .expect("region id comes from the same labelling");
+                let class = SemanticClass::from_id(region.class_id).expect("valid class id");
+                if !class.is_evaluated() || region.area() < self.config.min_segment_area {
+                    continue;
+                }
+                let pixels: PixelSet = region.pixels.iter().copied().collect();
+                let centroid = region.centroid();
+
+                // Find the best matching existing track of the same class.
+                let mut best: Option<(usize, f64)> = None;
+                for (track_idx, track) in tracks.iter().enumerate() {
+                    if claimed[track_idx]
+                        || track.class != class
+                        || frame_idx.saturating_sub(track.last_frame) > self.config.max_gap
+                    {
+                        continue;
+                    }
+                    let gap = (frame_idx - track.last_frame) as f64;
+                    let shift_x = track.velocity.0 * gap;
+                    let shift_y = track.velocity.1 * gap;
+                    let shifted: PixelSet = track
+                        .pixels
+                        .iter()
+                        .filter_map(|&(x, y)| {
+                            let nx = x as f64 + shift_x;
+                            let ny = y as f64 + shift_y;
+                            if nx < 0.0 || ny < 0.0 {
+                                None
+                            } else {
+                                Some((nx.round() as usize, ny.round() as usize))
+                            }
+                        })
+                        .collect();
+                    let overlap = metaseg_imgproc::iou(&shifted, &pixels);
+                    if overlap >= self.config.min_overlap
+                        && best.map_or(true, |(_, b)| overlap > b)
+                    {
+                        best = Some((track_idx, overlap));
+                    }
+                }
+
+                let track_id = match best {
+                    Some((track_idx, _)) => {
+                        claimed[track_idx] = true;
+                        let track = &mut tracks[track_idx];
+                        let gap = (frame_idx - track.last_frame).max(1) as f64;
+                        track.velocity = (
+                            (centroid.0 - track.centroid.0) / gap,
+                            (centroid.1 - track.centroid.1) / gap,
+                        );
+                        track.pixels = pixels;
+                        track.centroid = centroid;
+                        track.last_frame = frame_idx;
+                        track_idx
+                    }
+                    None => {
+                        tracks.push(TrackState {
+                            class,
+                            pixels,
+                            centroid,
+                            velocity: (0.0, 0.0),
+                            last_frame: frame_idx,
+                        });
+                        claimed.push(true);
+                        tracks.len() - 1
+                    }
+                };
+
+                frame_tracks.segments.push(TrackedSegment {
+                    track_id,
+                    frame: frame_idx,
+                    region_id,
+                    class,
+                    centroid,
+                    area: region.area(),
+                });
+            }
+            result.frames.push(frame_tracks);
+        }
+
+        result.track_count = tracks.len();
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A map with one moving car rectangle and one static human ellipse-ish blob.
+    fn moving_scene(t: usize) -> LabelMap {
+        LabelMap::from_fn(40, 16, |x, y| {
+            let car = y >= 10 && y < 14 && x >= 4 + 2 * t && x < 12 + 2 * t;
+            let human = y >= 4 && y < 8 && x >= 30 && x < 33;
+            if car {
+                SemanticClass::Car
+            } else if human {
+                SemanticClass::Human
+            } else if y >= 9 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::Building
+            }
+        })
+    }
+
+    #[test]
+    fn moving_object_keeps_its_track_id() {
+        let frames: Vec<LabelMap> = (0..5).map(moving_scene).collect();
+        let tracker = SegmentTracker::new(TrackerConfig::default());
+        let result = tracker.track(&frames);
+        assert_eq!(result.frames().len(), 5);
+
+        let car_ids: Vec<usize> = result
+            .frames()
+            .iter()
+            .flat_map(|f| f.segments.iter())
+            .filter(|s| s.class == SemanticClass::Car)
+            .map(|s| s.track_id)
+            .collect();
+        assert_eq!(car_ids.len(), 5);
+        assert!(car_ids.iter().all(|&id| id == car_ids[0]));
+
+        let human_ids: Vec<usize> = result
+            .frames()
+            .iter()
+            .flat_map(|f| f.segments.iter())
+            .filter(|s| s.class == SemanticClass::Human)
+            .map(|s| s.track_id)
+            .collect();
+        assert_eq!(human_ids.len(), 5);
+        assert!(human_ids.iter().all(|&id| id == human_ids[0]));
+        assert_ne!(car_ids[0], human_ids[0]);
+        assert_eq!(result.track_history(car_ids[0]).len(), 5);
+        assert_eq!(result.longest_track_length(), 5);
+    }
+
+    #[test]
+    fn different_classes_never_match() {
+        // A car that "turns into" a bus at the same location must start a new track.
+        let frame_car = LabelMap::from_fn(20, 10, |x, y| {
+            if x >= 5 && x < 12 && y >= 3 && y < 7 {
+                SemanticClass::Car
+            } else {
+                SemanticClass::Road
+            }
+        });
+        let frame_bus = LabelMap::from_fn(20, 10, |x, y| {
+            if x >= 5 && x < 12 && y >= 3 && y < 7 {
+                SemanticClass::Bus
+            } else {
+                SemanticClass::Road
+            }
+        });
+        let tracker = SegmentTracker::new(TrackerConfig::default());
+        let result = tracker.track(&[frame_car, frame_bus]);
+        let first: Vec<_> = result.frames()[0]
+            .segments
+            .iter()
+            .filter(|s| s.class == SemanticClass::Car)
+            .collect();
+        let second: Vec<_> = result.frames()[1]
+            .segments
+            .iter()
+            .filter(|s| s.class == SemanticClass::Bus)
+            .collect();
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+        assert_ne!(first[0].track_id, second[0].track_id);
+    }
+
+    #[test]
+    fn track_survives_a_one_frame_gap() {
+        // The object disappears in frame 1 and reappears in frame 2.
+        let present = moving_scene(0);
+        let absent = LabelMap::from_fn(40, 16, |_, y| {
+            if y >= 9 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::Building
+            }
+        });
+        let back = moving_scene(1);
+        let tracker = SegmentTracker::new(TrackerConfig {
+            max_gap: 2,
+            ..TrackerConfig::default()
+        });
+        let result = tracker.track(&[present, absent, back]);
+        let car_ids: Vec<usize> = result
+            .frames()
+            .iter()
+            .flat_map(|f| f.segments.iter())
+            .filter(|s| s.class == SemanticClass::Car)
+            .map(|s| s.track_id)
+            .collect();
+        assert_eq!(car_ids.len(), 2);
+        assert_eq!(car_ids[0], car_ids[1]);
+    }
+
+    #[test]
+    fn region_lookup_works() {
+        let frames: Vec<LabelMap> = (0..2).map(moving_scene).collect();
+        let tracker = SegmentTracker::new(TrackerConfig::default());
+        let result = tracker.track(&frames);
+        let frame0 = &result.frames()[0];
+        for segment in &frame0.segments {
+            assert_eq!(frame0.track_of_region(segment.region_id), Some(segment.track_id));
+        }
+        assert_eq!(frame0.track_of_region(9999), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_overlap_threshold_panics() {
+        let _ = SegmentTracker::new(TrackerConfig {
+            min_overlap: 1.5,
+            ..TrackerConfig::default()
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Track ids of one frame are unique (no two segments of one frame share a track).
+        #[test]
+        fn prop_track_ids_unique_within_frame(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let frames: Vec<LabelMap> = (0..4)
+                .map(|_| {
+                    LabelMap::from_fn(16, 12, |_, _| {
+                        let classes = [
+                            SemanticClass::Road,
+                            SemanticClass::Car,
+                            SemanticClass::Building,
+                        ];
+                        classes[rng.gen_range(0..classes.len())]
+                    })
+                })
+                .collect();
+            let tracker = SegmentTracker::new(TrackerConfig::default());
+            let result = tracker.track(&frames);
+            for frame in result.frames() {
+                let mut seen = std::collections::HashSet::new();
+                for segment in &frame.segments {
+                    prop_assert!(seen.insert(segment.track_id), "duplicate track id in frame");
+                }
+            }
+            // Track ids are dense: all smaller than track_count.
+            for frame in result.frames() {
+                for segment in &frame.segments {
+                    prop_assert!(segment.track_id < result.track_count());
+                }
+            }
+        }
+    }
+}

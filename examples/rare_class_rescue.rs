@@ -1,0 +1,69 @@
+//! Rare-class rescue: reduce overlooked pedestrians with the ML decision rule.
+//!
+//! Reproduces the Section IV workflow: estimate pixel-wise class priors from
+//! training scenes, then compare the Bayes (argmax) decision rule against the
+//! Maximum-Likelihood rule on evaluation scenes. The ML rule finds more of
+//! the rare `person` segments (fewer false negatives) at the price of lower
+//! segment-wise precision, and writes the two masks of one example scene as
+//! PPM images.
+//!
+//! ```bash
+//! cargo run --release --example rare_class_rescue
+//! ```
+
+use metaseg::fnr::compare_decision_rules;
+use metaseg::visualize::render_labels;
+use metaseg_data::{ClassCatalog, Frame, FrameId, SemanticClass};
+use metaseg_rules::DecisionRule;
+use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn simulate_frames(count: usize, rng: &mut StdRng, sim: &NetworkSim) -> Vec<Frame> {
+    (0..count)
+        .map(|i| {
+            let scene = Scene::generate(&SceneConfig::small(), rng);
+            let ground_truth = scene.render();
+            let prediction = sim.predict(&ground_truth, rng);
+            Frame::labeled(FrameId::new(0, i), ground_truth, prediction)
+                .expect("scene and prediction share one shape")
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(23);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+
+    let training = simulate_frames(30, &mut rng, &sim);
+    let evaluation = simulate_frames(30, &mut rng, &sim);
+
+    let report = compare_decision_rules(&training, &evaluation, SemanticClass::Human, 1.0);
+    println!("class of interest: {}", report.class);
+    println!(
+        "ground-truth person segments        : {}",
+        report.bayes.ground_truth_segments
+    );
+    println!(
+        "missed by the Bayes rule            : {}",
+        report.bayes.missed_segments
+    );
+    println!(
+        "missed by the Maximum-Likelihood rule: {}",
+        report.maximum_likelihood.missed_segments
+    );
+    println!(
+        "predicted person segments (Bayes/ML): {} / {}",
+        report.bayes.predicted_segments, report.maximum_likelihood.predicted_segments
+    );
+
+    // Render one example scene under both rules.
+    let catalog = ClassCatalog::cityscapes_like();
+    let priors = metaseg::fnr::estimate_priors(&training, 1.0);
+    let frame = &evaluation[0];
+    let bayes_mask = DecisionRule::Bayes.apply(&frame.prediction);
+    let ml_mask = DecisionRule::MaximumLikelihood(priors).apply(&frame.prediction);
+    render_labels(&bayes_mask, &catalog).save("rare_class_rescue_bayes.ppm")?;
+    render_labels(&ml_mask, &catalog).save("rare_class_rescue_ml.ppm")?;
+    println!("wrote rare_class_rescue_bayes.ppm and rare_class_rescue_ml.ppm");
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the MetaSeg reproduction workspace.
+//!
+//! This crate exists so that the repository-level `examples/` and `tests/`
+//! directories have a package to attach to. It simply re-exports the
+//! workspace crates under stable names:
+//!
+//! * [`metaseg`] — the paper's contribution (meta classification/regression,
+//!   time-dynamic MetaSeg, false-negative analysis),
+//! * [`metaseg_sim`] — the synthetic street-scene + network simulator,
+//! * [`metaseg_learners`] — the from-scratch ML substrate,
+//! * [`metaseg_eval`], [`metaseg_tracking`], [`metaseg_rules`],
+//!   [`metaseg_data`], [`metaseg_imgproc`] — supporting substrates.
+//!
+//! ```
+//! use metaseg_suite::metaseg::MetaSegConfig;
+//! let config = MetaSegConfig::default();
+//! assert!(config.runs >= 1);
+//! ```
+
+pub use metaseg;
+pub use metaseg_data;
+pub use metaseg_eval;
+pub use metaseg_imgproc;
+pub use metaseg_learners;
+pub use metaseg_rules;
+pub use metaseg_sim;
+pub use metaseg_tracking;

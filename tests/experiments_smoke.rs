@@ -1,0 +1,55 @@
+//! Smoke tests of every experiment runner at reduced size: each table/figure
+//! of the paper can be regenerated through the public API.
+
+use metaseg::experiment::{
+    figure1, figure3, figure4, figure5, table1, video, Figure1Config, Figure3Config, Figure4Config,
+    Figure5Config, Table1Config, VideoExperimentConfig,
+};
+use metaseg::timedyn::MetaModel;
+use metaseg::Composition;
+
+#[test]
+fn table1_smoke() {
+    let result = table1::run(&Table1Config::quick()).expect("table1 runs");
+    assert_eq!(result.networks.len(), 2);
+    let text = result.format_table();
+    assert!(text.contains("ACC, penalized"));
+    assert!(text.contains("sigma, all metrics"));
+}
+
+#[test]
+fn figure1_smoke() {
+    let result = figure1::run(&Figure1Config::quick()).expect("figure1 runs");
+    assert!(result.segment_count > 0);
+    assert!(result.true_iou_panel.width() > 0);
+}
+
+#[test]
+fn figure2_and_table2_smoke() {
+    let config = VideoExperimentConfig::quick();
+    let result = video::run(&config).expect("video experiment runs");
+    assert!(!result.cells.is_empty());
+    let series = result.auroc_series(MetaModel::GradientBoosting, Composition::Real);
+    assert!(!series.is_empty());
+    let table = result.format_table2(&config.models, &config.compositions);
+    assert!(table.contains("Table II"));
+}
+
+#[test]
+fn figure3_smoke() {
+    let result = figure3::run(&Figure3Config::quick()).expect("figure3 runs");
+    assert!(result.ml_rare_pixels >= result.bayes_rare_pixels);
+}
+
+#[test]
+fn figure4_smoke() {
+    let result = figure4::run(&Figure4Config::quick()).expect("figure4 runs");
+    assert!(result.mean_prior_in_band > result.mean_prior_in_sky);
+}
+
+#[test]
+fn figure5_smoke() {
+    let result = figure5::run(&Figure5Config::quick()).expect("figure5 runs");
+    assert!(result.strong.ml_reduces_missed_segments());
+    assert!(result.weak.ml_reduces_missed_segments());
+}

@@ -1,0 +1,98 @@
+//! Integration tests of the time-dynamic pipeline: video simulation,
+//! tracking, time-series assembly and the training-data compositions.
+
+use metaseg::compositions::Composition;
+use metaseg::timedyn::{MetaModel, TimeDynConfig, TimeDynamic};
+use metaseg_learners::{SmoteConfig, TabularDataset};
+use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn scenario(seed: u64) -> VideoScenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    VideoScenario::generate(&VideoConfig::small(), &sim, &mut rng)
+}
+
+#[test]
+fn time_series_lengths_share_targets() {
+    let scenario = scenario(11);
+    let pipeline = TimeDynamic::new(TimeDynConfig::default());
+    let analysis = pipeline.analyze_sequence(&scenario.dataset().sequences[0]);
+    let short = pipeline.time_series_dataset(&analysis, 1);
+    let long = pipeline.time_series_dataset(&analysis, 4);
+    assert_eq!(short.len(), long.len());
+    assert_eq!(short.targets, long.targets);
+    assert_eq!(long.feature_dim(), 4 * short.feature_dim());
+}
+
+#[test]
+fn compositions_assemble_and_train() {
+    let scenario = scenario(13);
+    let strong = NetworkSim::new(NetworkProfile::strong());
+    let mut rng = StdRng::seed_from_u64(99);
+    let pseudo_dataset = scenario.with_pseudo_labels(&strong, &mut rng);
+
+    let pipeline = TimeDynamic::new(TimeDynConfig::default());
+    let mut real = TabularDataset::new();
+    let mut pseudo = TabularDataset::new();
+    let mut test = TabularDataset::new();
+    for (i, (real_seq, pseudo_seq)) in scenario
+        .dataset()
+        .sequences
+        .iter()
+        .zip(&pseudo_dataset.sequences)
+        .enumerate()
+    {
+        let real_analysis = pipeline.analyze_sequence(real_seq);
+        let mut pseudo_analysis = pipeline.analyze_sequence(pseudo_seq);
+        let labeled: std::collections::HashSet<usize> =
+            real_seq.labeled_indices().into_iter().collect();
+        pseudo_analysis.labeled_frames.retain(|f| !labeled.contains(f));
+
+        if i == 0 {
+            test.extend_from(&pipeline.time_series_dataset(&real_analysis, 2));
+        } else {
+            real.extend_from(&pipeline.time_series_dataset(&real_analysis, 2));
+            pseudo.extend_from(&pipeline.time_series_dataset(&pseudo_analysis, 2));
+        }
+    }
+    assert!(!real.is_empty());
+    assert!(!pseudo.is_empty());
+    assert!(!test.is_empty());
+
+    for composition in Composition::ALL {
+        let train = composition.assemble(&real, &pseudo, SmoteConfig::default(), &mut rng);
+        assert!(!train.is_empty(), "composition {composition} is empty");
+        // All compositions can be used to train a meta model end to end.
+        let scores = pipeline
+            .fit_and_evaluate(MetaModel::GradientBoosting, &train, &test, 3)
+            .expect("training succeeds");
+        assert!((0.0..=1.0).contains(&scores.auroc), "auroc out of range");
+    }
+}
+
+#[test]
+fn pseudo_ground_truth_is_close_to_reality() {
+    // The strong reference network's pseudo labels should agree with the real
+    // (withheld) ground truth on a large majority of pixels — that is what
+    // makes pseudo-label training viable in the paper.
+    let scenario = scenario(17);
+    let strong = NetworkSim::new(NetworkProfile::strong());
+    let mut rng = StdRng::seed_from_u64(7);
+    let pseudo_dataset = scenario.with_pseudo_labels(&strong, &mut rng);
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (s, sequence) in pseudo_dataset.sequences.iter().enumerate() {
+        for (t, frame) in sequence.frames.iter().enumerate() {
+            let pseudo = frame.ground_truth.as_ref().expect("all frames are labelled");
+            let real = scenario.ground_truth(s, t).expect("ground truth is kept");
+            total += real.pixel_accuracy(pseudo).expect("same shape");
+            count += 1;
+        }
+    }
+    let mean_accuracy = total / count as f64;
+    assert!(
+        mean_accuracy > 0.7,
+        "pseudo labels should be reasonably accurate, got {mean_accuracy}"
+    );
+}
