@@ -59,17 +59,20 @@ fn bench_ablation_metrics(c: &mut Criterion) {
                 );
             }
         }
-        group.bench_function(format!("logistic_fit_{}", feature_set.name().replace(' ', "_")), |b| {
-            b.iter(|| {
-                let scaler = StandardScaler::fit(&dataset.features).expect("fit scaler");
-                let features = scaler.transform(&dataset.features);
-                black_box(LogisticRegression::fit(
-                    &features,
-                    &labels,
-                    LogisticConfig::default(),
-                ))
-            })
-        });
+        group.bench_function(
+            format!("logistic_fit_{}", feature_set.name().replace(' ', "_")),
+            |b| {
+                b.iter(|| {
+                    let scaler = StandardScaler::fit(&dataset.features).expect("fit scaler");
+                    let features = scaler.transform(&dataset.features);
+                    black_box(LogisticRegression::fit(
+                        &features,
+                        &labels,
+                        LogisticConfig::default(),
+                    ))
+                })
+            },
+        );
     }
 
     // Multi-resolution ablation: metric construction cost with and without

@@ -55,7 +55,9 @@ fn bench_learners(c: &mut Criterion) {
         })
     });
     group.bench_function("mlp_regressor_fit", |b| {
-        b.iter(|| black_box(MlpRegressor::fit(&features, &targets, MlpConfig::fast()).expect("fit")))
+        b.iter(|| {
+            black_box(MlpRegressor::fit(&features, &targets, MlpConfig::fast()).expect("fit"))
+        })
     });
 
     group.finish();

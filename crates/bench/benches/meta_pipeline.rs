@@ -2,7 +2,8 @@
 //! plus linear meta models) end to end.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use metaseg::{segment_metrics, MetaSeg, MetaSegConfig, MetricsConfig};
+use metaseg::pipeline::reference::naive_segment_metrics;
+use metaseg::{segment_metrics, FrameBatch, MetaSeg, MetaSegConfig, MetricsConfig};
 use metaseg_data::{Frame, FrameId};
 use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
 use rand::{rngs::StdRng, SeedableRng};
@@ -37,6 +38,25 @@ fn bench_meta_pipeline(c: &mut Criterion) {
                 &config,
             ))
         })
+    });
+
+    // The retained multi-pass oracle: quantifies the single-pass speedup.
+    group.bench_function("naive_reference_per_frame", |b| {
+        let frame = &frames[0];
+        let config = MetricsConfig::default();
+        b.iter(|| {
+            black_box(naive_segment_metrics(
+                &frame.prediction,
+                frame.ground_truth.as_ref(),
+                &config,
+            ))
+        })
+    });
+
+    // Frame-parallel extraction over the whole batch.
+    group.bench_function("frame_batch_labeled_records", |b| {
+        let batch = FrameBatch::new(&frames);
+        b.iter(|| black_box(batch.labeled_records()))
     });
 
     group.bench_function("table1_pipeline_single_run", |b| {

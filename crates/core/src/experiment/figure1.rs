@@ -3,8 +3,9 @@
 use crate::error::MetaSegError;
 use crate::metaseg::MetaSeg;
 use crate::metrics::{segment_metrics, FeatureSet, MetricsConfig};
+use crate::pipeline::FrameBatch;
 use crate::visualize::{render_labels, render_segment_values};
-use metaseg_data::ClassCatalog;
+use metaseg_data::{ClassCatalog, Frame, FrameId};
 use metaseg_eval::pearson_correlation;
 use metaseg_imgproc::{Connectivity, Ppm};
 use metaseg_learners::{LinearRegression, Regressor, StandardScaler};
@@ -74,14 +75,18 @@ pub fn run(config: &Figure1Config) -> Result<Figure1Result, MetaSegError> {
     let catalog = ClassCatalog::cityscapes_like();
     let metrics_config = MetricsConfig::default();
 
-    // Training data.
-    let mut records = Vec::new();
-    for _ in 0..config.training_scenes {
-        let scene = Scene::generate(&config.scene, &mut rng);
-        let gt = scene.render();
-        let probs = sim.predict(&gt, &mut rng);
-        records.extend(segment_metrics(&probs, Some(&gt), &metrics_config));
-    }
+    // Training data: scene generation stays sequential (it drives the master
+    // RNG), metric extraction fans out across frames.
+    let training_frames: Vec<Frame> = (0..config.training_scenes)
+        .map(|i| {
+            let scene = Scene::generate(&config.scene, &mut rng);
+            let gt = scene.render();
+            let probs = sim.predict(&gt, &mut rng);
+            Frame::labeled(FrameId::new(0, i), gt, probs)
+                .expect("scene and prediction share one shape")
+        })
+        .collect();
+    let records = FrameBatch::with_config(&training_frames, metrics_config).labeled_records();
     let train = MetaSeg::build_dataset(&records, FeatureSet::All);
     let scaler = StandardScaler::fit(&train.features)?;
     let model = LinearRegression::fit(&scaler.transform(&train.features), &train.targets)?;
@@ -152,11 +157,29 @@ mod tests {
             "correlation was {}",
             result.correlation
         );
-        let (w, h) = (result.ground_truth_panel.width(), result.ground_truth_panel.height());
-        assert_eq!((result.prediction_panel.width(), result.prediction_panel.height()), (w, h));
-        assert_eq!((result.true_iou_panel.width(), result.true_iou_panel.height()), (w, h));
+        let (w, h) = (
+            result.ground_truth_panel.width(),
+            result.ground_truth_panel.height(),
+        );
         assert_eq!(
-            (result.predicted_iou_panel.width(), result.predicted_iou_panel.height()),
+            (
+                result.prediction_panel.width(),
+                result.prediction_panel.height()
+            ),
+            (w, h)
+        );
+        assert_eq!(
+            (
+                result.true_iou_panel.width(),
+                result.true_iou_panel.height()
+            ),
+            (w, h)
+        );
+        assert_eq!(
+            (
+                result.predicted_iou_panel.width(),
+                result.predicted_iou_panel.height()
+            ),
             (w, h)
         );
     }

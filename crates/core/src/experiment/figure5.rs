@@ -95,7 +95,10 @@ fn curves_of(report: &FalseNegativeReport, recall: bool) -> Vec<Vec<(f64, f64)>>
 /// Currently infallible but kept fallible for API consistency.
 pub fn run(config: &Figure5Config) -> Result<Figure5Result, MetaSegError> {
     let mut reports = Vec::new();
-    for (offset, profile) in [(1u64, NetworkProfile::strong()), (2u64, NetworkProfile::weak())] {
+    for (offset, profile) in [
+        (1u64, NetworkProfile::strong()),
+        (2u64, NetworkProfile::weak()),
+    ] {
         let prior_frames = frames_for(
             profile.clone(),
             &config.scene,

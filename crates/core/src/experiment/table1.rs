@@ -72,7 +72,11 @@ impl Table1Result {
                 "metric", "meta train", "meta test"
             ));
             let rows = [
-                ("ACC, penalized", &report.classification.train_acc, &report.classification.val_acc),
+                (
+                    "ACC, penalized",
+                    &report.classification.train_acc,
+                    &report.classification.val_acc,
+                ),
                 (
                     "ACC, unpenalized",
                     &report.classification_unpenalized.train_acc,
@@ -124,14 +128,24 @@ impl Table1Result {
                 ));
             }
             let reg_rows = [
-                ("sigma, all metrics", &report.regression.train_sigma, &report.regression.val_sigma, false),
+                (
+                    "sigma, all metrics",
+                    &report.regression.train_sigma,
+                    &report.regression.val_sigma,
+                    false,
+                ),
                 (
                     "sigma, entropy only",
                     &report.regression_entropy.train_sigma,
                     &report.regression_entropy.val_sigma,
                     false,
                 ),
-                ("R2, all metrics", &report.regression.train_r2, &report.regression.val_r2, true),
+                (
+                    "R2, all metrics",
+                    &report.regression.train_r2,
+                    &report.regression.val_r2,
+                    true,
+                ),
                 (
                     "R2, entropy only",
                     &report.regression_entropy.train_r2,
@@ -179,7 +193,10 @@ pub fn generate_frames(
 /// Propagates [`MetaSegError`] from the MetaSeg pipeline.
 pub fn run(config: &Table1Config) -> Result<Table1Result, MetaSegError> {
     let mut networks = Vec::new();
-    for (offset, profile) in [(1u64, NetworkProfile::strong()), (2u64, NetworkProfile::weak())] {
+    for (offset, profile) in [
+        (1u64, NetworkProfile::strong()),
+        (2u64, NetworkProfile::weak()),
+    ] {
         let name = profile.name.clone();
         let frames = generate_frames(config, profile, offset);
         let metaseg = MetaSeg::new(config.metaseg);

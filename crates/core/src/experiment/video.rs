@@ -137,13 +137,16 @@ impl VideoExperimentResult {
 
     /// The best cell (by R²) for one model and composition — one row of
     /// Table II's regression half.
-    pub fn best_regression(&self, model: MetaModel, composition: Composition) -> Option<&VideoCell> {
+    pub fn best_regression(
+        &self,
+        model: MetaModel,
+        composition: Composition,
+    ) -> Option<&VideoCell> {
         self.cells
             .iter()
             .filter(|c| c.model == model && c.composition == composition)
             .max_by(|a, b| {
-                a.r2
-                    .mean()
+                a.r2.mean()
                     .partial_cmp(&b.r2.mean())
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
@@ -225,7 +228,9 @@ pub fn run(config: &VideoExperimentConfig) -> Result<VideoExperimentResult, Meta
             let mut analysis = pipeline.analyze_sequence(pseudo_seq);
             let real_labeled: std::collections::HashSet<usize> =
                 real_seq.labeled_indices().into_iter().collect();
-            analysis.labeled_frames.retain(|f| !real_labeled.contains(f));
+            analysis
+                .labeled_frames
+                .retain(|f| !real_labeled.contains(f));
             analysis
         })
         .collect();
@@ -253,7 +258,7 @@ pub fn run(config: &VideoExperimentConfig) -> Result<VideoExperimentResult, Meta
     }
 
     for run_idx in 0..config.runs {
-        let mut split_rng = StdRng::seed_from_u64(config.seed ^ (run_idx as u64 + 1) * 7919);
+        let mut split_rng = StdRng::seed_from_u64(config.seed ^ ((run_idx as u64 + 1) * 7919));
         let mut order: Vec<usize> = (0..sequence_count).collect();
         order.shuffle(&mut split_rng);
         let (test_sequences, train_sequences) = order.split_at(test_count);
@@ -264,7 +269,8 @@ pub fn run(config: &VideoExperimentConfig) -> Result<VideoExperimentResult, Meta
             let mut pseudo_train = TabularDataset::new();
             let mut test = TabularDataset::new();
             for &sequence in train_sequences {
-                real_train.extend_from(&pipeline.time_series_dataset(&real_analyses[sequence], length));
+                real_train
+                    .extend_from(&pipeline.time_series_dataset(&real_analyses[sequence], length));
                 pseudo_train
                     .extend_from(&pipeline.time_series_dataset(&pseudo_analyses[sequence], length));
             }
@@ -318,7 +324,10 @@ mod tests {
         // 1 model x 2 compositions x 2 lengths = 4 cells.
         assert_eq!(result.cells.len(), 4);
         let filled = result.cells.iter().filter(|c| !c.auroc.is_empty()).count();
-        assert!(filled >= 2, "at least half of the cells must receive scores");
+        assert!(
+            filled >= 2,
+            "at least half of the cells must receive scores"
+        );
 
         let series = result.auroc_series(MetaModel::GradientBoosting, Composition::Real);
         assert!(!series.is_empty());

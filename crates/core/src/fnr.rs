@@ -5,6 +5,7 @@
 //! recall distributions, missed-segment counts, and the stochastic-dominance
 //! relations the paper reports in Fig. 5.
 
+use crate::pipeline::FrameBatch;
 use metaseg_data::{Frame, LabelMap, SemanticClass};
 use metaseg_eval::EmpiricalCdf;
 use metaseg_rules::{segment_precision_recall, DecisionRule, PriorMap, SegmentScores};
@@ -91,14 +92,17 @@ pub fn estimate_priors(frames: &[Frame], smoothing: f64) -> PriorMap {
 }
 
 fn evaluate_rule(rule: &DecisionRule, frames: &[Frame], class: SemanticClass) -> RuleOutcome {
+    // Rule application and per-frame scoring are independent across frames;
+    // fan out through the pipeline's frame-parallel primitive and merge the
+    // per-frame score pools in frame order.
+    let per_frame = FrameBatch::new(frames).map_frames(|frame| {
+        frame.ground_truth.as_ref().map(|ground_truth| {
+            let decided = rule.apply(&frame.prediction);
+            segment_precision_recall(&decided, ground_truth, class)
+        })
+    });
     let mut scores = SegmentScores::default();
-    for frame in frames {
-        let ground_truth = match &frame.ground_truth {
-            Some(gt) => gt,
-            None => continue,
-        };
-        let decided = rule.apply(&frame.prediction);
-        let frame_scores = segment_precision_recall(&decided, ground_truth, class);
+    for frame_scores in per_frame.into_iter().flatten() {
         scores.merge(&frame_scores);
     }
     RuleOutcome {
@@ -126,11 +130,7 @@ pub fn compare_decision_rules(
 ) -> FalseNegativeReport {
     let priors = estimate_priors(prior_frames, prior_smoothing);
     let bayes = evaluate_rule(&DecisionRule::Bayes, eval_frames, class);
-    let ml = evaluate_rule(
-        &DecisionRule::MaximumLikelihood(priors),
-        eval_frames,
-        class,
-    );
+    let ml = evaluate_rule(&DecisionRule::MaximumLikelihood(priors), eval_frames, class);
     FalseNegativeReport {
         class,
         bayes,

@@ -47,17 +47,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod error;
 pub mod compositions;
+mod error;
 pub mod experiment;
 pub mod fnr;
 pub mod metaseg;
 pub mod metrics;
 pub mod multires;
+pub mod pipeline;
 pub mod timedyn;
 pub mod visualize;
 
-pub use crate::metaseg::{ClassificationReport, MetaSeg, MetaSegConfig, MetaSegReport, RegressionReport};
+pub use crate::metaseg::{
+    ClassificationReport, MetaSeg, MetaSegConfig, MetaSegReport, RegressionReport,
+};
 pub use compositions::Composition;
 pub use error::MetaSegError;
 pub use metrics::{segment_metrics, FeatureSet, MetricsConfig, SegmentRecord};
+pub use pipeline::{frame_metrics, frame_metrics_with_labels, FrameBatch};

@@ -3,7 +3,7 @@
 //! Given a set of labelled frames, the pipeline
 //!
 //! 1. extracts the predicted segments and their metric vectors / IoU targets
-//!    with [`crate::metrics::segment_metrics`],
+//!    with the frame-parallel single-pass [`crate::pipeline::FrameBatch`],
 //! 2. repeatedly splits the resulting structured dataset into meta-train and
 //!    meta-test parts (80/20 in the paper),
 //! 3. trains linear meta models — a logistic model for *meta classification*
@@ -14,7 +14,8 @@
 //!    exactly the structure of the paper's Table I.
 
 use crate::error::MetaSegError;
-use crate::metrics::{segment_metrics, FeatureSet, MetricsConfig, SegmentRecord};
+use crate::metrics::{FeatureSet, MetricsConfig, SegmentRecord};
+use crate::pipeline::FrameBatch;
 use metaseg_data::Frame;
 use metaseg_eval::{accuracy, auroc, r_squared, residual_sigma, RunStatistics};
 use metaseg_learners::{
@@ -118,19 +119,10 @@ impl MetaSeg {
         &self.config
     }
 
-    /// Extracts the segment records (with IoU targets) of all labelled frames.
+    /// Extracts the segment records (with IoU targets) of all labelled
+    /// frames, in parallel across frames via [`FrameBatch`].
     pub fn collect_records(&self, frames: &[Frame]) -> Vec<SegmentRecord> {
-        frames
-            .iter()
-            .filter_map(|frame| {
-                frame
-                    .ground_truth
-                    .as_ref()
-                    .map(|gt| segment_metrics(&frame.prediction, Some(gt), &self.config.metrics))
-            })
-            .flatten()
-            .filter(|record| record.iou.is_some())
-            .collect()
+        FrameBatch::with_config(frames, self.config.metrics).labeled_records()
     }
 
     /// Builds a structured tabular dataset from segment records, selecting a
@@ -152,7 +144,11 @@ impl MetaSeg {
     /// Returns [`MetaSegError::NoLabeledData`] if no labelled segments are
     /// found and [`MetaSegError::DegenerateMetaLabels`] if all segments share
     /// one meta label (no false positives at all, or only false positives).
-    pub fn run<R: Rng>(&self, frames: &[Frame], rng: &mut R) -> Result<MetaSegReport, MetaSegError> {
+    pub fn run<R: Rng>(
+        &self,
+        frames: &[Frame],
+        rng: &mut R,
+    ) -> Result<MetaSegReport, MetaSegError> {
         let records = self.collect_records(frames);
         if records.is_empty() {
             return Err(MetaSegError::NoLabeledData);
@@ -178,7 +174,9 @@ impl MetaSeg {
             return Err(MetaSegError::NoLabeledData);
         }
         if self.config.runs == 0 {
-            return Err(MetaSegError::InvalidConfig("runs must be at least 1".to_string()));
+            return Err(MetaSegError::InvalidConfig(
+                "runs must be at least 1".to_string(),
+            ));
         }
         if !(0.0..1.0).contains(&self.config.train_fraction) || self.config.train_fraction <= 0.0 {
             return Err(MetaSegError::InvalidConfig(
@@ -194,12 +192,14 @@ impl MetaSeg {
         let mut report = MetaSegReport {
             segment_count: all.len(),
             positive_fraction: positives as f64 / labels.len() as f64,
-            naive_baseline_acc: (positives as f64 / labels.len() as f64).max(1.0 - positives as f64 / labels.len() as f64),
+            naive_baseline_acc: (positives as f64 / labels.len() as f64)
+                .max(1.0 - positives as f64 / labels.len() as f64),
             ..MetaSegReport::default()
         };
 
         for run in 0..self.config.runs {
-            let mut split_rng = StdRng::seed_from_u64(self.config.seed ^ (run as u64) ^ rng.gen::<u64>());
+            let mut split_rng =
+                StdRng::seed_from_u64(self.config.seed ^ (run as u64) ^ rng.gen::<u64>());
             // One permutation shared by both feature sets so they see the
             // exact same segments in train and test.
             let mut order: Vec<usize> = (0..all.len()).collect();
@@ -221,7 +221,12 @@ impl MetaSeg {
                     self.config.logistic_penalty,
                     &mut report.classification,
                 ),
-                (&train_all, &test_all, 0.0, &mut report.classification_unpenalized),
+                (
+                    &train_all,
+                    &test_all,
+                    0.0,
+                    &mut report.classification_unpenalized,
+                ),
                 (
                     &train_entropy,
                     &test_entropy,
@@ -244,7 +249,11 @@ impl MetaSeg {
             // --- Meta regression ------------------------------------------
             for (dataset_train, dataset_test, target) in [
                 (&train_all, &test_all, &mut report.regression),
-                (&train_entropy, &test_entropy, &mut report.regression_entropy),
+                (
+                    &train_entropy,
+                    &test_entropy,
+                    &mut report.regression_entropy,
+                ),
             ] {
                 if let Some((train_pred, test_pred)) = fit_regressor(dataset_train, dataset_test) {
                     target
@@ -299,8 +308,16 @@ fn fit_regressor(train: &TabularDataset, test: &TabularDataset) -> Option<(Vec<f
     let test_features = scaler.transform(&test.features);
     let model = LinearRegression::fit(&train_features, &train.targets).ok()?;
     let clip = |v: f64| v.clamp(0.0, 1.0);
-    let train_pred: Vec<f64> = model.predict(&train_features).into_iter().map(clip).collect();
-    let test_pred: Vec<f64> = model.predict(&test_features).into_iter().map(clip).collect();
+    let train_pred: Vec<f64> = model
+        .predict(&train_features)
+        .into_iter()
+        .map(clip)
+        .collect();
+    let test_pred: Vec<f64> = model
+        .predict(&test_features)
+        .into_iter()
+        .map(clip)
+        .collect();
     Some((train_pred, test_pred))
 }
 

@@ -10,14 +10,14 @@
 //! `IoU > 0`.
 
 use metaseg_data::{LabelMap, ProbMap, SemanticClass};
-use metaseg_imgproc::{inner_boundary, iou, Connectivity, PixelSet};
+use metaseg_imgproc::Connectivity;
 use serde::{Deserialize, Serialize};
 
 /// Number of evaluated classes (softmax channels).
-const NUM_CHANNELS: usize = 19;
+pub(crate) const NUM_CHANNELS: usize = 19;
 
 /// Number of scalar metrics before the per-class mean probabilities.
-const BASE_METRIC_COUNT: usize = 15;
+pub(crate) const BASE_METRIC_COUNT: usize = 15;
 
 /// Total dimensionality of the full metric vector.
 pub const METRIC_COUNT: usize = BASE_METRIC_COUNT + NUM_CHANNELS;
@@ -61,7 +61,11 @@ impl FeatureSet {
     ///
     /// Panics if `metrics` does not have [`METRIC_COUNT`] entries.
     pub fn select(&self, metrics: &[f64]) -> Vec<f64> {
-        assert_eq!(metrics.len(), METRIC_COUNT, "unexpected metric vector length");
+        assert_eq!(
+            metrics.len(),
+            METRIC_COUNT,
+            "unexpected metric vector length"
+        );
         match self {
             FeatureSet::All => metrics.to_vec(),
             FeatureSet::EntropyOnly => vec![metrics[0]],
@@ -136,148 +140,24 @@ impl SegmentRecord {
     }
 }
 
-fn mean_over(values: &metaseg_imgproc::Grid<f64>, pixels: &[(usize, usize)]) -> f64 {
-    if pixels.is_empty() {
-        return 0.0;
-    }
-    pixels.iter().map(|&(x, y)| *values.get(x, y)).sum::<f64>() / pixels.len() as f64
-}
-
 /// Computes the metric vector and IoU target of every predicted segment.
 ///
 /// `prediction` is the softmax field; segments are the connected components
 /// of its Bayes (argmax) label map. `ground_truth` is optional — without it,
 /// the records carry `iou = None` and can still be used for inference.
+///
+/// Delegates to the single-pass [`crate::pipeline::frame_metrics`]: the
+/// dispersion heat maps are computed exactly once per frame and folded into
+/// per-segment accumulators in one pass over the pixels (see the
+/// [`crate::pipeline`] module docs for the design). Batch callers should
+/// prefer [`crate::pipeline::FrameBatch`], which additionally parallelises
+/// across frames.
 pub fn segment_metrics(
     prediction: &ProbMap,
     ground_truth: Option<&LabelMap>,
     config: &MetricsConfig,
 ) -> Vec<SegmentRecord> {
-    let predicted_labels = prediction.argmax_map();
-    let components = predicted_labels.segments(config.connectivity);
-    let entropy = prediction.entropy_map();
-    let margin = prediction.margin_map();
-    let variation = prediction.variation_ratio_map();
-
-    // Ground-truth components grouped by class for the IoU computation.
-    let gt_components = ground_truth.map(|gt| gt.segments(config.connectivity));
-
-    let mut records = Vec::with_capacity(components.component_count());
-    for region in components.regions() {
-        if region.area() < config.min_segment_area.max(1) {
-            continue;
-        }
-        let class = SemanticClass::from_id(region.class_id).expect("valid class id");
-        let boundary_pixels = inner_boundary(region, components.labels());
-        let interior_pixels: Vec<(usize, usize)> = {
-            let boundary_set: PixelSet = boundary_pixels.iter().copied().collect();
-            region
-                .pixels
-                .iter()
-                .copied()
-                .filter(|p| !boundary_set.contains(p))
-                .collect()
-        };
-
-        let area = region.area() as f64;
-        let boundary_length = boundary_pixels.len() as f64;
-        let interior_area = interior_pixels.len() as f64;
-
-        let mut metrics = Vec::with_capacity(METRIC_COUNT);
-        // Dispersion aggregates: whole segment, boundary, interior. For
-        // segments without interior the interior aggregate falls back to the
-        // segment mean (matches the convention of the reference code).
-        for heat in [&entropy, &margin, &variation] {
-            let mean_all = mean_over(heat, &region.pixels);
-            let mean_boundary = mean_over(heat, &boundary_pixels);
-            let mean_interior = if interior_pixels.is_empty() {
-                mean_all
-            } else {
-                mean_over(heat, &interior_pixels)
-            };
-            metrics.push(mean_all);
-            metrics.push(mean_boundary);
-            metrics.push(mean_interior);
-        }
-        // Geometry metrics.
-        metrics.push(area);
-        metrics.push(boundary_length);
-        metrics.push(interior_area);
-        metrics.push(if area > 0.0 { interior_area / area } else { 0.0 });
-        metrics.push(if boundary_length > 0.0 {
-            area / boundary_length
-        } else {
-            area
-        });
-        // Mean maximum softmax probability.
-        let mean_max: f64 = region
-            .pixels
-            .iter()
-            .map(|&(x, y)| prediction.top2(x, y).0)
-            .sum::<f64>()
-            / area;
-        metrics.push(mean_max);
-        // Mean class probabilities.
-        for channel in 0..NUM_CHANNELS {
-            let class_of_channel = SemanticClass::from_id(channel as u16).expect("valid channel");
-            let mean_prob: f64 = region
-                .pixels
-                .iter()
-                .map(|&(x, y)| prediction.prob_at(x, y, class_of_channel))
-                .sum::<f64>()
-                / area;
-            metrics.push(mean_prob);
-        }
-        debug_assert_eq!(metrics.len(), METRIC_COUNT);
-
-        // IoU target (eq. (2)): union of ground-truth components of the same
-        // class that intersect the segment.
-        let iou_target = match (&gt_components, ground_truth) {
-            (Some(gt_cc), Some(gt_map)) => {
-                let non_void = region
-                    .pixels
-                    .iter()
-                    .filter(|&&(x, y)| gt_map.class_at(x, y) != SemanticClass::Void)
-                    .count();
-                if non_void == 0 {
-                    None
-                } else {
-                    let pred_set: PixelSet = region.pixels.iter().copied().collect();
-                    // Ground-truth components of the same class touching the segment.
-                    let mut union_set: PixelSet = PixelSet::new();
-                    for gt_region in gt_cc.regions() {
-                        if gt_region.class_id != region.class_id {
-                            continue;
-                        }
-                        let touches = gt_region
-                            .pixels
-                            .iter()
-                            .any(|p| pred_set.contains(p));
-                        if touches {
-                            union_set.extend(gt_region.pixels.iter().copied());
-                        }
-                    }
-                    if union_set.is_empty() {
-                        Some(0.0)
-                    } else {
-                        Some(iou(&pred_set, &union_set))
-                    }
-                }
-            }
-            _ => None,
-        };
-
-        records.push(SegmentRecord {
-            region_id: region.id,
-            class,
-            area: region.area(),
-            boundary_length: boundary_pixels.len(),
-            centroid: region.centroid(),
-            metrics,
-            iou: iou_target,
-        });
-    }
-    records
+    crate::pipeline::frame_metrics(prediction, ground_truth, config)
 }
 
 #[cfg(test)]
@@ -325,7 +205,7 @@ mod tests {
         // Ground truth all road; prediction contains a spurious car block.
         let gt = LabelMap::filled(10, 6, SemanticClass::Road);
         let predicted = LabelMap::from_fn(10, 6, |x, y| {
-            if x >= 6 && y >= 2 && y < 5 {
+            if x >= 6 && (2..5).contains(&y) {
                 SemanticClass::Car
             } else {
                 SemanticClass::Road
@@ -364,7 +244,10 @@ mod tests {
         });
         let probs = ProbMap::one_hot(&predicted, 19);
         let records = segment_metrics(&probs, Some(&gt), &MetricsConfig::default());
-        let car = records.iter().find(|r| r.class == SemanticClass::Car).unwrap();
+        let car = records
+            .iter()
+            .find(|r| r.class == SemanticClass::Car)
+            .unwrap();
         assert_eq!(car.iou, None);
         assert_eq!(car.is_true_positive(), None);
     }
@@ -408,7 +291,10 @@ mod tests {
                 }
             }
         }
-        assert!(!fp_entropy.is_empty(), "simulation should produce false positives");
+        assert!(
+            !fp_entropy.is_empty(),
+            "simulation should produce false positives"
+        );
         assert!(!tp_entropy.is_empty());
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(

@@ -100,9 +100,7 @@ pub fn build_ensemble(prediction: &ProbMap, config: &MultiResConfig) -> MultiRes
         // back down to the crop rectangle so the member aligns with the crop.
         let mut channel_grids: Vec<Grid<f64>> = Vec::with_capacity(channels);
         for c in 0..channels {
-            let crop = Grid::from_fn(cw, ch, |x, y| {
-                prediction.distribution(x0 + x, y0 + y)[c]
-            });
+            let crop = Grid::from_fn(cw, ch, |x, y| prediction.distribution(x0 + x, y0 + y)[c]);
             // Upsample to the full resolution (this is the "infer the crop at
             // the common size" step) and back down, which low-passes the field.
             let up = resize_bilinear(&crop, width, height);
@@ -198,12 +196,18 @@ pub fn multires_segment_metrics(
                 .collect();
             let all = mean_of(&region.pixels);
             let bd = mean_of(&boundary);
-            let int = if interior.is_empty() { all } else { mean_of(&interior) };
+            let int = if interior.is_empty() {
+                all
+            } else {
+                mean_of(&interior)
+            };
             record.metrics.push(all);
             record.metrics.push(bd);
             record.metrics.push(int);
         } else {
-            record.metrics.extend_from_slice(&[0.0; MULTIRES_EXTRA_METRICS]);
+            record
+                .metrics
+                .extend_from_slice(&[0.0; MULTIRES_EXTRA_METRICS]);
         }
     }
     records

@@ -1,0 +1,158 @@
+//! The naive, multi-pass metric extraction, retained verbatim as a
+//! differential-testing oracle for the single-pass pipeline.
+//!
+//! This is the textbook formulation: materialise one dense heat map per
+//! dispersion measure, then re-walk every segment's pixel set once per heat
+//! map and zone (whole / boundary / interior), plus a set-based pass per
+//! segment for the IoU target. It is deliberately *not* used by any
+//! production path — [`crate::pipeline::frame_metrics`] produces the same
+//! records in a single pass — but it is kept (and exercised by the
+//! `prop_single_pass_matches_naive_reference` property test) so every future
+//! optimisation of the hot path can be checked against an independent,
+//! obviously-correct implementation.
+
+use crate::metrics::{MetricsConfig, SegmentRecord, METRIC_COUNT, NUM_CHANNELS};
+use metaseg_data::{LabelMap, ProbMap, SemanticClass};
+use metaseg_imgproc::{inner_boundary, iou, Grid, PixelSet};
+
+fn mean_over(values: &Grid<f64>, pixels: &[(usize, usize)]) -> f64 {
+    if pixels.is_empty() {
+        return 0.0;
+    }
+    pixels.iter().map(|&(x, y)| *values.get(x, y)).sum::<f64>() / pixels.len() as f64
+}
+
+/// Computes the metric vector and IoU target of every predicted segment by
+/// re-aggregating dense heat maps per segment — the reference oracle.
+pub fn naive_segment_metrics(
+    prediction: &ProbMap,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+) -> Vec<SegmentRecord> {
+    let predicted_labels = prediction.argmax_map();
+    let components = predicted_labels.segments(config.connectivity);
+    let entropy = prediction.entropy_map();
+    let margin = prediction.margin_map();
+    let variation = prediction.variation_ratio_map();
+
+    // Ground-truth components grouped by class for the IoU computation.
+    let gt_components = ground_truth.map(|gt| gt.segments(config.connectivity));
+
+    let mut records = Vec::with_capacity(components.component_count());
+    for region in components.regions() {
+        if region.area() < config.min_segment_area.max(1) {
+            continue;
+        }
+        let class = SemanticClass::from_id(region.class_id).expect("valid class id");
+        let boundary_pixels = inner_boundary(region, components.labels());
+        let interior_pixels: Vec<(usize, usize)> = {
+            let boundary_set: PixelSet = boundary_pixels.iter().copied().collect();
+            region
+                .pixels
+                .iter()
+                .copied()
+                .filter(|p| !boundary_set.contains(p))
+                .collect()
+        };
+
+        let area = region.area() as f64;
+        let boundary_length = boundary_pixels.len() as f64;
+        let interior_area = interior_pixels.len() as f64;
+
+        let mut metrics = Vec::with_capacity(METRIC_COUNT);
+        // Dispersion aggregates: whole segment, boundary, interior. For
+        // segments without interior the interior aggregate falls back to the
+        // segment mean.
+        for heat in [&entropy, &margin, &variation] {
+            let mean_all = mean_over(heat, &region.pixels);
+            let mean_boundary = mean_over(heat, &boundary_pixels);
+            let mean_interior = if interior_pixels.is_empty() {
+                mean_all
+            } else {
+                mean_over(heat, &interior_pixels)
+            };
+            metrics.push(mean_all);
+            metrics.push(mean_boundary);
+            metrics.push(mean_interior);
+        }
+        // Geometry metrics.
+        metrics.push(area);
+        metrics.push(boundary_length);
+        metrics.push(interior_area);
+        metrics.push(if area > 0.0 {
+            interior_area / area
+        } else {
+            0.0
+        });
+        metrics.push(if boundary_length > 0.0 {
+            area / boundary_length
+        } else {
+            area
+        });
+        // Mean maximum softmax probability.
+        let mean_max: f64 = region
+            .pixels
+            .iter()
+            .map(|&(x, y)| prediction.top2(x, y).0)
+            .sum::<f64>()
+            / area;
+        metrics.push(mean_max);
+        // Mean class probabilities.
+        for channel in 0..NUM_CHANNELS {
+            let class_of_channel = SemanticClass::from_id(channel as u16).expect("valid channel");
+            let mean_prob: f64 = region
+                .pixels
+                .iter()
+                .map(|&(x, y)| prediction.prob_at(x, y, class_of_channel))
+                .sum::<f64>()
+                / area;
+            metrics.push(mean_prob);
+        }
+        debug_assert_eq!(metrics.len(), METRIC_COUNT);
+
+        // IoU target (eq. (2)): union of ground-truth components of the same
+        // class that intersect the segment.
+        let iou_target = match (&gt_components, ground_truth) {
+            (Some(gt_cc), Some(gt_map)) => {
+                let non_void = region
+                    .pixels
+                    .iter()
+                    .filter(|&&(x, y)| gt_map.class_at(x, y) != SemanticClass::Void)
+                    .count();
+                if non_void == 0 {
+                    None
+                } else {
+                    let pred_set: PixelSet = region.pixels.iter().copied().collect();
+                    // Ground-truth components of the same class touching the segment.
+                    let mut union_set: PixelSet = PixelSet::new();
+                    for gt_region in gt_cc.regions() {
+                        if gt_region.class_id != region.class_id {
+                            continue;
+                        }
+                        let touches = gt_region.pixels.iter().any(|p| pred_set.contains(p));
+                        if touches {
+                            union_set.extend(gt_region.pixels.iter().copied());
+                        }
+                    }
+                    if union_set.is_empty() {
+                        Some(0.0)
+                    } else {
+                        Some(iou(&pred_set, &union_set))
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        records.push(SegmentRecord {
+            region_id: region.id,
+            class,
+            area: region.area(),
+            boundary_length: boundary_pixels.len(),
+            centroid: region.centroid(),
+            metrics,
+            iou: iou_target,
+        });
+    }
+    records
+}

@@ -8,7 +8,8 @@
 //! tasks.
 
 use crate::error::MetaSegError;
-use crate::metrics::{segment_metrics, MetricsConfig, SegmentRecord, METRIC_COUNT};
+use crate::metrics::{MetricsConfig, SegmentRecord, METRIC_COUNT};
+use crate::pipeline::FrameBatch;
 use metaseg_data::Sequence;
 use metaseg_eval::{accuracy, auroc, r_squared, residual_sigma};
 use metaseg_learners::{
@@ -88,27 +89,26 @@ impl TimeDynamic {
         &self.config
     }
 
-    /// Extracts segment records and tracking for one sequence.
+    /// Extracts segment records and tracking for one sequence. Metric
+    /// extraction runs frame-parallel through [`FrameBatch`]; the Bayes label
+    /// map of each frame is computed once and shared between the tracker and
+    /// the metric extraction.
     pub fn analyze_sequence(&self, sequence: &Sequence) -> SequenceAnalysis {
-        let predicted_maps: Vec<_> = sequence
-            .frames
-            .iter()
-            .map(|f| f.prediction.argmax_map())
-            .collect();
+        let batch = FrameBatch::with_config(&sequence.frames, self.config.metrics);
+        let per_frame: Vec<(metaseg_data::LabelMap, Vec<SegmentRecord>)> =
+            batch.map_frames(|frame| {
+                let predicted = frame.prediction.argmax_map();
+                let records = crate::pipeline::frame_metrics_with_labels(
+                    &frame.prediction,
+                    &predicted,
+                    frame.ground_truth.as_ref(),
+                    batch.config(),
+                );
+                (predicted, records)
+            });
+        let (predicted_maps, records): (Vec<_>, Vec<_>) = per_frame.into_iter().unzip();
         let tracker = SegmentTracker::new(self.config.tracker);
         let tracking = tracker.track(&predicted_maps);
-
-        let records: Vec<Vec<SegmentRecord>> = sequence
-            .frames
-            .iter()
-            .map(|frame| {
-                segment_metrics(
-                    &frame.prediction,
-                    frame.ground_truth.as_ref(),
-                    &self.config.metrics,
-                )
-            })
-            .collect();
 
         SequenceAnalysis {
             records,
@@ -127,7 +127,11 @@ impl TimeDynamic {
     /// # Panics
     ///
     /// Panics if `length` is zero or exceeds `max_history + 1`.
-    pub fn time_series_dataset(&self, analysis: &SequenceAnalysis, length: usize) -> TabularDataset {
+    pub fn time_series_dataset(
+        &self,
+        analysis: &SequenceAnalysis,
+        length: usize,
+    ) -> TabularDataset {
         assert!(
             length >= 1 && length <= self.config.max_history + 1,
             "length must lie in 1..=max_history+1"

@@ -74,8 +74,15 @@ pub fn render_cdf_plot(
     width: usize,
     height: usize,
 ) -> Ppm {
-    assert!(width >= 16 && height >= 16, "plot must be at least 16x16 pixels");
-    assert_eq!(curves.len(), colors.len(), "one colour per curve is required");
+    assert!(
+        width >= 16 && height >= 16,
+        "plot must be at least 16x16 pixels"
+    );
+    assert_eq!(
+        curves.len(),
+        colors.len(),
+        "one colour per curve is required"
+    );
     let mut image = Ppm::new(width, height);
     for y in 0..height {
         for x in 0..width {
@@ -131,7 +138,10 @@ mod tests {
             }
         });
         let image = render_labels(&labels, &catalog);
-        assert_eq!(*image.pixels().get(0, 0), catalog.color(SemanticClass::Road));
+        assert_eq!(
+            *image.pixels().get(0, 0),
+            catalog.color(SemanticClass::Road)
+        );
         assert_eq!(*image.pixels().get(3, 1), catalog.color(SemanticClass::Sky));
     }
 
@@ -170,7 +180,9 @@ mod tests {
         let heat = render_heatmap(&grid);
         assert_eq!(heat.width(), 8);
 
-        let curve_a: Vec<(f64, f64)> = (0..11).map(|i| (i as f64 / 10.0, i as f64 / 10.0)).collect();
+        let curve_a: Vec<(f64, f64)> = (0..11)
+            .map(|i| (i as f64 / 10.0, i as f64 / 10.0))
+            .collect();
         let curve_b: Vec<(f64, f64)> = (0..11).map(|i| (i as f64 / 10.0, 1.0)).collect();
         let plot = render_cdf_plot(
             &[curve_a, curve_b],

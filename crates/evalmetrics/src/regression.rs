@@ -14,7 +14,10 @@ pub fn r_squared(predictions: &[f64], targets: &[f64]) -> f64 {
         targets.len(),
         "predictions and targets must have the same length"
     );
-    assert!(!targets.is_empty(), "r_squared requires at least one sample");
+    assert!(
+        !targets.is_empty(),
+        "r_squared requires at least one sample"
+    );
     let mean_target: f64 = targets.iter().sum::<f64>() / targets.len() as f64;
     let ss_tot: f64 = targets.iter().map(|t| (t - mean_target).powi(2)).sum();
     let ss_res: f64 = predictions

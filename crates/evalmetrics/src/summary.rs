@@ -60,11 +60,7 @@ impl RunStatistics {
             return 0.0;
         }
         let mean = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
             / (self.values.len() - 1) as f64;
         var.sqrt()
     }

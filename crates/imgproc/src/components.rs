@@ -8,18 +8,13 @@ use crate::grid::Grid;
 use serde::{Deserialize, Serialize};
 
 /// Pixel connectivity used when growing components.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Connectivity {
     /// 4-connectivity (edge-adjacent pixels).
     Four,
     /// 8-connectivity (edge- or corner-adjacent pixels).
+    #[default]
     Eight,
-}
-
-impl Default for Connectivity {
-    fn default() -> Self {
-        Connectivity::Eight
-    }
 }
 
 /// A single connected component (segment) extracted from a label map.
@@ -44,10 +39,9 @@ impl Region {
     /// Centroid of the component in pixel coordinates.
     pub fn centroid(&self) -> (f64, f64) {
         let n = self.pixels.len() as f64;
-        let (sx, sy) = self
-            .pixels
-            .iter()
-            .fold((0.0, 0.0), |(sx, sy), &(x, y)| (sx + x as f64, sy + y as f64));
+        let (sx, sy) = self.pixels.iter().fold((0.0, 0.0), |(sx, sy), &(x, y)| {
+            (sx + x as f64, sy + y as f64)
+        });
         (sx / n, sy / n)
     }
 

@@ -232,11 +232,11 @@ impl<T> Grid<T> {
     }
 
     /// Maps every value through `f`, producing a grid of the same shape.
-    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> Grid<U> {
+    pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> Grid<U> {
         Grid {
             width: self.width,
             height: self.height,
-            data: self.data.iter().map(|v| f(v)).collect(),
+            data: self.data.iter().map(f).collect(),
         }
     }
 
@@ -438,7 +438,10 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Grid::from_vec(2, 2, vec![1, 2, 3]).is_err());
         assert!(Grid::from_vec(2, 2, vec![1, 2, 3, 4]).is_ok());
-        assert_eq!(Grid::<u8>::from_vec(0, 2, vec![]), Err(GridError::EmptyGrid));
+        assert_eq!(
+            Grid::<u8>::from_vec(0, 2, vec![]),
+            Err(GridError::EmptyGrid)
+        );
     }
 
     #[test]

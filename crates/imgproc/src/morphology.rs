@@ -16,7 +16,11 @@ pub fn dilate(mask: &Grid<bool>, iterations: usize) -> Grid<bool> {
                 if *current.get(x, y) {
                     continue;
                 }
-                if current.neighbors4(x, y).iter().any(|&(nx, ny)| *current.get(nx, ny)) {
+                if current
+                    .neighbors4(x, y)
+                    .iter()
+                    .any(|&(nx, ny)| *current.get(nx, ny))
+                {
                     next.set(x, y, true);
                 }
             }
@@ -80,9 +84,19 @@ pub fn distance_to_boundary(mask: &Grid<bool>) -> Grid<u32> {
                 continue;
             }
             let mut best = *dist.get(x, y);
-            let right = if x + 1 < width { *dist.get(x + 1, y) } else { 0 };
-            let down = if y + 1 < height { *dist.get(x, y + 1) } else { 0 };
-            best = best.min(right.saturating_add(1)).min(down.saturating_add(1));
+            let right = if x + 1 < width {
+                *dist.get(x + 1, y)
+            } else {
+                0
+            };
+            let down = if y + 1 < height {
+                *dist.get(x, y + 1)
+            } else {
+                0
+            };
+            best = best
+                .min(right.saturating_add(1))
+                .min(down.saturating_add(1));
             dist.set(x, y, best);
         }
     }

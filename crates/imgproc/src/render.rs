@@ -34,7 +34,11 @@ impl Color {
     pub fn lerp(self, other: Color, t: f64) -> Color {
         let t = t.clamp(0.0, 1.0);
         let mix = |a: u8, b: u8| -> u8 { (a as f64 + (b as f64 - a as f64) * t).round() as u8 };
-        Color::new(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+        Color::new(
+            mix(self.r, other.r),
+            mix(self.g, other.g),
+            mix(self.b, other.b),
+        )
     }
 }
 
@@ -147,9 +151,7 @@ impl Ppm {
     /// Serialises the image in binary PPM (P6) format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.pixels.len() * 3 + 32);
-        out.extend_from_slice(
-            format!("P6\n{} {}\n255\n", self.width(), self.height()).as_bytes(),
-        );
+        out.extend_from_slice(format!("P6\n{} {}\n255\n", self.width(), self.height()).as_bytes());
         for c in self.pixels.iter() {
             out.push(c.r);
             out.push(c.g);

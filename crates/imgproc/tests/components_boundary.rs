@@ -1,0 +1,118 @@
+//! Hand-crafted grid fixtures for connected-component extraction and
+//! inner-boundary counting — the geometry substrate of the MetaSeg metrics
+//! (segment size `S`, boundary length and the `S / boundary` fractality).
+
+use metaseg_imgproc::{
+    boundary_length, connected_components, inner_boundary, interior_mask, Connectivity, Grid,
+};
+
+fn grid(rows: &[&[u16]]) -> Grid<u16> {
+    Grid::from_rows(rows.iter().map(|r| r.to_vec()).collect()).expect("rectangular fixture")
+}
+
+#[test]
+fn diagonal_chain_splits_under_4_but_not_8_connectivity() {
+    // A diagonal of 1s through a field of 0s.
+    let map = grid(&[&[1, 0, 0, 0], &[0, 1, 0, 0], &[0, 0, 1, 0], &[0, 0, 0, 1]]);
+    let cc4 = connected_components(&map, Connectivity::Four);
+    let cc8 = connected_components(&map, Connectivity::Eight);
+
+    // 4-connectivity: four isolated 1-pixels; 8-connectivity: one chain.
+    assert_eq!(cc4.regions().iter().filter(|r| r.class_id == 1).count(), 4);
+    assert_eq!(cc8.regions().iter().filter(|r| r.class_id == 1).count(), 1);
+
+    // The background 0s are also split diagonally under 4-connectivity:
+    // the strictly-upper and strictly-lower triangles are separate.
+    assert_eq!(cc4.regions().iter().filter(|r| r.class_id == 0).count(), 2);
+    assert_eq!(cc8.regions().iter().filter(|r| r.class_id == 0).count(), 1);
+}
+
+#[test]
+fn checkerboard_is_all_singletons_under_4_connectivity() {
+    let map = Grid::from_fn(4, 4, |x, y| ((x + y) % 2) as u16);
+    let cc4 = connected_components(&map, Connectivity::Four);
+    assert_eq!(cc4.component_count(), 16);
+    assert!(cc4.regions().iter().all(|r| r.area() == 1));
+
+    // Under 8-connectivity the two colours each merge into one component.
+    let cc8 = connected_components(&map, Connectivity::Eight);
+    assert_eq!(cc8.component_count(), 2);
+    assert!(cc8.regions().iter().all(|r| r.area() == 8));
+}
+
+#[test]
+fn u_shape_connectivity_and_boundary() {
+    // A U-shape of 7s: connected under both conventions, entirely boundary.
+    let map = grid(&[&[7, 0, 7], &[7, 0, 7], &[7, 7, 7]]);
+    for connectivity in [Connectivity::Four, Connectivity::Eight] {
+        let cc = connected_components(&map, connectivity);
+        let u = cc
+            .regions()
+            .iter()
+            .find(|r| r.class_id == 7)
+            .expect("U exists");
+        assert_eq!(u.area(), 7);
+        // Every pixel of a 1-wide stroke touches the outside.
+        assert_eq!(boundary_length(u, cc.labels()), 7);
+    }
+}
+
+#[test]
+fn solid_rectangle_boundary_count_is_its_frame() {
+    // A 4x3 rectangle of 5s inside a 6x5 field of 0s: the inner boundary is
+    // the rectangle's frame, 2*(4+3) - 4 = 10 pixels, interior 4*3 - 10 = 2.
+    let mut rows = vec![vec![0u16; 6]; 5];
+    for row in rows.iter_mut().take(4).skip(1) {
+        for cell in row.iter_mut().take(5).skip(1) {
+            *cell = 5;
+        }
+    }
+    let map = Grid::from_rows(rows).unwrap();
+    let cc = connected_components(&map, Connectivity::Four);
+    let rect = cc.regions().iter().find(|r| r.class_id == 5).unwrap();
+    assert_eq!(rect.area(), 12);
+    assert_eq!(rect.bbox, (1, 1, 4, 3));
+
+    let boundary = inner_boundary(rect, cc.labels());
+    assert_eq!(boundary.len(), 10);
+    // Boundary pixels are region pixels (inner, not outer, boundary).
+    for &(x, y) in &boundary {
+        assert_eq!(*map.get(x, y), 5);
+    }
+    let interior = interior_mask(rect, cc.labels());
+    assert_eq!(interior.count_equal(&true), 2);
+    assert!(*interior.get(2, 2) && *interior.get(3, 2));
+}
+
+#[test]
+fn image_border_counts_as_boundary() {
+    // A full-width stripe at the top edge: its first row touches the image
+    // border, so even pixels with same-class neighbours on three sides are
+    // boundary as soon as the out-of-image side is reached.
+    let map = grid(&[&[2, 2, 2, 2, 2], &[2, 2, 2, 2, 2], &[2, 2, 2, 2, 2]]);
+    let cc = connected_components(&map, Connectivity::Four);
+    let region = &cc.regions()[0];
+    assert_eq!(region.area(), 15);
+    // Whole 5x3 grid: every pixel except the centre strip (3 pixels at y=1,
+    // x=1..=3) touches the image border.
+    assert_eq!(boundary_length(region, cc.labels()), 12);
+    let interior = interior_mask(region, cc.labels());
+    assert_eq!(interior.count_equal(&true), 3);
+}
+
+#[test]
+fn touching_different_classes_have_distinct_components_and_full_boundaries() {
+    // Two vertical stripes of different classes: one component each, every
+    // pixel of the 1-pixel-wide contact column is boundary.
+    let map = grid(&[&[3, 3, 9, 9], &[3, 3, 9, 9], &[3, 3, 9, 9]]);
+    let cc = connected_components(&map, Connectivity::Eight);
+    assert_eq!(cc.component_count(), 2);
+    for region in cc.regions() {
+        assert_eq!(region.area(), 6);
+        // 2-wide stripes at the image edge: everything is boundary.
+        assert_eq!(boundary_length(region, cc.labels()), 6);
+    }
+    // Component ids are dense and scan-ordered: class 3 first.
+    assert_eq!(cc.regions()[0].class_id, 3);
+    assert_eq!(cc.regions()[1].class_id, 9);
+}

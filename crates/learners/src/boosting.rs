@@ -249,7 +249,9 @@ mod tests {
 
     #[test]
     fn more_trees_reduce_training_error() {
-        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![(i as f64 * 0.7).sin(), i as f64 / 40.0]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i as f64 * 0.7).sin(), i as f64 / 40.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1]).collect();
         let sse = |n: usize| {
             let config = BoostingConfig {

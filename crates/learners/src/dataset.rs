@@ -223,11 +223,9 @@ mod tests {
 
     #[test]
     fn binary_targets_threshold_at_zero() {
-        let ds = TabularDataset::from_parts(
-            vec![vec![0.0], vec![0.0], vec![0.0]],
-            vec![0.0, 0.3, 0.9],
-        )
-        .unwrap();
+        let ds =
+            TabularDataset::from_parts(vec![vec![0.0], vec![0.0], vec![0.0]], vec![0.0, 0.3, 0.9])
+                .unwrap();
         assert_eq!(ds.binary_targets(0.0), vec![false, true, true]);
         assert_eq!(ds.binary_targets(0.5), vec![false, false, true]);
     }
@@ -239,7 +237,8 @@ mod tests {
         let (train, test) = train_test_split(&ds, 0.8, &mut rng);
         assert_eq!(train.len(), 8);
         assert_eq!(test.len(), 2);
-        let mut all_targets: Vec<f64> = train.targets.iter().chain(&test.targets).copied().collect();
+        let mut all_targets: Vec<f64> =
+            train.targets.iter().chain(&test.targets).copied().collect();
         all_targets.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut expected = ds.targets.clone();
         expected.sort_by(|a, b| a.partial_cmp(b).unwrap());

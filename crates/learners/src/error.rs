@@ -53,13 +53,19 @@ impl fmt::Display for LearnError {
                 "feature row {row} has dimension {found}, expected {expected}"
             ),
             LearnError::SingularSystem => {
-                write!(f, "normal equations are singular; try adding regularisation")
+                write!(
+                    f,
+                    "normal equations are singular; try adding regularisation"
+                )
             }
             LearnError::InvalidHyperParameter { name, reason } => {
                 write!(f, "invalid hyper-parameter `{name}`: {reason}")
             }
             LearnError::SingleClassTraining => {
-                write!(f, "binary classifier training requires both classes present")
+                write!(
+                    f,
+                    "binary classifier training requires both classes present"
+                )
             }
         }
     }

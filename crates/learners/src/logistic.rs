@@ -104,12 +104,7 @@ impl LogisticRegression {
             let mut grad_w = vec![0.0f64; dim];
             let mut grad_b = 0.0f64;
             for (row, &target) in features.iter().zip(&targets) {
-                let z = intercept
-                    + weights
-                        .iter()
-                        .zip(row)
-                        .map(|(w, x)| w * x)
-                        .sum::<f64>();
+                let z = intercept + weights.iter().zip(row).map(|(w, x)| w * x).sum::<f64>();
                 let error = sigmoid(z) - target;
                 for (g, x) in grad_w.iter_mut().zip(row) {
                     *g += error * x;

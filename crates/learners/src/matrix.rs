@@ -48,7 +48,10 @@ impl Matrix {
     ///
     /// Panics if the rows are empty or ragged.
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
-        assert!(!rows.is_empty() && !rows[0].is_empty(), "matrix must be non-empty");
+        assert!(
+            !rows.is_empty() && !rows[0].is_empty(),
+            "matrix must be non-empty"
+        );
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
@@ -79,7 +82,10 @@ impl Matrix {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -90,7 +96,10 @@ impl Matrix {
     /// Panics on out-of-bounds access.
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of bounds"
+        );
         self.data[row * self.cols + col] = value;
     }
 
@@ -222,7 +231,11 @@ mod tests {
     #[test]
     fn identity_and_matmul() {
         let id = Matrix::identity(3);
-        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0], vec![7.0, 8.0, 10.0]]);
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 10.0],
+        ]);
         assert_eq!(a.matmul(&id), a);
         assert_eq!(id.matmul(&a), a);
     }

@@ -100,7 +100,11 @@ impl Network {
         // He-style initialisation scaled to the fan-in.
         let scale = (2.0 / input_dim as f64).sqrt();
         let w1 = (0..hidden_units)
-            .map(|_| (0..input_dim).map(|_| rng.gen_range(-scale..scale)).collect())
+            .map(|_| {
+                (0..input_dim)
+                    .map(|_| rng.gen_range(-scale..scale))
+                    .collect()
+            })
             .collect();
         let b1 = vec![0.0; hidden_units];
         let out_scale = (2.0 / hidden_units as f64).sqrt();
@@ -128,13 +132,7 @@ impl Network {
                 z.max(0.0) // ReLU
             })
             .collect();
-        let out = self
-            .w2
-            .iter()
-            .zip(&hidden)
-            .map(|(w, h)| w * h)
-            .sum::<f64>()
-            + self.b2;
+        let out = self.w2.iter().zip(&hidden).map(|(w, h)| w * h).sum::<f64>() + self.b2;
         (hidden, out)
     }
 
@@ -182,8 +180,8 @@ impl Network {
                 *w -= learning_rate * (g / batch_n + l2_penalty * penalty_scale * *w);
             }
             self.b1[h] -= learning_rate * grad_b1[h] / batch_n;
-            self.w2[h] -= learning_rate
-                * (grad_w2[h] / batch_n + l2_penalty * penalty_scale * self.w2[h]);
+            self.w2[h] -=
+                learning_rate * (grad_w2[h] / batch_n + l2_penalty * penalty_scale * self.w2[h]);
         }
         self.b2 -= learning_rate * grad_b2 / batch_n;
     }
@@ -373,7 +371,9 @@ mod tests {
 
     #[test]
     fn stronger_penalty_gives_smaller_weights() {
-        let x: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 * 0.37).sin(), i as f64 / 60.0]).collect();
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i as f64 * 0.37).sin(), i as f64 / 60.0])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0 + r[1]).collect();
         let weak = MlpRegressor::fit(
             &x,

@@ -95,8 +95,8 @@ pub fn smote_regression<R: Rng>(
         let db = (dataset.targets[b] - median).abs();
         db.partial_cmp(&da).expect("finite targets")
     });
-    let rare_count = ((dataset.len() as f64 * config.rare_fraction).round() as usize)
-        .clamp(2, dataset.len());
+    let rare_count =
+        ((dataset.len() as f64 * config.rare_fraction).round() as usize).clamp(2, dataset.len());
     let rare: Vec<usize> = by_rarity[..rare_count].to_vec();
 
     let synthetic_count = (rare.len() as f64 * config.oversample_ratio).round() as usize;
@@ -126,8 +126,8 @@ pub fn smote_regression<R: Rng>(
             .zip(neighbor_features)
             .map(|(a, b)| a + mix * (b - a))
             .collect();
-        let new_target =
-            dataset.targets[seed_idx] + mix * (dataset.targets[neighbor_idx] - dataset.targets[seed_idx]);
+        let new_target = dataset.targets[seed_idx]
+            + mix * (dataset.targets[neighbor_idx] - dataset.targets[seed_idx]);
         synthetic.push(new_features, new_target);
     }
 

@@ -112,7 +112,7 @@ mod tests {
 
     fn map_with_human_block(x0: usize, x1: usize) -> LabelMap {
         LabelMap::from_fn(12, 6, |x, y| {
-            if y >= 2 && y < 5 && x >= x0 && x < x1 {
+            if (2..5).contains(&y) && (x0..x1).contains(&x) {
                 SemanticClass::Human
             } else {
                 SemanticClass::Road

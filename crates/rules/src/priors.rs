@@ -34,11 +34,18 @@ impl PriorMap {
     /// Panics if `maps` is empty, the maps do not all share one shape, or
     /// `smoothing` is negative.
     pub fn estimate(maps: &[LabelMap], smoothing: f64) -> Self {
-        assert!(!maps.is_empty(), "prior estimation requires at least one label map");
+        assert!(
+            !maps.is_empty(),
+            "prior estimation requires at least one label map"
+        );
         assert!(smoothing >= 0.0, "smoothing must be non-negative");
         let (width, height) = maps[0].shape();
         for map in maps {
-            assert_eq!(map.shape(), (width, height), "all label maps must share one shape");
+            assert_eq!(
+                map.shape(),
+                (width, height),
+                "all label maps must share one shape"
+            );
         }
 
         let mut counts = vec![smoothing; width * height * NUM_CHANNELS];
@@ -191,10 +198,7 @@ mod tests {
         let prior = PriorMap::from_global_frequencies(4, 4, &freqs);
         assert!((prior.prior_at(0, 0, SemanticClass::Road) - 0.75).abs() < 1e-12);
         assert!((prior.prior_at(3, 3, SemanticClass::Human) - 0.25).abs() < 1e-12);
-        assert_eq!(
-            prior.distribution(0, 0),
-            prior.distribution(3, 3)
-        );
+        assert_eq!(prior.distribution(0, 0), prior.distribution(3, 3));
     }
 
     #[test]

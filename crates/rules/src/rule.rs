@@ -216,7 +216,10 @@ mod tests {
         let decided = rule.apply(&probs);
         assert_eq!(decided.class_at(0, 0), SemanticClass::Human);
         // Bayes still says road.
-        assert_eq!(DecisionRule::Bayes.apply(&probs).class_at(0, 0), SemanticClass::Road);
+        assert_eq!(
+            DecisionRule::Bayes.apply(&probs).class_at(0, 0),
+            SemanticClass::Road
+        );
     }
 
     #[test]
@@ -254,7 +257,8 @@ mod tests {
         let rule = DecisionRule::CostBased(CostMatrix::class_weighted(SemanticClass::Human, 50.0));
         assert_eq!(rule.apply(&probs).class_at(0, 0), SemanticClass::Human);
         // With weight 1 it behaves like Bayes again.
-        let neutral = DecisionRule::CostBased(CostMatrix::class_weighted(SemanticClass::Human, 1.0));
+        let neutral =
+            DecisionRule::CostBased(CostMatrix::class_weighted(SemanticClass::Human, 1.0));
         assert_eq!(neutral.apply(&probs).class_at(0, 0), SemanticClass::Road);
     }
 

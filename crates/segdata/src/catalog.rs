@@ -295,10 +295,7 @@ mod tests {
     #[test]
     fn frequencies_are_a_rough_distribution() {
         let cat = ClassCatalog::cityscapes_like();
-        let sum: f64 = cat
-            .all_classes()
-            .map(|c| cat.typical_frequency(c))
-            .sum();
+        let sum: f64 = cat.all_classes().map(|c| cat.typical_frequency(c)).sum();
         assert!((sum - 1.0).abs() < 0.05, "frequencies sum to {sum}");
         // Humans are rare compared to road.
         assert!(

@@ -60,7 +60,10 @@ impl fmt::Display for DataError {
             ),
             DataError::UnknownClassId(id) => write!(f, "unknown semantic class id {id}"),
             DataError::InvalidSplit { sum } => {
-                write!(f, "split ratios must be non-negative and sum to 1, got sum {sum}")
+                write!(
+                    f,
+                    "split ratios must be non-negative and sum to 1, got sum {sum}"
+                )
             }
             DataError::EmptyCollection(what) => write!(f, "{what} must not be empty"),
         }

@@ -50,7 +50,11 @@ impl Frame {
     ///
     /// Returns [`DataError::FrameShapeMismatch`] if ground truth and
     /// prediction shapes differ.
-    pub fn labeled(id: FrameId, ground_truth: LabelMap, prediction: ProbMap) -> Result<Self, DataError> {
+    pub fn labeled(
+        id: FrameId,
+        ground_truth: LabelMap,
+        prediction: ProbMap,
+    ) -> Result<Self, DataError> {
         if ground_truth.shape() != prediction.shape() {
             return Err(DataError::FrameShapeMismatch {
                 ground_truth: ground_truth.shape(),

@@ -154,7 +154,11 @@ impl ProbMap {
     ///
     /// Panics if `(x, y)` is outside the field or `probs` has the wrong length.
     pub fn set_distribution_unchecked(&mut self, x: usize, y: usize, probs: &[f64]) {
-        assert_eq!(probs.len(), self.num_classes, "wrong number of class probabilities");
+        assert_eq!(
+            probs.len(),
+            self.num_classes,
+            "wrong number of class probabilities"
+        );
         let off = self.offset(x, y);
         self.data[off..off + self.num_classes].copy_from_slice(probs);
     }
@@ -209,11 +213,7 @@ impl ProbMap {
     pub fn entropy_at(&self, x: usize, y: usize) -> f64 {
         let dist = self.distribution(x, y);
         let q = dist.len() as f64;
-        let raw: f64 = dist
-            .iter()
-            .filter(|p| **p > 0.0)
-            .map(|p| -p * p.ln())
-            .sum();
+        let raw: f64 = dist.iter().filter(|p| **p > 0.0).map(|p| -p * p.ln()).sum();
         (raw / q.ln()).clamp(0.0, 1.0)
     }
 
@@ -272,7 +272,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn one_hot_vec(channel: usize, n: usize) -> Vec<f64> {
-        (0..n).map(|i| if i == channel { 1.0 } else { 0.0 }).collect()
+        (0..n)
+            .map(|i| if i == channel { 1.0 } else { 0.0 })
+            .collect()
     }
 
     #[test]

@@ -121,7 +121,10 @@ impl NetworkProfile {
             ("true_class_residual", self.true_class_residual),
             ("rare_class_leak", self.rare_class_leak),
         ] {
-            assert!((0.0..=1.0).contains(&v), "{name} must be in [0, 1], got {v}");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{name} must be in [0, 1], got {v}"
+            );
         }
         assert!(
             self.boundary_confidence <= self.interior_confidence,
@@ -198,7 +201,11 @@ impl NetworkSim {
         &self,
         ground_truth: &LabelMap,
         rng: &mut R,
-    ) -> (LabelMap, Vec<(usize, usize, SemanticClass)>, Vec<(usize, usize)>) {
+    ) -> (
+        LabelMap,
+        Vec<(usize, usize, SemanticClass)>,
+        Vec<(usize, usize)>,
+    ) {
         let (width, height) = ground_truth.shape();
         let mut intended = ground_truth.clone();
 
@@ -388,9 +395,7 @@ impl NetworkSim {
                         if nx < 0 || ny < 0 || nx as usize >= width || ny as usize >= height {
                             continue;
                         }
-                        if intended.class_at(nx as usize, ny as usize)
-                            != intended.class_at(x, y)
-                        {
+                        if intended.class_at(nx as usize, ny as usize) != intended.class_at(x, y) {
                             near_boundary = true;
                             break 'scan;
                         }

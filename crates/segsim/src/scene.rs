@@ -135,7 +135,10 @@ impl SceneConfig {
     /// Panics if the dimensions are zero, any count range is inverted, or the
     /// vertical band fractions exceed one in total.
     pub fn assert_valid(&self) {
-        assert!(self.width > 0 && self.height > 0, "scene dimensions must be non-zero");
+        assert!(
+            self.width > 0 && self.height > 0,
+            "scene dimensions must be non-zero"
+        );
         for (name, (lo, hi)) in [
             ("car_count", self.car_count),
             ("human_count", self.human_count),
@@ -150,7 +153,10 @@ impl SceneConfig {
             self.sky_fraction >= 0.0 && self.road_fraction >= 0.0 && self.sidewalk_fraction >= 0.0,
             "band fractions must be non-negative"
         );
-        assert!(total < 1.0, "band fractions must leave room for the building band");
+        assert!(
+            total < 1.0,
+            "band fractions must leave room for the building band"
+        );
         assert!(
             (0.0..=1.0).contains(&self.void_margin_probability),
             "void_margin_probability must be a probability"
@@ -259,10 +265,7 @@ impl Scene {
                 class: sign_class,
                 shape: ShapeKind::Rectangle,
                 center: (cx, base_y - pole_height),
-                half_size: (
-                    rng.gen_range(1.5..3.5),
-                    rng.gen_range(1.5..3.0),
-                ),
+                half_size: (rng.gen_range(1.5..3.5), rng.gen_range(1.5..3.0)),
                 velocity: (0.0, 0.0),
             });
         }
@@ -322,10 +325,7 @@ impl Scene {
                 class,
                 shape: ShapeKind::Ellipse,
                 center: (rng.gen_range(0.0..width as f64), cy),
-                half_size: (
-                    rng.gen_range(1.5..4.0),
-                    rng.gen_range(3.0..6.0),
-                ),
+                half_size: (rng.gen_range(1.5..4.0), rng.gen_range(3.0..6.0)),
                 velocity: (rng.gen_range(-2.0..2.0), 0.0),
             });
         }

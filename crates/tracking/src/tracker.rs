@@ -198,8 +198,7 @@ impl SegmentTracker {
                         })
                         .collect();
                     let overlap = metaseg_imgproc::iou(&shifted, &pixels);
-                    if overlap >= self.config.min_overlap
-                        && best.map_or(true, |(_, b)| overlap > b)
+                    if overlap >= self.config.min_overlap && best.map_or(true, |(_, b)| overlap > b)
                     {
                         best = Some((track_idx, overlap));
                     }
@@ -257,8 +256,8 @@ mod tests {
     /// A map with one moving car rectangle and one static human ellipse-ish blob.
     fn moving_scene(t: usize) -> LabelMap {
         LabelMap::from_fn(40, 16, |x, y| {
-            let car = y >= 10 && y < 14 && x >= 4 + 2 * t && x < 12 + 2 * t;
-            let human = y >= 4 && y < 8 && x >= 30 && x < 33;
+            let car = (10..14).contains(&y) && (4 + 2 * t..12 + 2 * t).contains(&x);
+            let human = (4..8).contains(&y) && (30..33).contains(&x);
             if car {
                 SemanticClass::Car
             } else if human {
@@ -306,14 +305,14 @@ mod tests {
     fn different_classes_never_match() {
         // A car that "turns into" a bus at the same location must start a new track.
         let frame_car = LabelMap::from_fn(20, 10, |x, y| {
-            if x >= 5 && x < 12 && y >= 3 && y < 7 {
+            if (5..12).contains(&x) && (3..7).contains(&y) {
                 SemanticClass::Car
             } else {
                 SemanticClass::Road
             }
         });
         let frame_bus = LabelMap::from_fn(20, 10, |x, y| {
-            if x >= 5 && x < 12 && y >= 3 && y < 7 {
+            if (5..12).contains(&x) && (3..7).contains(&y) {
                 SemanticClass::Bus
             } else {
                 SemanticClass::Road
@@ -371,7 +370,10 @@ mod tests {
         let result = tracker.track(&frames);
         let frame0 = &result.frames()[0];
         for segment in &frame0.segments {
-            assert_eq!(frame0.track_of_region(segment.region_id), Some(segment.track_id));
+            assert_eq!(
+                frame0.track_of_region(segment.region_id),
+                Some(segment.track_id)
+            );
         }
         assert_eq!(frame0.track_of_region(9999), None);
     }

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = metaseg.run(&frames, &mut rng)?;
 
     // 3. Print the headline numbers (the structure of the paper's Table I).
-    println!("segments in the structured dataset : {}", report.segment_count);
+    println!(
+        "segments in the structured dataset : {}",
+        report.segment_count
+    );
     println!(
         "segments with IoU > 0               : {:.1}%",
         report.positive_fraction * 100.0

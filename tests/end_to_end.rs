@@ -42,7 +42,9 @@ fn full_metaseg_pipeline_beats_the_entropy_baseline() {
         "all metrics should not lose to the entropy baseline"
     );
     assert!(report.regression.val_r2.mean() > report.regression_entropy.val_r2.mean() - 0.02);
-    assert!(report.regression.val_sigma.mean() <= report.regression_entropy.val_sigma.mean() + 0.02);
+    assert!(
+        report.regression.val_sigma.mean() <= report.regression_entropy.val_sigma.mean() + 0.02
+    );
 }
 
 #[test]
@@ -84,8 +86,7 @@ fn decision_rules_work_on_simulated_predictions() {
     assert_eq!(bayes.shape(), ml.shape());
     // The ML rule predicts at least as many person pixels as Bayes.
     assert!(
-        ml.class_pixel_count(SemanticClass::Human)
-            >= bayes.class_pixel_count(SemanticClass::Human)
+        ml.class_pixel_count(SemanticClass::Human) >= bayes.class_pixel_count(SemanticClass::Human)
     );
 }
 

@@ -47,7 +47,9 @@ fn compositions_assemble_and_train() {
         let mut pseudo_analysis = pipeline.analyze_sequence(pseudo_seq);
         let labeled: std::collections::HashSet<usize> =
             real_seq.labeled_indices().into_iter().collect();
-        pseudo_analysis.labeled_frames.retain(|f| !labeled.contains(f));
+        pseudo_analysis
+            .labeled_frames
+            .retain(|f| !labeled.contains(f));
 
         if i == 0 {
             test.extend_from(&pipeline.time_series_dataset(&real_analysis, 2));
@@ -84,7 +86,10 @@ fn pseudo_ground_truth_is_close_to_reality() {
     let mut count = 0usize;
     for (s, sequence) in pseudo_dataset.sequences.iter().enumerate() {
         for (t, frame) in sequence.frames.iter().enumerate() {
-            let pseudo = frame.ground_truth.as_ref().expect("all frames are labelled");
+            let pseudo = frame
+                .ground_truth
+                .as_ref()
+                .expect("all frames are labelled");
             let real = scenario.ground_truth(s, t).expect("ground truth is kept");
             total += real.pixel_accuracy(pseudo).expect("same shape");
             count += 1;

@@ -1,0 +1,165 @@
+//! Offline stand-in for the parts of `criterion` this workspace uses.
+//!
+//! Implements [`Criterion::benchmark_group`], `sample_size`,
+//! `bench_function`, [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros with a straightforward wall-clock measurement
+//! loop (median over the configured samples). No plots, no statistics engine
+//! — the goal is that `cargo bench` runs to completion and prints a stable,
+//! comparable number per benchmark.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per sample; keeps full `cargo bench` runs fast
+/// while still averaging over enough iterations for stable numbers.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(200);
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark (group of one).
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group(id.as_ref().to_string());
+        group.bench_function("run", f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(2);
+        self
+    }
+
+    /// Measures one benchmark of the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, id.as_ref(), &mut bencher.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is per bench).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, collecting one duration-per-iteration sample per
+    /// configured sample.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and calibration: how many iterations fit the target time?
+        let calibration_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = calibration_start.elapsed();
+        let iterations = if once.is_zero() {
+            1_000
+        } else {
+            (TARGET_SAMPLE_TIME.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as usize
+        };
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iterations {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iterations as u32);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{group}/{id}: median {} (min {}, max {}, {} samples)",
+        format_duration(median),
+        format_duration(min),
+        format_duration(max),
+        samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Prevents the optimiser from deleting a value or the work producing it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the parts of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] macro, the `prop_assert*` / [`prop_assume!`]
+//! macros, range/tuple/`any::<bool>()` strategies and the
+//! [`collection`] strategies (`vec`, `hash_set`) on top of a deterministic
+//! seeded runner. Shrinking is intentionally not implemented: on failure the
+//! runner panics with the failing case index so the case can be replayed
+//! (generation is a pure function of test name and case index).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod prelude;
+
+mod strategy;
+
+pub use strategy::{any, AnyValue, Arbitrary, Strategy};
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases, overridable through the `PROPTEST_CASES` environment
+    /// variable (mirroring upstream proptest's env override).
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the test fails.
+    Fail(String),
+    /// `prop_assume!` filtered the case out; the runner draws a fresh one.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+}
+
+/// Result type returned by the generated test-case closures.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic test-case driver.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `case` until `config.cases` cases pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a case fails or when too many cases are rejected by
+    /// `prop_assume!`.
+    pub fn run(&mut self, name: &str, mut case: impl FnMut(&mut StdRng) -> TestCaseResult) {
+        let base_seed = fnv1a(name.as_bytes());
+        let mut passed = 0u32;
+        let mut attempt = 0u64;
+        let max_attempts = u64::from(self.config.cases) * 32 + 256;
+        while passed < self.config.cases {
+            attempt += 1;
+            assert!(
+                attempt <= max_attempts,
+                "proptest '{name}': too many rejected cases ({} passed of {})",
+                passed,
+                self.config.cases
+            );
+            let mut rng =
+                StdRng::seed_from_u64(base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => continue,
+                Err(TestCaseError::Fail(message)) => {
+                    panic!("proptest '{name}' failed at attempt {attempt}: {message}")
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Declares property-based tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($config:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __runner = $crate::TestRunner::new($config);
+                __runner.run(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left == *__right,
+            "assertion failed: `{:?} == {:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(*__left == *__right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__left != *__right,
+            "assertion failed: `{:?} != {:?}`",
+            __left,
+            __right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__left, __right) = (&$left, &$right);
+        $crate::prop_assert!(*__left != *__right, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case, asking the runner for a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}

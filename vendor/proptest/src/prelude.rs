@@ -1,0 +1,7 @@
+//! The commonly imported surface, mirroring `proptest::prelude`.
+
+pub use crate::strategy::{any, Arbitrary, Strategy};
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+    TestCaseError, TestCaseResult, TestRunner,
+};

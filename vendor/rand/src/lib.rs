@@ -1,0 +1,179 @@
+//! Offline stand-in for the parts of the `rand` crate this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, self-contained implementation of the `rand` API surface the
+//! MetaSeg reproduction relies on: [`Rng::gen_range`], [`Rng::gen_bool`],
+//! [`Rng::gen`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256** seeded via
+//! SplitMix64 — deterministic, high quality, and entirely dependency-free.
+//!
+//! Stream values differ from the upstream `rand` crate (which is fine: every
+//! consumer in this workspace only requires determinism for a fixed seed, not
+//! a specific stream).
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+mod range;
+
+pub use range::{SampleRange, SampleUniform};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit value of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform value in the given range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability must lie in [0, 1]"
+        );
+        self.next_f64() < p
+    }
+
+    /// A uniform value of a type with a canonical "standard" distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a canonical uniform ("standard") distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Constructing a generator from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let f = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+            let u = rng.gen_range(0u16..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        use crate::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut values: Vec<usize> = (0..50).collect();
+        values.shuffle(&mut rng);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(values, sorted, "a 50-element shuffle should move something");
+    }
+}

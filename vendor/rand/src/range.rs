@@ -1,0 +1,120 @@
+//! Uniform sampling from `Range` / `RangeInclusive` bounds.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A range that can produce a uniform sample of type `T`, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+// A single blanket impl per range shape (rather than one impl per element
+// type) mirrors upstream `rand` and is what makes call-site type inference
+// work: `values[rng.gen_range(0..len)]` must unify the literal's integer
+// variable with `usize` through the one applicable impl.
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Element types with a uniform sampler, mirroring
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// A uniform sample in `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interval is empty.
+    fn sample_between<R: RngCore>(rng: &mut R, low: Self, high: Self, inclusive: bool) -> Self;
+}
+
+/// Uniform `u64` in `[0, span)` by widening multiplication (Lemire's method);
+/// the bias for any span representable here is at most 2^-64 per draw.
+fn sample_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(rng: &mut R, low: $t, high: $t, inclusive: bool) -> $t {
+                if inclusive {
+                    assert!(low <= high, "cannot sample from empty range");
+                    if low == 0 && high as u128 == <$t>::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    low + sample_below(rng, high as u64 - low as u64 + 1) as $t
+                } else {
+                    assert!(low < high, "cannot sample from empty range");
+                    low + sample_below(rng, high as u64 - low as u64) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(rng: &mut R, low: $t, high: $t, inclusive: bool) -> $t {
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                if inclusive {
+                    assert!(low <= high, "cannot sample from empty range");
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as i64).wrapping_add(sample_below(rng, span + 1) as i64) as $t
+                } else {
+                    assert!(low < high, "cannot sample from empty range");
+                    (low as i64).wrapping_add(sample_below(rng, span) as i64) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore>(rng: &mut R, low: $t, high: $t, inclusive: bool) -> $t {
+                let unit = rng.next_f64() as $t;
+                if inclusive {
+                    assert!(low <= high, "cannot sample from empty range");
+                    low + unit * (high - low)
+                } else {
+                    assert!(low < high, "cannot sample from empty range");
+                    let value = low + unit * (high - low);
+                    // Floating-point rounding may land exactly on `high`;
+                    // step back inside the half-open interval.
+                    if value >= high {
+                        <$t>::from_bits(high.to_bits() - 1).max(low)
+                    } else {
+                        value
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);

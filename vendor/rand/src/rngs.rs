@@ -1,0 +1,53 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256** with SplitMix64 seeding.
+///
+/// Mirrors `rand::rngs::StdRng` in role (a good general-purpose seeded
+/// generator), not in stream: values differ from upstream `rand`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: [u64; 4],
+}
+
+/// One step of the SplitMix64 sequence, used to expand the 64-bit seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state.
+        if state == [0; 4] {
+            state = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+        }
+        Self { state }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.state = s;
+        result
+    }
+}

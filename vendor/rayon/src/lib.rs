@@ -1,0 +1,217 @@
+//! Offline stand-in for the parts of `rayon` this workspace uses.
+//!
+//! Real data parallelism on scoped OS threads: `par_iter().map(..).collect()`
+//! over slices and `(0..n).into_par_iter()` over index ranges. Work is split
+//! into one contiguous chunk per worker, results are stitched back together
+//! in order, so the output is identical to the sequential equivalent.
+//!
+//! Thread count defaults to the machine's available parallelism and can be
+//! pinned with the `RAYON_NUM_THREADS` environment variable, mirroring rayon.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+pub mod prelude {
+    //! The commonly imported surface, mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads used by the parallel operations.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Applies `f` to every element of `items` in parallel, preserving order.
+pub fn par_map<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
+/// By-reference parallel iteration, mirroring `rayon::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// A parallel iterator over references to the elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// By-value parallel iteration, mirroring `rayon::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        par_map(self.items, f);
+    }
+}
+
+/// The result of [`ParIter::map`].
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F> ParMap<'a, T, F>
+where
+    T: Sync,
+{
+    /// Evaluates the map in parallel and collects the results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Parallel iterator over an index range.
+#[derive(Debug)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps every index through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParRangeMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        ParRangeMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParRange::map`].
+#[derive(Debug)]
+pub struct ParRangeMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Evaluates the map in parallel and collects the results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let indices: Vec<usize> = self.range.collect();
+        let f = self.f;
+        par_map(&indices, |&i| f(i)).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_matches_sequential_order() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let out: Vec<u8> = empty.par_iter().map(|&b| b).collect();
+        assert!(out.is_empty());
+        let one = [7usize];
+        let out: Vec<usize> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

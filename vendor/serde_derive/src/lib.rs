@@ -1,0 +1,378 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's [`Value`] document model with a small hand-rolled
+//! token parser (the real `serde_derive` depends on `syn`/`quote`, which are
+//! unavailable without a crates.io mirror). Supports named-field structs
+//! (including generic ones), tuple structs, unit structs, and enums with
+//! unit, tuple and struct variants — the full shape surface of this
+//! workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed `struct`/`enum` definition, reduced to what codegen needs.
+struct Input {
+    name: String,
+    /// Generic parameters in declaration order.
+    generics: Vec<GenericParam>,
+    kind: Kind,
+}
+
+enum GenericParam {
+    Lifetime(String),
+    Type(String),
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let (impl_generics, ty_generics) = generics_split(&parsed.generics, "::serde::Serialize");
+    let body = serialize_body(&parsed);
+    format!(
+        "impl{impl_generics} ::serde::Serialize for {}{ty_generics} {{\n\
+         fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        parsed.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let (impl_generics, ty_generics) = generics_split(&parsed.generics, "::serde::Deserialize");
+    format!(
+        "impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{}}",
+        parsed.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Renders `(impl generics, type generics)` with `bound` applied to every
+/// type parameter, e.g. `(<'a, T: ::serde::Serialize>, <'a, T>)`.
+fn generics_split(generics: &[GenericParam], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let with_bounds: Vec<String> = generics
+        .iter()
+        .map(|p| match p {
+            GenericParam::Lifetime(l) => l.clone(),
+            GenericParam::Type(t) => format!("{t}: {bound}"),
+        })
+        .collect();
+    let plain: Vec<String> = generics
+        .iter()
+        .map(|p| match p {
+            GenericParam::Lifetime(l) => l.clone(),
+            GenericParam::Type(t) => t.clone(),
+        })
+        .collect();
+    (
+        format!("<{}>", with_bounds.join(", ")),
+        format!("<{}>", plain.join(", ")),
+    )
+}
+
+fn serialize_body(input: &Input) -> String {
+    match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(count) => {
+            let entries: Vec<String> = (0..*count)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            if *count == 1 {
+                entries[0].clone()
+            } else {
+                format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+            }
+        }
+        Kind::UnitStruct => "::serde::Value::Object(vec![])".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&input.name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => {
+            format!("{enum_name}::{v} => ::serde::Value::String(\"{v}\".to_string()),")
+        }
+        VariantFields::Tuple(count) => {
+            let binders: Vec<String> = (0..*count).map(|i| format!("__f{i}")).collect();
+            let values: Vec<String> = binders
+                .iter()
+                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                .collect();
+            let payload = if *count == 1 {
+                values[0].clone()
+            } else {
+                format!("::serde::Value::Array(vec![{}])", values.join(", "))
+            };
+            format!(
+                "{enum_name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), {payload})]),",
+                binders.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"))
+                .collect();
+            format!(
+                "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                fields.join(", "),
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+// --- token-level parsing ---------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+    skip_where_clause(&tokens, &mut i);
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the type name, returning the declared parameters.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<GenericParam> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                depth += 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                depth -= 1;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                *i += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '\'' && depth == 1 && at_param_start => {
+                *i += 1;
+                let name = expect_ident(tokens, i);
+                params.push(GenericParam::Lifetime(format!("'{name}")));
+                at_param_start = false;
+            }
+            Some(TokenTree::Ident(id)) if depth == 1 && at_param_start => {
+                let text = id.to_string();
+                if text == "const" {
+                    panic!(
+                        "const generic parameters are not supported by the vendored serde_derive"
+                    );
+                }
+                params.push(GenericParam::Type(text));
+                at_param_start = false;
+                *i += 1;
+            }
+            Some(_) => {
+                // Bounds, defaults, nested generics: not needed for codegen.
+                *i += 1;
+            }
+            None => panic!("unbalanced generics in derive input"),
+        }
+    }
+    params
+}
+
+fn skip_where_clause(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while let Some(token) = tokens.get(*i) {
+            if matches!(token, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+                break;
+            }
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ';') {
+                break;
+            }
+            *i += 1;
+        }
+    }
+}
+
+/// Extracts the field names from the body of a named-field struct or variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        // Skip `: Type` up to the next top-level comma. Groups are atomic
+        // token trees, so only `<`/`>` need explicit depth tracking.
+        let mut depth = 0usize;
+        while let Some(token) = tokens.get(i) {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    for (idx, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth = depth.saturating_sub(1),
+            // Count separating commas only; a trailing comma ends the list.
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 && idx + 1 < tokens.len() => {
+                count += 1;
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional `= discriminant` up to the next comma.
+        while let Some(token) = tokens.get(i) {
+            if matches!(token, TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
