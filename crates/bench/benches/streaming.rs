@@ -1,0 +1,97 @@
+//! Criterion benchmark: online streaming engine throughput and the
+//! bounded-window memory proxy.
+//!
+//! Reports the per-frame cost of the full online path (single-pass metric
+//! extraction → incremental tracking → windowed feature assembly → meta
+//! inference) and prints a frames/sec + window-store summary so the
+//! steady-state memory plateau is recorded alongside the timing baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use metaseg::stream::{MetaSegStream, StreamConfig};
+use metaseg::timedyn::{MetaModel, TimeDynConfig, TimeDynamic};
+use metaseg_data::Frame;
+use metaseg_learners::{MetaPredictor, TabularDataset};
+use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
+use rand::{rngs::StdRng, SeedableRng};
+use std::time::Instant;
+
+fn fitted(pipeline: &TimeDynamic, scenario: &VideoScenario, length: usize) -> MetaPredictor {
+    let mut train = TabularDataset::new();
+    for sequence in &scenario.dataset().sequences {
+        let analysis = pipeline.analyze_sequence(sequence);
+        train.extend_from(&pipeline.time_series_dataset(&analysis, length));
+    }
+    pipeline
+        .fit_predictor(MetaModel::GradientBoosting, &train, 0)
+        .expect("training data is non-degenerate")
+}
+
+fn clip(scenario: &VideoScenario, laps: usize) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    for _ in 0..laps {
+        frames.extend(scenario.stream_sequence(0).expect("sequence 0 exists"));
+    }
+    frames
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(10);
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    let scenario = VideoScenario::generate(&VideoConfig::small(), &sim, &mut rng);
+    let pipeline = TimeDynamic::new(TimeDynConfig::default());
+    let predictor = fitted(&pipeline, &scenario, 3);
+    let config = StreamConfig::from(*pipeline.config());
+    let frames = clip(&scenario, 5);
+
+    group.bench_function("push_frame_online_verdicts", |b| {
+        let mut engine =
+            MetaSegStream::new(config, predictor.clone()).expect("predictor fits the window");
+        let mut cursor = 0usize;
+        b.iter(|| {
+            let frame = &frames[cursor % frames.len()];
+            cursor += 1;
+            black_box(engine.push_frame(frame))
+        })
+    });
+
+    group.bench_function("drain_60_frame_clip", |b| {
+        b.iter(|| {
+            let mut engine =
+                MetaSegStream::new(config, predictor.clone()).expect("predictor fits the window");
+            black_box(engine.drain(frames.iter().cloned()))
+        })
+    });
+
+    group.finish();
+
+    // Recorded baseline: sustained throughput and the window-store RSS
+    // proxy after a long steady-state run (5 laps over the clip).
+    let mut engine = MetaSegStream::new(config, predictor).expect("predictor fits the window");
+    let start = Instant::now();
+    for frame in &frames {
+        black_box(engine.push_frame(frame));
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.window_stats();
+    println!(
+        "streaming/steady_state: {} frames in {:.3} ms => {:.0} frames/sec",
+        frames.len(),
+        elapsed.as_secs_f64() * 1e3,
+        frames.len() as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "streaming/window_store: live_tracks {} entries {} peak_entries {} peak_tracks {} approx_bytes {} peak_approx_bytes {}",
+        stats.live_tracks,
+        stats.entries,
+        stats.peak_entries,
+        stats.peak_tracks,
+        stats.approx_bytes,
+        stats.peak_approx_bytes
+    );
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -8,7 +8,11 @@
 //!   `figures/`,
 //! * `benches/` contains Criterion micro benchmarks of the building blocks
 //!   (scene generation, metric construction, meta-model training, tracking,
-//!   decision rules) plus the ablation benches called out in `DESIGN.md`.
+//!   decision rules, the streaming engine) plus the ablation benches called
+//!   out in `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::path::{Path, PathBuf};
 

@@ -11,6 +11,7 @@ use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the video (Fig. 2 / Table II) experiment.
@@ -213,18 +214,20 @@ pub fn run(config: &VideoExperimentConfig) -> Result<VideoExperimentResult, Meta
 
     let pipeline = TimeDynamic::new(config.timedyn);
 
-    // Per-sequence analyses. Pseudo analyses are restricted to the frames
-    // that had no real label so that RP/RAP do not duplicate real samples.
+    // Per-sequence analyses, sharded across rayon workers — each video is an
+    // independent stream, so one worker per sequence. Pseudo analyses are
+    // restricted to the frames that had no real label so that RP/RAP do not
+    // duplicate real samples.
     let real_analyses: Vec<_> = real_dataset
         .sequences
-        .iter()
+        .par_iter()
         .map(|s| pipeline.analyze_sequence(s))
         .collect();
-    let pseudo_analyses: Vec<_> = pseudo_dataset
-        .sequences
-        .iter()
-        .zip(&real_dataset.sequences)
-        .map(|(pseudo_seq, real_seq)| {
+    let pseudo_analyses: Vec<_> = (0..pseudo_dataset.sequences.len())
+        .into_par_iter()
+        .map(|i| {
+            let pseudo_seq = &pseudo_dataset.sequences[i];
+            let real_seq = &real_dataset.sequences[i];
             let mut analysis = pipeline.analyze_sequence(pseudo_seq);
             let real_labeled: std::collections::HashSet<usize> =
                 real_seq.labeled_indices().into_iter().collect();

@@ -20,6 +20,13 @@
 //!    the Maximum-Likelihood rule instead of the Bayes rule to recover
 //!    overlooked rare-class segments — see [`fnr`].
 //!
+//! Beyond the paper, the [`stream`] module turns the time-dynamic pipeline
+//! into an **online, bounded-memory engine**: frames are pushed one at a
+//! time, metric extraction runs single-pass, tracking is incremental, and a
+//! pre-fitted [`metaseg_learners::MetaPredictor`] emits per-segment verdicts
+//! in the same frame — with memory proportional to the last few frames, not
+//! the clip.
+//!
 //! The [`experiment`] module contains one runner per table/figure of the
 //! paper; the `metaseg-bench` crate wraps them in binaries and Criterion
 //! benchmarks.
@@ -55,6 +62,7 @@ pub mod metaseg;
 pub mod metrics;
 pub mod multires;
 pub mod pipeline;
+pub mod stream;
 pub mod timedyn;
 pub mod visualize;
 
@@ -64,4 +72,10 @@ pub use crate::metaseg::{
 pub use compositions::Composition;
 pub use error::MetaSegError;
 pub use metrics::{segment_metrics, FeatureSet, MetricsConfig, SegmentRecord};
-pub use pipeline::{frame_metrics, frame_metrics_with_labels, FrameBatch};
+pub use pipeline::{
+    frame_metrics, frame_metrics_with_components, frame_metrics_with_labels, FrameBatch,
+};
+pub use stream::{
+    process_videos, shard_streams, FrameVerdicts, MetaSegStream, SegmentVerdict, StreamConfig,
+    StreamReport, WindowStats,
+};

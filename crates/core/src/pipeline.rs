@@ -18,7 +18,7 @@
 //! 1. the Bayes label map and its connected components are built once,
 //! 2. every pixel is visited exactly once; its softmax distribution is read
 //!    once and all dispersion values are derived from that single read,
-//! 3. the pixel's values are folded into the [`SegmentAccumulator`] of its
+//! 3. the pixel's values are folded into the `SegmentAccumulator` of its
 //!    component — boundary membership is decided on the spot from the
 //!    component-label grid (a pixel is inner boundary iff a 4-neighbour lies
 //!    outside the component), and each pixel lands in exactly one of the
@@ -47,7 +47,7 @@
 //!
 //! * **intra-frame sharding** — split the pixel pass into horizontal bands
 //!   with one accumulator set per band and merge (accumulators are a
-//!   commutative monoid under [`SegmentAccumulator::merge`]),
+//!   commutative monoid under `SegmentAccumulator::merge`),
 //! * **batching / streaming** — [`FrameBatch::map_frames`] is the generic
 //!   parallel-per-frame primitive; chunked or async ingestion only needs to
 //!   feed it,
@@ -59,6 +59,7 @@ pub mod reference;
 
 use crate::metrics::{MetricsConfig, SegmentRecord, BASE_METRIC_COUNT, METRIC_COUNT, NUM_CHANNELS};
 use metaseg_data::{Frame, LabelMap, ProbMap, SemanticClass};
+use metaseg_imgproc::ComponentLabels;
 use rayon::prelude::*;
 use std::collections::HashMap;
 
@@ -147,6 +148,22 @@ pub fn frame_metrics_with_labels(
     config: &MetricsConfig,
 ) -> Vec<SegmentRecord> {
     let components = predicted_labels.segments(config.connectivity);
+    frame_metrics_with_components(prediction, &components, ground_truth, config)
+}
+
+/// [`frame_metrics_with_labels`] with caller-supplied connected components
+/// of the Bayes label map.
+///
+/// The streaming engine labels each frame exactly once and shares the
+/// components between metric extraction and the incremental tracker; this
+/// entry point is what makes that sharing possible. `components` must come
+/// from the same label map and connectivity as `config.connectivity`.
+pub fn frame_metrics_with_components(
+    prediction: &ProbMap,
+    components: &ComponentLabels,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+) -> Vec<SegmentRecord> {
     let labels = components.labels();
     let segment_count = components.component_count();
     let (width, height) = prediction.shape();

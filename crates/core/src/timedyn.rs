@@ -8,17 +8,19 @@
 //! tasks.
 
 use crate::error::MetaSegError;
-use crate::metrics::{MetricsConfig, SegmentRecord, METRIC_COUNT};
+use crate::metrics::{MetricsConfig, SegmentRecord};
 use crate::pipeline::FrameBatch;
+use crate::stream::{MetaSegStream, StreamConfig, TrackWindows};
 use metaseg_data::Sequence;
 use metaseg_eval::{accuracy, auroc, r_squared, residual_sigma};
 use metaseg_learners::{
-    BinaryClassifier, BoostingConfig, GradientBoostingClassifier, GradientBoostingRegressor,
-    MlpClassifier, MlpConfig, MlpRegressor, Regressor, StandardScaler, TabularDataset,
+    BoostingConfig, FittedClassifier, FittedRegressor, GradientBoostingClassifier,
+    GradientBoostingRegressor, MetaPredictor, MlpClassifier, MlpConfig, MlpRegressor,
+    StandardScaler, TabularDataset,
 };
 use metaseg_tracking::{SegmentTracker, TrackerConfig, TrackingResult};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 /// Configuration of the time-dynamic pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -124,6 +126,11 @@ impl TimeDynamic {
     /// missing history (track too young) is padded by repeating the oldest
     /// available metric vector, as in the reference implementation.
     ///
+    /// The batch path is "drain the stream": the analysed clip is replayed
+    /// through the same bounded [`TrackWindows`] ring buffers the online
+    /// engine uses, so batch rows and streaming features share one assembly
+    /// code path by construction.
+    ///
     /// # Panics
     ///
     /// Panics if `length` is zero or exceeds `max_history + 1`.
@@ -136,63 +143,126 @@ impl TimeDynamic {
             length >= 1 && length <= self.config.max_history + 1,
             "length must lie in 1..=max_history+1"
         );
-        // Index: (frame, track_id) -> index into records[frame].
-        let mut by_track: Vec<HashMap<usize, usize>> = Vec::with_capacity(analysis.records.len());
-        for (frame_idx, frame_records) in analysis.records.iter().enumerate() {
-            let mut map = HashMap::new();
-            if let Some(frame_tracks) = analysis.tracking.frames().get(frame_idx) {
-                for (record_idx, record) in frame_records.iter().enumerate() {
-                    if let Some(track_id) = frame_tracks.track_of_region(record.region_id) {
-                        map.insert(track_id, record_idx);
-                    }
-                }
-            }
-            by_track.push(map);
-        }
-
+        let labeled: HashSet<usize> = analysis.labeled_frames.iter().copied().collect();
+        let mut windows = TrackWindows::new(length);
         let mut dataset = TabularDataset::new();
-        for &frame_idx in &analysis.labeled_frames {
-            let frame_records = &analysis.records[frame_idx];
+        for (frame_idx, frame_records) in analysis.records.iter().enumerate() {
             let frame_tracks = match analysis.tracking.frames().get(frame_idx) {
                 Some(t) => t,
                 None => continue,
             };
             for record in frame_records {
-                let target = match record.iou {
-                    Some(v) => v,
-                    None => continue,
-                };
-                let track_id = match frame_tracks.track_of_region(record.region_id) {
-                    Some(id) => id,
-                    None => continue,
-                };
-                // Assemble the time series: current frame first, then history.
-                let mut features = Vec::with_capacity(length * METRIC_COUNT);
-                features.extend_from_slice(&record.metrics);
-                let mut last = record.metrics.clone();
-                for step in 1..length {
-                    let past_frame = frame_idx.checked_sub(step);
-                    let past = past_frame
-                        .and_then(|pf| by_track[pf].get(&track_id).map(|&idx| (pf, idx)))
-                        .map(|(pf, idx)| analysis.records[pf][idx].metrics.clone());
-                    match past {
-                        Some(metrics) => {
-                            features.extend_from_slice(&metrics);
-                            last = metrics;
-                        }
-                        // Track does not reach back this far: pad with the
-                        // oldest observation found so far.
-                        None => features.extend_from_slice(&last),
-                    }
+                if let Some(track_id) = frame_tracks.track_of_region(record.region_id) {
+                    windows.observe(frame_idx, track_id, &record.metrics);
                 }
-                dataset.push(features, target);
             }
+            if labeled.contains(&frame_idx) {
+                for record in frame_records {
+                    let target = match record.iou {
+                        Some(v) => v,
+                        None => continue,
+                    };
+                    let track_id = match frame_tracks.track_of_region(record.region_id) {
+                        Some(id) => id,
+                        None => continue,
+                    };
+                    let features = windows.features(frame_idx, track_id, &record.metrics);
+                    dataset.push(features, target);
+                }
+            }
+            windows.prune(frame_idx);
         }
         dataset
     }
 
+    /// Trains the chosen meta-model family on `train` and returns the
+    /// serializable inference handle (scaler + classifier + regressor) the
+    /// online engine serves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MetaSegError`] if the dataset is empty or degenerate.
+    pub fn fit_predictor(
+        &self,
+        model: MetaModel,
+        train: &TabularDataset,
+        seed: u64,
+    ) -> Result<MetaPredictor, MetaSegError> {
+        if train.is_empty() {
+            return Err(MetaSegError::NoLabeledData);
+        }
+        let train_labels = train.binary_targets(0.0);
+        let positives = train_labels.iter().filter(|&&l| l).count();
+        if positives == 0 || positives == train_labels.len() {
+            return Err(MetaSegError::DegenerateMetaLabels);
+        }
+
+        let scaler = StandardScaler::fit(&train.features)?;
+        let train_features = scaler.transform(&train.features);
+
+        let (classifier, regressor) = match model {
+            MetaModel::GradientBoosting => {
+                let config = BoostingConfig {
+                    n_estimators: 40,
+                    learning_rate: 0.15,
+                    ..BoostingConfig::default()
+                };
+                (
+                    FittedClassifier::Boosting(GradientBoostingClassifier::fit(
+                        &train_features,
+                        &train_labels,
+                        config,
+                    )?),
+                    FittedRegressor::Boosting(GradientBoostingRegressor::fit(
+                        &train_features,
+                        &train.targets,
+                        config,
+                    )?),
+                )
+            }
+            MetaModel::NeuralNetwork => {
+                let config = MlpConfig {
+                    hidden_units: 24,
+                    l2_penalty: 1e-3,
+                    epochs: 120,
+                    seed,
+                    ..MlpConfig::default()
+                };
+                (
+                    FittedClassifier::Mlp(MlpClassifier::fit(
+                        &train_features,
+                        &train_labels,
+                        config,
+                    )?),
+                    FittedRegressor::Mlp(MlpRegressor::fit(
+                        &train_features,
+                        &train.targets,
+                        config,
+                    )?),
+                )
+            }
+        };
+        Ok(MetaPredictor::new(scaler, classifier, regressor))
+    }
+
+    /// Opens a streaming engine serving a predictor fitted by
+    /// [`TimeDynamic::fit_predictor`], with window, metric and tracker
+    /// configuration matching this batch pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaSegError::InvalidConfig`] if the predictor's time-series
+    /// depth exceeds `max_history + 1`.
+    pub fn open_stream(&self, predictor: MetaPredictor) -> Result<MetaSegStream, MetaSegError> {
+        MetaSegStream::new(StreamConfig::from(self.config), predictor)
+    }
+
     /// Trains the chosen meta models on `train` and evaluates them on `test`,
     /// returning `(accuracy, auroc, sigma, r2)` on the test split.
+    ///
+    /// Implemented as [`TimeDynamic::fit_predictor`] followed by inference
+    /// through the resulting handle — the same code path the streaming
+    /// engine serves.
     ///
     /// # Errors
     ///
@@ -204,53 +274,13 @@ impl TimeDynamic {
         test: &TabularDataset,
         seed: u64,
     ) -> Result<TimeDynScores, MetaSegError> {
-        if train.is_empty() || test.is_empty() {
+        if test.is_empty() {
             return Err(MetaSegError::NoLabeledData);
         }
-        let train_labels = train.binary_targets(0.0);
+        let predictor = self.fit_predictor(model, train, seed)?;
         let test_labels = test.binary_targets(0.0);
-        let positives = train_labels.iter().filter(|&&l| l).count();
-        if positives == 0 || positives == train_labels.len() {
-            return Err(MetaSegError::DegenerateMetaLabels);
-        }
-
-        let scaler = StandardScaler::fit(&train.features)?;
-        let train_features = scaler.transform(&train.features);
-        let test_features = scaler.transform(&test.features);
-
-        let (scores, predictions): (Vec<f64>, Vec<f64>) = match model {
-            MetaModel::GradientBoosting => {
-                let config = BoostingConfig {
-                    n_estimators: 40,
-                    learning_rate: 0.15,
-                    ..BoostingConfig::default()
-                };
-                let classifier =
-                    GradientBoostingClassifier::fit(&train_features, &train_labels, config)?;
-                let regressor =
-                    GradientBoostingRegressor::fit(&train_features, &train.targets, config)?;
-                (
-                    classifier.predict_proba(&test_features),
-                    regressor.predict(&test_features),
-                )
-            }
-            MetaModel::NeuralNetwork => {
-                let config = MlpConfig {
-                    hidden_units: 24,
-                    l2_penalty: 1e-3,
-                    epochs: 120,
-                    seed,
-                    ..MlpConfig::default()
-                };
-                let classifier = MlpClassifier::fit(&train_features, &train_labels, config)?;
-                let regressor = MlpRegressor::fit(&train_features, &train.targets, config)?;
-                (
-                    classifier.predict_proba(&test_features),
-                    regressor.predict(&test_features),
-                )
-            }
-        };
-        let predictions: Vec<f64> = predictions.into_iter().map(|v| v.clamp(0.0, 1.0)).collect();
+        let scores = predictor.score(&test.features);
+        let predictions = predictor.predict_iou(&test.features);
         let hard: Vec<bool> = scores.iter().map(|s| *s >= 0.5).collect();
 
         Ok(TimeDynScores {
@@ -278,6 +308,7 @@ pub struct TimeDynScores {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::METRIC_COUNT;
     use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
     use rand::{rngs::StdRng, SeedableRng};
 

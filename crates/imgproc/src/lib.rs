@@ -11,12 +11,14 @@
 //! * [`connected_components`] — 4-/8-connected labelling of equal-valued
 //!   regions (the paper's notion of a *segment* is a connected component of a
 //!   predicted class mask),
-//! * [`boundary`] — inner-boundary extraction and boundary length,
+//! * [`inner_boundary`] / [`boundary_length`] — inner-boundary extraction
+//!   and boundary length,
 //! * [`iou`] — intersection-over-union between pixel sets and masks,
-//! * [`resize`] — nearest-neighbour and bilinear resampling (used by the
+//! * [`resize_nearest`] / [`resize_bilinear`] — resampling (used by the
 //!   nested multi-resolution variant of MetaSeg),
-//! * [`render`] — tiny PPM/PGM writers and colour maps so that the figure
-//!   regeneration binaries can emit actual images without an image crate.
+//! * [`Ppm`] / [`ColorMap`] — tiny PPM/PGM writers and colour maps so that
+//!   the figure regeneration binaries can emit actual images without an
+//!   image crate.
 //!
 //! ```
 //! use metaseg_imgproc::{Grid, connected_components, Connectivity};

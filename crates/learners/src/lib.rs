@@ -16,7 +16,10 @@
 //! * [`MlpRegressor`] / [`MlpClassifier`] — one-hidden-layer networks with L2,
 //! * [`smote_regression`] — SmoteR augmentation for continuous targets,
 //! * the [`Regressor`] and [`BinaryClassifier`] traits that the MetaSeg
-//!   pipeline is generic over.
+//!   pipeline is generic over,
+//! * [`MetaPredictor`] with [`FittedClassifier`] / [`FittedRegressor`] — the
+//!   serializable inference handle (scaler + fitted models) that online
+//!   consumers such as the streaming engine carry around.
 //!
 //! ```
 //! use metaseg_learners::{LinearRegression, Regressor};
@@ -34,6 +37,7 @@
 mod boosting;
 mod dataset;
 mod error;
+mod inference;
 mod linear;
 mod logistic;
 mod matrix;
@@ -45,6 +49,7 @@ mod tree;
 pub use boosting::{BoostingConfig, GradientBoostingClassifier, GradientBoostingRegressor};
 pub use dataset::{train_test_split, StandardScaler, TabularDataset};
 pub use error::LearnError;
+pub use inference::{FittedClassifier, FittedRegressor, MetaPredictor};
 pub use linear::{LinearRegression, RidgeRegression};
 pub use logistic::{LogisticConfig, LogisticRegression};
 pub use matrix::{solve_linear_system, Matrix};

@@ -15,7 +15,10 @@
 //!   miscalibrated confidence. Two profiles mimic the paper's strong
 //!   (Xception65-like) and weak (MobilenetV2-like) backbones,
 //! * [`VideoScenario`] — ego-motion video sequences with sparse labelling,
-//!   the stand-in for the KITTI experiments of Section III.
+//!   the stand-in for the KITTI experiments of Section III,
+//! * [`FrameSource`] / [`VideoStream`] — the pull-based streaming surface:
+//!   any `Iterator<Item = Frame>` is a source, and `VideoStream` renders +
+//!   infers frames lazily so online consumers never hold a whole clip.
 //!
 //! The simulator is deliberately *not* a neural network: MetaSeg only ever
 //! consumes the softmax field and the ground truth, so any generator that
@@ -39,9 +42,11 @@
 
 mod network;
 mod scene;
+mod source;
 mod video;
 
 pub use metaseg_data::{LabelMap, ProbMap};
 pub use network::{NetworkProfile, NetworkSim};
 pub use scene::{Scene, SceneConfig, SceneObject, ShapeKind};
+pub use source::{FrameSource, VideoStream};
 pub use video::{VideoConfig, VideoScenario};

@@ -146,6 +146,14 @@ impl VideoScenario {
         self.full_ground_truth.get(sequence)?.get(frame)
     }
 
+    /// Streams the materialised frames of one sequence in temporal order, as
+    /// a pull-based source for `metaseg::stream` consumers (`None` if the
+    /// sequence index is out of range). For a source that never materialises
+    /// the clip in the first place, see [`crate::VideoStream`].
+    pub fn stream_sequence(&self, sequence: usize) -> Option<impl Iterator<Item = Frame> + '_> {
+        Some(self.dataset.sequences.get(sequence)?.frames.iter().cloned())
+    }
+
     /// Attaches pseudo ground truth (predictions of `reference` run on every
     /// unlabelled frame) and returns the resulting dataset. Labelled frames
     /// keep their real annotation.

@@ -44,4 +44,6 @@
 
 mod tracker;
 
-pub use tracker::{FrameTracks, SegmentTracker, TrackedSegment, TrackerConfig, TrackingResult};
+pub use tracker::{
+    FrameTracks, IncrementalTracker, SegmentTracker, TrackedSegment, TrackerConfig, TrackingResult,
+};

@@ -1,7 +1,7 @@
 //! Overlap-based segment tracking with expected-location shifting.
 
 use metaseg_data::{LabelMap, SemanticClass};
-use metaseg_imgproc::{Connectivity, PixelSet};
+use metaseg_imgproc::{ComponentLabels, Connectivity, PixelSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -106,6 +106,8 @@ impl TrackingResult {
 /// Internal per-track state used while matching.
 #[derive(Debug, Clone)]
 struct TrackState {
+    /// Persistent track id (assigned once, never reused).
+    id: usize,
     class: SemanticClass,
     /// Pixels of the most recent observation.
     pixels: PixelSet,
@@ -115,6 +117,184 @@ struct TrackState {
     velocity: (f64, f64),
     /// Frame of the most recent observation.
     last_frame: usize,
+}
+
+/// Incremental, bounded-memory segment tracker.
+///
+/// The streaming counterpart of [`SegmentTracker::track`]: frames are fed one
+/// at a time through [`IncrementalTracker::observe`], which returns the track
+/// assignments of that frame immediately. Tracks that have not been observed
+/// for more than [`TrackerConfig::max_gap`] frames can never be matched again
+/// and are pruned, so the tracker's state stays proportional to the number of
+/// segments seen in the last `max_gap + 1` frames — not to the length of the
+/// stream. Track ids are assigned from a monotone counter and are **never
+/// reused**, even after a track is pruned.
+///
+/// Feeding the frames of a clip through `observe` in order produces exactly
+/// the same assignments as the batch [`SegmentTracker::track`] call (which is
+/// implemented as precisely that loop).
+#[derive(Debug, Clone)]
+pub struct IncrementalTracker {
+    config: TrackerConfig,
+    /// Live tracks in creation order (creation order makes the best-overlap
+    /// tie-break identical to the historical batch implementation).
+    active: Vec<TrackState>,
+    /// Next track id to assign; doubles as the total number of tracks created.
+    next_track_id: usize,
+    /// Index of the next frame `observe` will see.
+    next_frame: usize,
+}
+
+impl IncrementalTracker {
+    /// Creates an incremental tracker with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_overlap` is not in `[0, 1]`.
+    pub fn new(config: TrackerConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.min_overlap),
+            "min_overlap must be in [0, 1]"
+        );
+        Self {
+            config,
+            active: Vec::new(),
+            next_track_id: 0,
+            next_frame: 0,
+        }
+    }
+
+    /// The tracker's configuration.
+    pub fn config(&self) -> &TrackerConfig {
+        &self.config
+    }
+
+    /// Number of frames observed so far.
+    pub fn frames_seen(&self) -> usize {
+        self.next_frame
+    }
+
+    /// Total number of distinct tracks created so far (pruned tracks count;
+    /// ids are never reused).
+    pub fn track_count(&self) -> usize {
+        self.next_track_id
+    }
+
+    /// Number of tracks currently held in memory (the bounded working set).
+    pub fn active_track_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Consumes the next frame of the stream and returns its track
+    /// assignments. Region ids refer to the connected components extracted
+    /// from `map` with the configured connectivity.
+    pub fn observe(&mut self, map: &LabelMap) -> FrameTracks {
+        self.observe_segments(&map.segments(self.config.connectivity))
+    }
+
+    /// [`IncrementalTracker::observe`] with caller-supplied connected
+    /// components of the frame's label map — for consumers (the streaming
+    /// engine) that already labelled the frame for metric extraction and
+    /// share one labelling per frame. `components` must use the tracker's
+    /// configured connectivity.
+    pub fn observe_segments(&mut self, components: &ComponentLabels) -> FrameTracks {
+        let frame_idx = self.next_frame;
+        self.next_frame += 1;
+
+        // Tracks that already exceed the matching horizon can never be
+        // continued; dropping them here is what bounds the working set.
+        self.active
+            .retain(|t| frame_idx.saturating_sub(t.last_frame) <= self.config.max_gap);
+
+        let mut frame_tracks = FrameTracks::default();
+        // Sort candidate segments by size (large segments claim tracks first,
+        // which stabilises matching when small fragments split off).
+        let mut region_order: Vec<usize> = (0..components.component_count()).collect();
+        region_order.sort_by_key(|&id| {
+            std::cmp::Reverse(components.region(id).map(|r| r.area()).unwrap_or(0))
+        });
+        let mut claimed: Vec<bool> = vec![false; self.active.len()];
+
+        for region_id in region_order {
+            let region = components
+                .region(region_id)
+                .expect("region id comes from the same labelling");
+            let class = SemanticClass::from_id(region.class_id).expect("valid class id");
+            if !class.is_evaluated() || region.area() < self.config.min_segment_area {
+                continue;
+            }
+            let pixels: PixelSet = region.pixels.iter().copied().collect();
+            let centroid = region.centroid();
+
+            // Find the best matching existing track of the same class.
+            let mut best: Option<(usize, f64)> = None;
+            for (track_idx, track) in self.active.iter().enumerate() {
+                if claimed[track_idx] || track.class != class {
+                    continue;
+                }
+                let gap = (frame_idx - track.last_frame) as f64;
+                let shift_x = track.velocity.0 * gap;
+                let shift_y = track.velocity.1 * gap;
+                let shifted: PixelSet = track
+                    .pixels
+                    .iter()
+                    .filter_map(|&(x, y)| {
+                        let nx = x as f64 + shift_x;
+                        let ny = y as f64 + shift_y;
+                        if nx < 0.0 || ny < 0.0 {
+                            None
+                        } else {
+                            Some((nx.round() as usize, ny.round() as usize))
+                        }
+                    })
+                    .collect();
+                let overlap = metaseg_imgproc::iou(&shifted, &pixels);
+                if overlap >= self.config.min_overlap && best.map_or(true, |(_, b)| overlap > b) {
+                    best = Some((track_idx, overlap));
+                }
+            }
+
+            let track_id = match best {
+                Some((track_idx, _)) => {
+                    claimed[track_idx] = true;
+                    let track = &mut self.active[track_idx];
+                    let gap = (frame_idx - track.last_frame).max(1) as f64;
+                    track.velocity = (
+                        (centroid.0 - track.centroid.0) / gap,
+                        (centroid.1 - track.centroid.1) / gap,
+                    );
+                    track.pixels = pixels;
+                    track.centroid = centroid;
+                    track.last_frame = frame_idx;
+                    track.id
+                }
+                None => {
+                    let id = self.next_track_id;
+                    self.next_track_id += 1;
+                    self.active.push(TrackState {
+                        id,
+                        class,
+                        pixels,
+                        centroid,
+                        velocity: (0.0, 0.0),
+                        last_frame: frame_idx,
+                    });
+                    claimed.push(true);
+                    id
+                }
+            };
+
+            frame_tracks.segments.push(TrackedSegment {
+                track_id,
+                frame: frame_idx,
+                region_id,
+                class,
+                centroid,
+                area: region.area(),
+            });
+        }
+        frame_tracks
+    }
 }
 
 /// The overlap-based tracker.
@@ -142,109 +322,26 @@ impl SegmentTracker {
         &self.config
     }
 
+    /// Starts an incremental tracking session with this tracker's
+    /// configuration — the streaming entry point.
+    pub fn begin(&self) -> IncrementalTracker {
+        IncrementalTracker::new(self.config)
+    }
+
     /// Tracks the segments of a sequence of predicted label maps.
     ///
     /// Returns one [`FrameTracks`] per input frame; region ids refer to the
     /// connected components extracted with the configured connectivity.
+    ///
+    /// This is the batch convenience over [`IncrementalTracker`]: the clip is
+    /// drained through [`IncrementalTracker::observe`] frame by frame.
     pub fn track(&self, frames: &[LabelMap]) -> TrackingResult {
-        let mut result = TrackingResult::default();
-        let mut tracks: Vec<TrackState> = Vec::new();
-
-        for (frame_idx, map) in frames.iter().enumerate() {
-            let components = map.segments(self.config.connectivity);
-            let mut frame_tracks = FrameTracks::default();
-            // Sort candidate segments by size (large segments claim tracks first,
-            // which stabilises matching when small fragments split off).
-            let mut region_order: Vec<usize> = (0..components.component_count()).collect();
-            region_order.sort_by_key(|&id| {
-                std::cmp::Reverse(components.region(id).map(|r| r.area()).unwrap_or(0))
-            });
-            let mut claimed: Vec<bool> = vec![false; tracks.len()];
-
-            for region_id in region_order {
-                let region = components
-                    .region(region_id)
-                    .expect("region id comes from the same labelling");
-                let class = SemanticClass::from_id(region.class_id).expect("valid class id");
-                if !class.is_evaluated() || region.area() < self.config.min_segment_area {
-                    continue;
-                }
-                let pixels: PixelSet = region.pixels.iter().copied().collect();
-                let centroid = region.centroid();
-
-                // Find the best matching existing track of the same class.
-                let mut best: Option<(usize, f64)> = None;
-                for (track_idx, track) in tracks.iter().enumerate() {
-                    if claimed[track_idx]
-                        || track.class != class
-                        || frame_idx.saturating_sub(track.last_frame) > self.config.max_gap
-                    {
-                        continue;
-                    }
-                    let gap = (frame_idx - track.last_frame) as f64;
-                    let shift_x = track.velocity.0 * gap;
-                    let shift_y = track.velocity.1 * gap;
-                    let shifted: PixelSet = track
-                        .pixels
-                        .iter()
-                        .filter_map(|&(x, y)| {
-                            let nx = x as f64 + shift_x;
-                            let ny = y as f64 + shift_y;
-                            if nx < 0.0 || ny < 0.0 {
-                                None
-                            } else {
-                                Some((nx.round() as usize, ny.round() as usize))
-                            }
-                        })
-                        .collect();
-                    let overlap = metaseg_imgproc::iou(&shifted, &pixels);
-                    if overlap >= self.config.min_overlap && best.map_or(true, |(_, b)| overlap > b)
-                    {
-                        best = Some((track_idx, overlap));
-                    }
-                }
-
-                let track_id = match best {
-                    Some((track_idx, _)) => {
-                        claimed[track_idx] = true;
-                        let track = &mut tracks[track_idx];
-                        let gap = (frame_idx - track.last_frame).max(1) as f64;
-                        track.velocity = (
-                            (centroid.0 - track.centroid.0) / gap,
-                            (centroid.1 - track.centroid.1) / gap,
-                        );
-                        track.pixels = pixels;
-                        track.centroid = centroid;
-                        track.last_frame = frame_idx;
-                        track_idx
-                    }
-                    None => {
-                        tracks.push(TrackState {
-                            class,
-                            pixels,
-                            centroid,
-                            velocity: (0.0, 0.0),
-                            last_frame: frame_idx,
-                        });
-                        claimed.push(true);
-                        tracks.len() - 1
-                    }
-                };
-
-                frame_tracks.segments.push(TrackedSegment {
-                    track_id,
-                    frame: frame_idx,
-                    region_id,
-                    class,
-                    centroid,
-                    area: region.area(),
-                });
-            }
-            result.frames.push(frame_tracks);
+        let mut session = self.begin();
+        let frames = frames.iter().map(|map| session.observe(map)).collect();
+        TrackingResult {
+            frames,
+            track_count: session.track_count(),
         }
-
-        result.track_count = tracks.len();
-        result
     }
 }
 
@@ -387,6 +484,213 @@ mod tests {
         });
     }
 
+    /// A frame with no evaluated segments at all (everything void).
+    fn void_scene() -> LabelMap {
+        LabelMap::from_fn(40, 16, |_, _| SemanticClass::Void)
+    }
+
+    /// Independent reimplementation of the historical clip-at-once tracker
+    /// (every track kept forever in a vec, track ids = vec indices, stale
+    /// tracks skipped during matching instead of pruned). Retained as the
+    /// oracle for the incremental tracker, mirroring how
+    /// `metaseg::pipeline::reference` pins the single-pass metric extraction.
+    fn reference_batch_track(
+        config: &TrackerConfig,
+        frames: &[LabelMap],
+    ) -> (Vec<FrameTracks>, usize) {
+        struct RefTrack {
+            class: SemanticClass,
+            pixels: PixelSet,
+            centroid: (f64, f64),
+            velocity: (f64, f64),
+            last_frame: usize,
+        }
+        let mut tracks: Vec<RefTrack> = Vec::new();
+        let mut result = Vec::new();
+        for (frame_idx, map) in frames.iter().enumerate() {
+            let components = map.segments(config.connectivity);
+            let mut frame_tracks = FrameTracks::default();
+            let mut region_order: Vec<usize> = (0..components.component_count()).collect();
+            region_order.sort_by_key(|&id| {
+                std::cmp::Reverse(components.region(id).map(|r| r.area()).unwrap_or(0))
+            });
+            let mut claimed: Vec<bool> = vec![false; tracks.len()];
+            for region_id in region_order {
+                let region = components.region(region_id).unwrap();
+                let class = SemanticClass::from_id(region.class_id).unwrap();
+                if !class.is_evaluated() || region.area() < config.min_segment_area {
+                    continue;
+                }
+                let pixels: PixelSet = region.pixels.iter().copied().collect();
+                let centroid = region.centroid();
+                let mut best: Option<(usize, f64)> = None;
+                for (track_idx, track) in tracks.iter().enumerate() {
+                    if claimed[track_idx]
+                        || track.class != class
+                        || frame_idx.saturating_sub(track.last_frame) > config.max_gap
+                    {
+                        continue;
+                    }
+                    let gap = (frame_idx - track.last_frame) as f64;
+                    let shifted: PixelSet = track
+                        .pixels
+                        .iter()
+                        .filter_map(|&(x, y)| {
+                            let nx = x as f64 + track.velocity.0 * gap;
+                            let ny = y as f64 + track.velocity.1 * gap;
+                            if nx < 0.0 || ny < 0.0 {
+                                None
+                            } else {
+                                Some((nx.round() as usize, ny.round() as usize))
+                            }
+                        })
+                        .collect();
+                    let overlap = metaseg_imgproc::iou(&shifted, &pixels);
+                    if overlap >= config.min_overlap && best.map_or(true, |(_, b)| overlap > b) {
+                        best = Some((track_idx, overlap));
+                    }
+                }
+                let track_id = match best {
+                    Some((track_idx, _)) => {
+                        claimed[track_idx] = true;
+                        let track = &mut tracks[track_idx];
+                        let gap = (frame_idx - track.last_frame).max(1) as f64;
+                        track.velocity = (
+                            (centroid.0 - track.centroid.0) / gap,
+                            (centroid.1 - track.centroid.1) / gap,
+                        );
+                        track.pixels = pixels;
+                        track.centroid = centroid;
+                        track.last_frame = frame_idx;
+                        track_idx
+                    }
+                    None => {
+                        tracks.push(RefTrack {
+                            class,
+                            pixels,
+                            centroid,
+                            velocity: (0.0, 0.0),
+                            last_frame: frame_idx,
+                        });
+                        claimed.push(true);
+                        tracks.len() - 1
+                    }
+                };
+                frame_tracks.segments.push(TrackedSegment {
+                    track_id,
+                    frame: frame_idx,
+                    region_id,
+                    class,
+                    centroid,
+                    area: region.area(),
+                });
+            }
+            result.push(frame_tracks);
+        }
+        (result, tracks.len())
+    }
+
+    #[test]
+    fn empty_frame_mid_stream_yields_no_tracks_and_does_not_break_the_stream() {
+        let mut session = IncrementalTracker::new(TrackerConfig::default());
+        let before = session.observe(&moving_scene(0));
+        assert!(!before.segments.is_empty());
+        let empty = session.observe(&void_scene());
+        assert!(empty.segments.is_empty());
+        let after = session.observe(&moving_scene(1));
+        assert_eq!(session.frames_seen(), 3);
+        // The car resumes its old track across the empty frame (gap 2 <= max_gap).
+        let car_before = before
+            .segments
+            .iter()
+            .find(|s| s.class == SemanticClass::Car)
+            .unwrap();
+        let car_after = after
+            .segments
+            .iter()
+            .find(|s| s.class == SemanticClass::Car)
+            .unwrap();
+        assert_eq!(car_before.track_id, car_after.track_id);
+    }
+
+    #[test]
+    fn reappearing_segment_beyond_max_gap_gets_a_fresh_id_never_reused() {
+        let config = TrackerConfig {
+            max_gap: 1,
+            ..TrackerConfig::default()
+        };
+        let mut session = IncrementalTracker::new(config);
+        let first = session.observe(&moving_scene(0));
+        let car_id = first
+            .segments
+            .iter()
+            .find(|s| s.class == SemanticClass::Car)
+            .unwrap()
+            .track_id;
+        let created_before_gap = session.track_count();
+        // The car is gone for two frames — longer than max_gap.
+        session.observe(&void_scene());
+        session.observe(&void_scene());
+        assert_eq!(
+            session.active_track_count(),
+            0,
+            "all tracks must be pruned after the gap"
+        );
+        let back = session.observe(&moving_scene(1));
+        let new_car_id = back
+            .segments
+            .iter()
+            .find(|s| s.class == SemanticClass::Car)
+            .unwrap()
+            .track_id;
+        assert_ne!(car_id, new_car_id, "pruned track ids must never be reused");
+        assert!(
+            new_car_id >= created_before_gap,
+            "new ids come from the monotone counter, above every id ever created"
+        );
+    }
+
+    #[test]
+    fn first_frame_only_segment_is_pruned_but_keeps_its_id_reserved() {
+        // The human exists only in frame 0; the car moves on.
+        let with_human = moving_scene(0);
+        let without_human = |t: usize| {
+            LabelMap::from_fn(40, 16, |x, y| {
+                let car = (10..14).contains(&y) && (4 + 2 * t..12 + 2 * t).contains(&x);
+                if car {
+                    SemanticClass::Car
+                } else if y >= 9 {
+                    SemanticClass::Road
+                } else {
+                    SemanticClass::Building
+                }
+            })
+        };
+        let config = TrackerConfig {
+            max_gap: 1,
+            ..TrackerConfig::default()
+        };
+        let mut session = IncrementalTracker::new(config);
+        let first = session.observe(&with_human);
+        let human_id = first
+            .segments
+            .iter()
+            .find(|s| s.class == SemanticClass::Human)
+            .unwrap()
+            .track_id;
+        let active_with_human = session.active_track_count();
+        let mut later_ids = Vec::new();
+        for t in 1..5 {
+            let tracks = session.observe(&without_human(t));
+            later_ids.extend(tracks.segments.iter().map(|s| s.track_id));
+        }
+        // The one-frame track fell out of the working set...
+        assert!(session.active_track_count() < active_with_human);
+        // ...but its id is reserved forever: no later segment carries it.
+        assert!(later_ids.iter().all(|&id| id != human_id));
+        assert!(session.track_count() > human_id);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
         /// Track ids of one frame are unique (no two segments of one frame share a track).
@@ -420,6 +724,53 @@ mod tests {
                     prop_assert!(segment.track_id < result.track_count());
                 }
             }
+        }
+
+        /// Feeding frames through the incremental API (and therefore through
+        /// the batch `track` call, which drains it) is byte-for-byte
+        /// identical to an independent reimplementation of the historical
+        /// clip-at-once algorithm, while the incremental working set stays
+        /// bounded by the recent-segment count.
+        #[test]
+        fn prop_incremental_matches_reference_oracle(seed in 0u64..300) {
+            use rand::{Rng, SeedableRng, rngs::StdRng};
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+            let frames: Vec<LabelMap> = (0..6)
+                .map(|_| {
+                    LabelMap::from_fn(16, 12, |_, _| {
+                        let classes = [
+                            SemanticClass::Road,
+                            SemanticClass::Car,
+                            SemanticClass::Building,
+                            SemanticClass::Void,
+                        ];
+                        classes[rng.gen_range(0..classes.len())]
+                    })
+                })
+                .collect();
+            let tracker = SegmentTracker::new(TrackerConfig::default());
+            let (oracle_frames, oracle_count) =
+                reference_batch_track(tracker.config(), &frames);
+
+            let mut session = tracker.begin();
+            for (frame_idx, map) in frames.iter().enumerate() {
+                let incremental = session.observe(map);
+                prop_assert_eq!(&incremental, &oracle_frames[frame_idx]);
+                // Bounded memory: active tracks never exceed the number of
+                // evaluated segments seen in the last max_gap + 1 frames.
+                let window_start = frame_idx.saturating_sub(tracker.config().max_gap);
+                let recent: usize = oracle_frames[window_start..=frame_idx]
+                    .iter()
+                    .map(|f| f.segments.len())
+                    .sum();
+                prop_assert!(session.active_track_count() <= recent);
+            }
+            prop_assert_eq!(session.track_count(), oracle_count);
+
+            // The batch convenience is the same drain loop.
+            let batch = tracker.track(&frames);
+            prop_assert_eq!(batch.frames(), oracle_frames.as_slice());
+            prop_assert_eq!(batch.track_count(), oracle_count);
         }
     }
 }

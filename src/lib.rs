@@ -17,6 +17,16 @@
 //! assert!(config.runs >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Compiles and runs every Rust code block of the repository README as a
+/// doc-test (`cargo test` executes it), so the quickstart snippet shown to
+/// new users can never drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
 pub use metaseg;
 pub use metaseg_data;
 pub use metaseg_eval;

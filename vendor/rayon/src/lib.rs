@@ -80,6 +80,42 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Applies `f` to every element of `items` by value in parallel, preserving
+/// order — the owned-input counterpart of [`par_map`].
+pub fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = current_num_threads().min(items.len().max(1));
+    if workers <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let mut out: Vec<R> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel worker panicked"));
+        }
+    });
+    out
+}
+
 /// By-value parallel iteration, mirroring `rayon::IntoParallelIterator`.
 pub trait IntoParallelIterator {
     /// The parallel iterator type.
@@ -94,6 +130,53 @@ impl IntoParallelIterator for Range<usize> {
 
     fn into_par_iter(self) -> ParRange {
         ParRange { range: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { items: self }
+    }
+}
+
+/// By-value parallel iterator over an owned `Vec`.
+#[derive(Debug)]
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParVec<T> {
+    /// Maps every element through `f` in parallel, consuming the elements.
+    pub fn map<R, F>(self, f: F) -> ParVecMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParVecMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParVec::map`].
+#[derive(Debug)]
+pub struct ParVecMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParVecMap<T, F> {
+    /// Evaluates the map in parallel and collects the results in order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_vec(self.items, self.f).into_iter().collect()
     }
 }
 
@@ -203,6 +286,17 @@ mod tests {
     fn range_map_matches_sequential_order() {
         let squares: Vec<usize> = (0..257).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares, (0..257).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn vec_map_by_value_matches_sequential_order() {
+        let items: Vec<String> = (0..300).map(|i| i.to_string()).collect();
+        let expected = items.clone();
+        let out: Vec<String> = items.into_par_iter().map(|s| s).collect();
+        assert_eq!(out, expected);
+        let empty: Vec<String> = Vec::new();
+        let out: Vec<usize> = empty.into_par_iter().map(|s| s.len()).collect();
+        assert!(out.is_empty());
     }
 
     #[test]

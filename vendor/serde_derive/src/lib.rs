@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_derive`.
 //!
 //! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
-//! vendored `serde` crate's [`Value`] document model with a small hand-rolled
+//! vendored `serde` crate's `Value` document model with a small hand-rolled
 //! token parser (the real `serde_derive` depends on `syn`/`quote`, which are
 //! unavailable without a crates.io mirror). Supports named-field structs
 //! (including generic ones), tuple structs, unit structs, and enums with
