@@ -1,0 +1,192 @@
+//! Loadtest for the multi-camera inference service (`metaseg-serve`).
+//!
+//! Spins an in-process server on an ephemeral port, fits a small model,
+//! drives `--cameras` concurrent simulated camera sessions over real TCP,
+//! and reports sustained throughput, per-frame latency percentiles, typed
+//! backpressure rejections (retried with backoff) and the server's peak
+//! queue depth. Exits non-zero if any camera fails, which is what CI keys
+//! on: ≥ 2 concurrent sessions sustained, queue depth bounded, no panics.
+//!
+//! ```text
+//! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
+//!     --cameras 4 --frames 30 --workers 4 --queue-depth 8 --delay-ms 0
+//! ```
+
+use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
+use metaseg_serve::{ErrorCode, ModelRegistry, ServeClient, Server, ServerConfig};
+use metaseg_sim::{NetworkProfile, NetworkSim, VideoStream};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Camera geometry of the loadtest (small: frames cross the wire as JSON).
+const FRAME_WIDTH: usize = 48;
+const FRAME_HEIGHT: usize = 24;
+
+/// Parsed command line.
+struct Options {
+    cameras: usize,
+    frames: usize,
+    workers: usize,
+    queue_depth: usize,
+    delay_ms: u64,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut options = Options {
+            cameras: 4,
+            frames: 24,
+            workers: 4,
+            queue_depth: 8,
+            delay_ms: 0,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut take = |name: &str| -> usize {
+                args.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} expects a numeric argument"))
+            };
+            match flag.as_str() {
+                "--cameras" => options.cameras = take("--cameras").max(1),
+                "--frames" => options.frames = take("--frames").max(1),
+                "--workers" => options.workers = take("--workers").max(1),
+                "--queue-depth" => options.queue_depth = take("--queue-depth").max(1),
+                "--delay-ms" => options.delay_ms = take("--delay-ms") as u64,
+                other => panic!("unknown flag `{other}`"),
+            }
+        }
+        options
+    }
+}
+
+fn main() {
+    let options = Options::parse();
+
+    // Fit one small model to serve every camera.
+    let (stream_config, predictor) =
+        fit_predictor(&video_config(12, FRAME_WIDTH, FRAME_HEIGHT), 2, 7000);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("default", stream_config, predictor)
+        .expect("loadtest model is valid");
+    let handle = Server::spawn(
+        "127.0.0.1:0",
+        registry,
+        ServerConfig {
+            workers: options.workers,
+            queue_depth: options.queue_depth,
+            synthetic_delay_ms: options.delay_ms,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind succeeds");
+    let addr = handle.local_addr();
+    println!(
+        "serve_loadtest: {} cameras x {} frames against {addr} \
+         ({} workers, queue depth {}, synthetic delay {} ms)",
+        options.cameras, options.frames, options.workers, options.queue_depth, options.delay_ms
+    );
+
+    let started = Instant::now();
+    let cameras: Vec<_> = (0..options.cameras)
+        .map(|camera| {
+            let frames = options.frames;
+            thread::spawn(move || -> (Vec<Duration>, usize, usize) {
+                let mut rng = StdRng::seed_from_u64(7100 + camera as u64);
+                let sim = NetworkSim::new(NetworkProfile::weak());
+                let source = VideoStream::open_endless(
+                    &video_config(1, FRAME_WIDTH, FRAME_HEIGHT),
+                    sim,
+                    camera,
+                    &mut rng,
+                );
+                let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                let (session, _) = client
+                    .open("default", &format!("cam-{camera}"))
+                    .expect("open succeeds");
+                let mut latencies = Vec::with_capacity(frames);
+                let mut verdicts = 0usize;
+                let mut retries = 0usize;
+                for frame in source.take(frames).map(|f| f.prediction) {
+                    loop {
+                        let submitted = Instant::now();
+                        match client.submit(session, &frame) {
+                            Ok((_, frame_verdicts)) => {
+                                latencies.push(submitted.elapsed());
+                                verdicts += frame_verdicts.len();
+                                break;
+                            }
+                            Err(e) if e.server_code() == Some(ErrorCode::Backpressure) => {
+                                // The typed overload signal: back off, retry.
+                                retries += 1;
+                                thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(e) => panic!("camera {camera} failed: {e}"),
+                        }
+                    }
+                }
+                client.close(session).expect("close succeeds");
+                (latencies, verdicts, retries)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut verdicts = 0usize;
+    let mut retries = 0usize;
+    let mut sustained = 0usize;
+    for camera in cameras {
+        let (camera_latencies, camera_verdicts, camera_retries) =
+            camera.join().expect("camera thread never panics");
+        sustained += 1;
+        latencies.extend(camera_latencies);
+        verdicts += camera_verdicts;
+        retries += camera_retries;
+    }
+    let elapsed = started.elapsed();
+    let stats = handle.shutdown();
+
+    latencies.sort();
+    let total_frames = latencies.len();
+    println!(
+        "sustained {sustained} concurrent camera sessions: {total_frames} frames, \
+         {verdicts} verdicts in {:.2} s ({:.1} frames/s)",
+        elapsed.as_secs_f64(),
+        total_frames as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "latency p50 {:.2} ms | p90 {:.2} ms | p99 {:.2} ms | max {:.2} ms",
+        percentile_ms(&latencies, 0.50),
+        percentile_ms(&latencies, 0.90),
+        percentile_ms(&latencies, 0.99),
+        percentile_ms(&latencies, 1.0),
+    );
+    println!(
+        "server: {} frames processed, {} backpressure rejections ({retries} client retries), \
+         peak queue depth {} (bound {})",
+        stats.frames_processed, stats.rejected, stats.peak_queue_depth, options.queue_depth
+    );
+
+    assert!(
+        sustained >= 2.min(options.cameras),
+        "must sustain at least two concurrent sessions"
+    );
+    // The gauge counts a submission momentarily before the bounded
+    // try_send resolves, so the hard bound is queue capacity plus one
+    // in-flight increment per concurrent camera.
+    assert!(
+        stats.peak_queue_depth <= options.queue_depth + options.cameras,
+        "queue depth must stay bounded (peak {}, capacity {})",
+        stats.peak_queue_depth,
+        options.queue_depth
+    );
+    assert_eq!(
+        stats.frames_processed,
+        options.cameras * options.frames,
+        "every accepted frame must be processed exactly once"
+    );
+    println!("serve_loadtest: OK");
+}

@@ -9,12 +9,76 @@
 //! * `benches/` contains Criterion micro benchmarks of the building blocks
 //!   (scene generation, metric construction, meta-model training, tracking,
 //!   decision rules, the streaming engine) plus the ablation benches called
-//!   out in `DESIGN.md`.
+//!   out in `DESIGN.md`,
+//! * [`serve_fixture`] holds the shared fit-a-small-model fixture used by
+//!   the serving demo/loadtest binaries and the serve integration test.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::{Path, PathBuf};
+
+pub mod serve_fixture {
+    //! Shared fixture for the serving surfaces (`serve_loadtest`,
+    //! `examples/serve_demo.rs`, `tests/serve.rs`): one place that fits the
+    //! small meta predictor and sizes the simulated camera, so the demo,
+    //! the loadtest and the differential test cannot drift apart.
+
+    use metaseg::stream::StreamConfig;
+    use metaseg::timedyn::{MetaModel, TimeDynConfig, TimeDynamic};
+    use metaseg_learners::{MetaPredictor, TabularDataset};
+    use metaseg_sim::{NetworkProfile, NetworkSim, SceneConfig, VideoConfig, VideoScenario};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::time::Duration;
+
+    /// A scaled-down video configuration (`width` x `height` pixels) so the
+    /// per-frame wire payloads stay small.
+    pub fn video_config(frames: usize, width: usize, height: usize) -> VideoConfig {
+        VideoConfig {
+            sequence_count: 1,
+            frames_per_sequence: frames,
+            scene: SceneConfig {
+                width,
+                height,
+                ..SceneConfig::small()
+            },
+            ..VideoConfig::small()
+        }
+    }
+
+    /// Fits the gradient-boosting meta predictor on time series of
+    /// `series_length` frames of a simulated weak-network video corpus,
+    /// returning it with the default stream configuration it serves under.
+    pub fn fit_predictor(
+        config: &VideoConfig,
+        series_length: usize,
+        seed: u64,
+    ) -> (StreamConfig, MetaPredictor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let scenario = VideoScenario::generate(config, &sim, &mut rng);
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let mut train = TabularDataset::new();
+        for sequence in &scenario.dataset().sequences {
+            let analysis = pipeline.analyze_sequence(sequence);
+            train.extend_from(&pipeline.time_series_dataset(&analysis, series_length));
+        }
+        let predictor = pipeline
+            .fit_predictor(MetaModel::GradientBoosting, &train, 0)
+            .expect("the fixture scenario is fittable");
+        (StreamConfig::default(), predictor)
+    }
+
+    /// Lower empirical percentile of a sorted latency sample, in
+    /// milliseconds; `0` for an empty sample.
+    pub fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[idx - 1].as_secs_f64() * 1e3
+    }
+}
 
 /// Directory the figure binaries write their PPM panels to.
 pub fn figures_dir() -> PathBuf {

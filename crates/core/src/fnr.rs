@@ -30,22 +30,18 @@ pub struct RuleOutcome {
 
 impl RuleOutcome {
     /// Empirical CDF of the per-segment precision (`F^p` in the paper).
-    /// `None` when the rule predicted no segment of the class at all.
+    /// `None` when the rule predicted no segment of the class at all — or
+    /// when every pooled score is non-finite (the degraded-inputs case a
+    /// long-running analysis must survive without panicking).
     pub fn precision_cdf(&self) -> Option<EmpiricalCdf> {
-        if self.scores.precision.is_empty() {
-            None
-        } else {
-            Some(EmpiricalCdf::new(self.scores.precision.iter().copied()))
-        }
+        EmpiricalCdf::try_new(self.scores.precision.iter().copied())
     }
 
-    /// Empirical CDF of the per-segment recall (`F^r` in the paper).
+    /// Empirical CDF of the per-segment recall (`F^r` in the paper), with
+    /// the same degraded-inputs behaviour as
+    /// [`RuleOutcome::precision_cdf`].
     pub fn recall_cdf(&self) -> Option<EmpiricalCdf> {
-        if self.scores.recall.is_empty() {
-            None
-        } else {
-            Some(EmpiricalCdf::new(self.scores.recall.iter().copied()))
-        }
+        EmpiricalCdf::try_new(self.scores.recall.iter().copied())
     }
 }
 
@@ -174,6 +170,36 @@ mod tests {
         fn ground_truth_counts_match(&self) -> bool {
             self.bayes.ground_truth_segments == self.maximum_likelihood.ground_truth_segments
         }
+    }
+
+    #[test]
+    fn all_nan_score_columns_yield_no_cdf_instead_of_panicking() {
+        // Regression: a degraded run whose pooled scores are all NaN used to
+        // panic inside EmpiricalCdf::new; a long-running service must see
+        // `None`, exactly like the no-segments case.
+        let outcome = RuleOutcome {
+            rule: "bayes".to_string(),
+            scores: SegmentScores {
+                precision: vec![f64::NAN, f64::NAN],
+                recall: vec![f64::INFINITY],
+            },
+            missed_segments: 0,
+            false_positive_segments: 0,
+            predicted_segments: 2,
+            ground_truth_segments: 1,
+        };
+        assert!(outcome.precision_cdf().is_none());
+        assert!(outcome.recall_cdf().is_none());
+        // Partially finite columns keep their finite part.
+        let partially = RuleOutcome {
+            scores: SegmentScores {
+                precision: vec![f64::NAN, 0.5],
+                recall: vec![0.25],
+            },
+            ..outcome
+        };
+        assert_eq!(partially.precision_cdf().unwrap().len(), 1);
+        assert_eq!(partially.recall_cdf().unwrap().len(), 1);
     }
 
     #[test]

@@ -215,6 +215,25 @@ pub struct WindowStats {
     pub peak_approx_bytes: usize,
 }
 
+/// Snapshot of one engine's lifetime counters — the per-session statistics a
+/// serving layer reports alongside (or instead of) raw verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Frames pushed into the engine so far.
+    pub frames: usize,
+    /// Segment verdicts emitted so far.
+    pub verdicts: usize,
+    /// Verdicts flagged as likely false positives at the `0.5` operating
+    /// point.
+    pub flagged: usize,
+    /// Distinct tracks created so far.
+    pub tracks_created: usize,
+    /// Time-series depth served by the engine.
+    pub series_length: usize,
+    /// Current window-store occupancy (the RSS proxy).
+    pub window: WindowStats,
+}
+
 /// The online meta verdict for one tracked segment of one frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SegmentVerdict {
@@ -352,6 +371,19 @@ impl MetaSegStream {
         self.windows.stats()
     }
 
+    /// One-shot snapshot of all lifetime counters — what a serving layer
+    /// reports as per-session statistics.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            frames: self.frames_seen,
+            verdicts: self.verdicts_emitted,
+            flagged: self.flagged,
+            tracks_created: self.tracker.track_count(),
+            series_length: self.series_length,
+            window: self.windows.stats(),
+        }
+    }
+
     /// Consumes the next frame of the stream and returns the online verdicts
     /// of its tracked segments. Only the frame's softmax field is read —
     /// ground truth, if present, is ignored.
@@ -463,6 +495,17 @@ impl MetaSegStream {
         }
     }
 }
+
+// Serving layers move engines into worker threads and share read-only
+// handles across a pool: the engine must stay thread-mobile. Compile-time
+// pin so a future field (an `Rc`, a raw pointer) cannot silently break the
+// multi-camera service.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MetaSegStream>();
+    assert_send_sync::<SessionStats>();
+    assert_send_sync::<FrameVerdicts>();
+};
 
 /// Time-series depth implied by a predictor's feature dimensionality,
 /// validated against the stream window; also rejects configurations whose
@@ -724,6 +767,29 @@ mod tests {
             engine.tracks_created(),
             first.tracks_created + second.tracks_created
         );
+    }
+
+    #[test]
+    fn session_stats_snapshot_lifetime_counters() {
+        let predictor = fitted_predictor(2);
+        let mut engine = MetaSegStream::new(StreamConfig::default(), predictor).unwrap();
+        assert_eq!(
+            engine.session_stats(),
+            SessionStats {
+                series_length: 2,
+                ..SessionStats::default()
+            }
+        );
+        let mut rng = StdRng::seed_from_u64(52);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        engine.drain(VideoStream::open(&VideoConfig::small(), sim, 0, &mut rng));
+        let stats = engine.session_stats();
+        assert_eq!(stats.frames, engine.frames_seen());
+        assert_eq!(stats.verdicts, engine.verdicts_emitted());
+        assert_eq!(stats.flagged, engine.flagged_count());
+        assert_eq!(stats.tracks_created, engine.tracks_created());
+        assert_eq!(stats.window, engine.window_stats());
+        assert!(stats.frames == 12 && stats.verdicts > 0);
     }
 
     #[test]

@@ -13,19 +13,30 @@ pub struct EmpiricalCdf {
 }
 
 impl EmpiricalCdf {
+    /// Builds the empirical CDF of a sample, dropping non-finite values.
+    /// Returns `None` when no finite values remain — the non-panicking
+    /// constructor long-running services must use, because one all-NaN
+    /// metric column must degrade into "no distribution", not kill the
+    /// worker.
+    pub fn try_new(sample: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut sorted: Vec<f64> = sample.into_iter().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+        Some(Self { sorted })
+    }
+
     /// Builds the empirical CDF of a sample. NaN values are dropped.
+    ///
+    /// Thin panicking wrapper over [`EmpiricalCdf::try_new`] for callers
+    /// that can guarantee a usable sample (fixtures, analysis scripts).
     ///
     /// # Panics
     ///
     /// Panics if the sample contains no finite values.
     pub fn new(sample: impl IntoIterator<Item = f64>) -> Self {
-        let mut sorted: Vec<f64> = sample.into_iter().filter(|v| v.is_finite()).collect();
-        assert!(
-            !sorted.is_empty(),
-            "empirical CDF requires at least one finite sample value"
-        );
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
-        Self { sorted }
+        Self::try_new(sample).expect("empirical CDF requires at least one finite sample value")
     }
 
     /// Number of sample points.
@@ -47,11 +58,23 @@ impl EmpiricalCdf {
 
     /// Empirical quantile for `p` in `[0, 1]` (lower empirical quantile).
     ///
+    /// Thin panicking wrapper over [`EmpiricalCdf::quantile_clamped`].
+    ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile level must be in [0, 1]");
+        self.quantile_clamped(p)
+    }
+
+    /// Empirical quantile with `p` clamped into `[0, 1]` instead of
+    /// panicking on out-of-range input; a NaN level is treated as `0` (the
+    /// minimum). This is the path services must use on computed levels,
+    /// where floating-point drift can push `p` marginally outside the unit
+    /// interval.
+    pub fn quantile_clamped(&self, p: f64) -> f64 {
+        let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 1.0) };
         if p <= 0.0 {
             return self.sorted[0];
         }
@@ -152,6 +175,31 @@ mod tests {
     #[should_panic]
     fn empty_sample_panics() {
         let _ = EmpiricalCdf::new(std::iter::empty());
+    }
+
+    #[test]
+    fn try_new_degrades_instead_of_panicking() {
+        assert_eq!(EmpiricalCdf::try_new(std::iter::empty()), None);
+        // The long-running-service case: a metric column that went all-NaN.
+        assert_eq!(
+            EmpiricalCdf::try_new([f64::NAN, f64::INFINITY, f64::NEG_INFINITY]),
+            None
+        );
+        let cdf = EmpiricalCdf::try_new([f64::NAN, 2.0]).unwrap();
+        assert_eq!(cdf.len(), 1);
+        assert_eq!(cdf, EmpiricalCdf::new([2.0]));
+    }
+
+    #[test]
+    fn clamped_quantiles_tolerate_out_of_range_levels() {
+        let cdf = EmpiricalCdf::new([3.0, 1.0, 2.0]);
+        assert_eq!(cdf.quantile_clamped(-0.3), 1.0);
+        assert_eq!(cdf.quantile_clamped(1.7), 3.0);
+        assert_eq!(cdf.quantile_clamped(f64::NAN), 1.0);
+        // Inside the unit interval the clamped path is the quantile path.
+        for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(cdf.quantile_clamped(p), cdf.quantile(p));
+        }
     }
 
     #[test]

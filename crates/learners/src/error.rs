@@ -34,6 +34,8 @@ pub enum LearnError {
     },
     /// Binary classification training requires both classes to be present.
     SingleClassTraining,
+    /// A serialized model handle could not be decoded.
+    InvalidModel(String),
 }
 
 impl fmt::Display for LearnError {
@@ -66,6 +68,9 @@ impl fmt::Display for LearnError {
                     f,
                     "binary classifier training requires both classes present"
                 )
+            }
+            LearnError::InvalidModel(reason) => {
+                write!(f, "invalid serialized model: {reason}")
             }
         }
     }

@@ -12,6 +12,7 @@
 
 use crate::boosting::{GradientBoostingClassifier, GradientBoostingRegressor};
 use crate::dataset::StandardScaler;
+use crate::error::LearnError;
 use crate::linear::{LinearRegression, RidgeRegression};
 use crate::logistic::LogisticRegression;
 use crate::mlp::{MlpClassifier, MlpRegressor};
@@ -173,6 +174,25 @@ impl MetaPredictor {
     pub fn predict_iou(&self, raw: &[Vec<f64>]) -> Vec<f64> {
         raw.iter().map(|row| self.predict_iou_one(row)).collect()
     }
+
+    /// Serializes the handle to compact JSON — the checkpoint format consumed
+    /// by model registries and worker fleets. [`MetaPredictor::from_json`]
+    /// inverts it exactly: the round-trip reproduces bit-identical
+    /// predictions (floats are rendered in shortest-round-trip form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("document model serialization is infallible")
+    }
+
+    /// Reconstructs a handle from its [`MetaPredictor::to_json`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidModel`] when the text is not valid JSON
+    /// or does not describe a predictor (a serving layer must be able to
+    /// reject a corrupt checkpoint without panicking).
+    pub fn from_json(json: &str) -> Result<Self, LearnError> {
+        serde_json::from_str(json).map_err(|e| LearnError::InvalidModel(e.to_string()))
+    }
 }
 
 #[cfg(test)]
@@ -246,6 +266,26 @@ mod tests {
         assert!(json.contains("regressor"));
         assert_eq!(predictor.classifier().family(), "logistic regression");
         assert_eq!(predictor.regressor().family(), "gradient boosting");
+    }
+
+    #[test]
+    fn json_roundtrip_reproduces_bit_identical_predictions() {
+        let predictor = toy_predictor();
+        let restored = MetaPredictor::from_json(&predictor.to_json()).unwrap();
+        assert_eq!(restored, predictor);
+        for row in [[0.9, 0.1], [0.05, 0.95], [0.5, 0.5]] {
+            assert_eq!(restored.predict_one(&row), predictor.predict_one(&row));
+        }
+        // Double round-trip is a fixed point.
+        assert_eq!(restored.to_json(), predictor.to_json());
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_rejected_not_panicked_on() {
+        for bad in ["", "not json", "{}", "[1,2,3]", "{\"scaler\": 3}"] {
+            let err = MetaPredictor::from_json(bad).unwrap_err();
+            assert!(matches!(err, LearnError::InvalidModel(_)), "for {bad:?}");
+        }
     }
 
     #[test]

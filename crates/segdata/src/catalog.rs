@@ -164,6 +164,44 @@ pub struct ClassCatalog {
 }
 
 impl ClassCatalog {
+    /// Builds a catalogue from an explicit class list — the constructor for
+    /// non-Cityscapes semantic spaces (a subset catalogue for a restricted
+    /// deployment, a custom dataset, a test fixture).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty, contains a duplicate class, or contains
+    /// no evaluated (non-void) class.
+    pub fn new(classes: Vec<ClassInfo>) -> Self {
+        assert!(!classes.is_empty(), "a catalogue needs at least one class");
+        for (i, info) in classes.iter().enumerate() {
+            assert!(
+                !classes[..i].iter().any(|c| c.class == info.class),
+                "duplicate class {} in catalogue",
+                info.class
+            );
+        }
+        assert!(
+            classes.iter().any(|c| c.class.is_evaluated()),
+            "a catalogue needs at least one evaluated class"
+        );
+        Self { classes }
+    }
+
+    /// Number of softmax channels a probability map over this catalogue must
+    /// carry: channel indices are class ids, so this is the largest
+    /// evaluated class id plus one (void never has a channel). For the
+    /// Cityscapes-like catalogue this is 19; a sparse custom catalogue may
+    /// need more channels than it has classes.
+    pub fn channel_count(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| c.class.is_evaluated())
+            .map(|c| c.class.id() as usize + 1)
+            .max()
+            .expect("catalogues always contain an evaluated class")
+    }
+
     /// The Cityscapes-like catalogue used throughout the reproduction.
     pub fn cityscapes_like() -> Self {
         use SemanticClass::*;
@@ -290,6 +328,48 @@ mod tests {
         assert_eq!(cat.evaluated_class_count(), 19);
         assert!(cat.contains(SemanticClass::Void));
         assert!(!SemanticClass::Void.is_evaluated());
+    }
+
+    #[test]
+    fn custom_catalogs_derive_their_channel_count() {
+        let entry = |class: SemanticClass, freq: f64| ClassInfo {
+            class,
+            typical_frequency: freq,
+            color: Color::BLACK,
+            rare_critical: false,
+        };
+        assert_eq!(ClassCatalog::cityscapes_like().channel_count(), 19);
+        // A sparse catalogue needs channels up to its largest class id, not
+        // just as many channels as it has classes.
+        let sparse = ClassCatalog::new(vec![
+            entry(SemanticClass::Road, 0.5),
+            entry(SemanticClass::Sky, 0.3),
+            entry(SemanticClass::Human, 0.2),
+        ]);
+        assert_eq!(
+            sparse.channel_count(),
+            SemanticClass::Human.id() as usize + 1
+        );
+        assert_eq!(sparse.class_count(), 3);
+        assert_eq!(sparse.evaluated_class_count(), 3);
+        // Void contributes no channel.
+        let with_void = ClassCatalog::new(vec![
+            entry(SemanticClass::Road, 0.5),
+            entry(SemanticClass::Void, 0.5),
+        ]);
+        assert_eq!(with_void.channel_count(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_classes_are_rejected() {
+        let entry = |class: SemanticClass| ClassInfo {
+            class,
+            typical_frequency: 0.5,
+            color: Color::BLACK,
+            rare_critical: false,
+        };
+        let _ = ClassCatalog::new(vec![entry(SemanticClass::Road), entry(SemanticClass::Road)]);
     }
 
     #[test]

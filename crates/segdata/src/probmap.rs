@@ -247,6 +247,23 @@ impl ProbMap {
         })
     }
 
+    /// Structural integrity of a map that crossed a trust boundary (e.g. a
+    /// wire-decoded payload): non-zero dimensions and a backing buffer of
+    /// exactly `width * height * num_classes` values. Every accessor assumes
+    /// this invariant, so servers must check it before touching a decoded
+    /// map — probability *values* are intentionally not inspected here (use
+    /// [`ProbMap::validate`] for that, at O(pixels) cost).
+    pub fn shape_consistent(&self) -> bool {
+        self.width > 0
+            && self.height > 0
+            && self.num_classes > 0
+            && self
+                .width
+                .checked_mul(self.height)
+                .and_then(|px| px.checked_mul(self.num_classes))
+                == Some(self.data.len())
+    }
+
     /// Checks that every pixel carries a valid probability distribution.
     ///
     /// # Errors

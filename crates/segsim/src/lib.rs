@@ -48,5 +48,5 @@ mod video;
 pub use metaseg_data::{LabelMap, ProbMap};
 pub use network::{NetworkProfile, NetworkSim};
 pub use scene::{Scene, SceneConfig, SceneObject, ShapeKind};
-pub use source::{FrameSource, VideoStream};
+pub use source::{DecodedFrameSource, FrameSource, VideoStream};
 pub use video::{VideoConfig, VideoScenario};

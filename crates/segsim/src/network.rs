@@ -22,9 +22,6 @@ use metaseg_imgproc::Connectivity;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// Number of softmax channels (evaluated classes, void has no channel).
-const NUM_CHANNELS: usize = 19;
-
 /// Error/confidence profile of a simulated segmentation network.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkProfile {
@@ -146,22 +143,64 @@ pub struct NetworkSim {
 }
 
 impl NetworkSim {
-    /// Creates a simulator with the given profile.
+    /// Creates a simulator with the given profile over the Cityscapes-like
+    /// catalogue.
     ///
     /// # Panics
     ///
     /// Panics if the profile is invalid (see [`NetworkProfile::assert_valid`]).
     pub fn new(profile: NetworkProfile) -> Self {
+        Self::with_catalog(profile, ClassCatalog::cityscapes_like())
+    }
+
+    /// Creates a simulator over a custom semantic space. The produced
+    /// [`ProbMap`]s carry [`ClassCatalog::channel_count`] softmax channels —
+    /// enough for every evaluated class id of the catalogue — and all error
+    /// mechanisms (hallucinations, noise flips, rare-class leaks) only ever
+    /// inject classes the catalogue knows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid or the catalogue spans fewer than
+    /// two softmax channels (a one-class network has nothing to confuse).
+    pub fn with_catalog(profile: NetworkProfile, catalog: ClassCatalog) -> Self {
         profile.assert_valid();
-        Self {
-            profile,
-            catalog: ClassCatalog::cityscapes_like(),
-        }
+        assert!(
+            catalog.channel_count() >= 2,
+            "the network simulator needs at least two softmax channels, got {}",
+            catalog.channel_count()
+        );
+        Self { profile, catalog }
     }
 
     /// The profile this simulator uses.
     pub fn profile(&self) -> &NetworkProfile {
         &self.profile
+    }
+
+    /// The semantic space this simulator predicts over.
+    pub fn catalog(&self) -> &ClassCatalog {
+        &self.catalog
+    }
+
+    /// Number of softmax channels of every produced [`ProbMap`], derived
+    /// from the catalogue (channel indices are class ids).
+    pub fn channels(&self) -> usize {
+        self.catalog.channel_count()
+    }
+
+    /// The class used to paper over void/unknown pixels: `Building` when the
+    /// catalogue has it (the Cityscapes-like behaviour), otherwise the first
+    /// evaluated class of the catalogue.
+    fn fallback_class(&self) -> SemanticClass {
+        if self.catalog.contains(SemanticClass::Building) {
+            SemanticClass::Building
+        } else {
+            self.catalog
+                .evaluated_classes()
+                .next()
+                .expect("catalogues always contain an evaluated class")
+        }
     }
 
     /// Classes the given class is commonly confused with (used to spread the
@@ -232,7 +271,7 @@ impl NetworkSim {
                                 None
                             })
                         })
-                        .unwrap_or(SemanticClass::Building);
+                        .unwrap_or_else(|| self.fallback_class());
                     intended.set(x, y, replacement);
                 }
             }
@@ -269,12 +308,16 @@ impl NetworkSim {
                     }
                 }
             }
+            // Fall back when the segment has no usable surroundings (all
+            // neighbours share its class or are void) — the catalogue
+            // fallback, never a class the semantic space does not know.
             let fill = counts
                 .iter()
                 .enumerate()
                 .max_by_key(|(_, &c)| c)
+                .filter(|(_, &c)| c > 0)
                 .map(|(i, _)| SemanticClass::from_id(i as u16).expect("valid id"))
-                .unwrap_or(SemanticClass::Road);
+                .unwrap_or_else(|| self.fallback_class());
             for &(x, y) in &region.pixels {
                 intended.set(x, y, fill);
                 missed.push((x, y, class));
@@ -285,14 +328,24 @@ impl NetworkSim {
         // classes dropped at random positions.
         let mut hallucinated: Vec<(usize, usize)> = Vec::new();
         let mut remaining = self.profile.hallucinations_per_image;
-        let candidate_classes = [
+        // Hallucinations must come from the catalogue's semantic space; the
+        // preferred foreground classes are used where available (for the
+        // Cityscapes-like catalogue this is the full list, preserving its
+        // behaviour exactly).
+        let mut candidate_classes: Vec<SemanticClass> = [
             SemanticClass::Human,
             SemanticClass::Car,
             SemanticClass::Pole,
             SemanticClass::TrafficSign,
             SemanticClass::Rider,
             SemanticClass::Bicycle,
-        ];
+        ]
+        .into_iter()
+        .filter(|&c| self.catalog.contains(c))
+        .collect();
+        if candidate_classes.is_empty() {
+            candidate_classes.push(self.fallback_class());
+        }
         while remaining > 0.0 {
             let spawn = if remaining >= 1.0 {
                 true
@@ -351,6 +404,7 @@ impl NetworkSim {
     /// softmax field the meta tasks consume.
     pub fn predict<R: Rng>(&self, ground_truth: &LabelMap, rng: &mut R) -> ProbMap {
         let (width, height) = ground_truth.shape();
+        let channels = self.catalog.channel_count();
         let (intended, missed, hallucinated) = self.corrupt_labels(ground_truth, rng);
 
         // Sparse lookups for the special pixel sets.
@@ -363,7 +417,7 @@ impl NetworkSim {
             is_hallucinated[y * width + x] = true;
         }
 
-        let mut probs = ProbMap::uniform(width, height, NUM_CHANNELS);
+        let mut probs = ProbMap::uniform(width, height, channels);
         let bw = self.profile.boundary_width as isize;
 
         for y in 0..height {
@@ -371,16 +425,23 @@ impl NetworkSim {
                 let idx = y * width + x;
                 let mut predicted = intended.class_at(x, y);
                 if predicted == SemanticClass::Void {
-                    predicted = SemanticClass::Building;
+                    predicted = self.fallback_class();
                 }
                 let true_class = ground_truth.class_at(x, y);
 
-                // Pixel-level label noise: isolated spurious predictions.
+                // Pixel-level label noise: isolated spurious predictions,
+                // restricted to classes the catalogue knows (for the
+                // Cityscapes-like catalogue every confusable qualifies).
                 let mut noisy = false;
                 if rng.gen_bool(self.profile.pixel_noise) {
-                    let alternatives = Self::confusable(predicted);
-                    predicted = alternatives[rng.gen_range(0..alternatives.len())];
-                    noisy = true;
+                    let alternatives: Vec<SemanticClass> = Self::confusable(predicted)
+                        .into_iter()
+                        .filter(|&c| self.catalog.contains(c))
+                        .collect();
+                    if !alternatives.is_empty() {
+                        predicted = alternatives[rng.gen_range(0..alternatives.len())];
+                        noisy = true;
+                    }
                 }
 
                 // Distance-to-boundary test (Chebyshev radius `boundary_width`).
@@ -412,15 +473,23 @@ impl NetworkSim {
                 };
                 confidence +=
                     rng.gen_range(-self.profile.confidence_jitter..=self.profile.confidence_jitter);
-                let floor = 1.2 / NUM_CHANNELS as f64;
-                confidence = confidence.clamp(floor, 0.99);
+                let floor = 1.2 / channels as f64;
+                confidence = confidence.clamp(floor.min(0.99), 0.99);
 
                 // Distribute the remaining mass: an elevated share for the true
                 // class when the prediction is wrong (or the pixel belongs to a
                 // missed rare segment), the rest over confusable classes plus a
-                // uniform epsilon.
-                let mut dist = vec![0.0f64; NUM_CHANNELS];
+                // uniform epsilon. Channel writes are guarded against class
+                // ids the catalogue's channel range does not cover (out-of-
+                // range mass falls into the epsilon pool and the exact
+                // normalisation below); with the Cityscapes-like catalogue
+                // every guard passes and the maths is unchanged.
+                let mut dist = vec![0.0f64; channels];
                 let predicted_channel = predicted.id() as usize;
+                debug_assert!(
+                    predicted_channel < channels,
+                    "predicted class {predicted} has no softmax channel (catalogue spans {channels})"
+                );
                 let remaining = 1.0 - confidence;
 
                 let runner_up: Option<SemanticClass> = if let Some(original) = missed_class[idx] {
@@ -436,33 +505,43 @@ impl NetworkSim {
 
                 let mut used = 0.0;
                 if let Some(runner) = runner_up {
-                    let share = remaining * self.profile.true_class_residual.max(0.4);
-                    dist[runner.id() as usize] += share;
-                    used += share;
+                    if (runner.id() as usize) < channels {
+                        let share = remaining * self.profile.true_class_residual.max(0.4);
+                        dist[runner.id() as usize] += share;
+                        used += share;
+                    }
                 }
                 let confusable = Self::confusable(predicted);
                 let confusable_share = (remaining - used) * 0.6;
                 for (i, c) in confusable.iter().enumerate() {
                     let weight = if i == 0 { 0.65 } else { 0.35 };
-                    dist[c.id() as usize] += confusable_share * weight;
+                    if (c.id() as usize) < channels {
+                        dist[c.id() as usize] += confusable_share * weight;
+                    }
                 }
                 used += confusable_share;
                 // Uniform epsilon over everything else.
                 let epsilon_total = (remaining - used).max(0.0);
-                let epsilon = epsilon_total / NUM_CHANNELS as f64;
+                let epsilon = epsilon_total / channels as f64;
                 for value in dist.iter_mut() {
                     *value += epsilon;
                 }
-                dist[predicted_channel] += confidence;
+                if predicted_channel < channels {
+                    dist[predicted_channel] += confidence;
+                }
 
                 // Rare-class leak: walkable surfaces occasionally carry a small
                 // person probability. The Bayes decision is unaffected, but the
                 // ML rule may flip such pixels, producing the false positives
-                // that trade against its higher recall (Section IV).
-                if matches!(
-                    true_class,
-                    SemanticClass::Road | SemanticClass::Sidewalk | SemanticClass::Terrain
-                ) && missed_class[idx].is_none()
+                // that trade against its higher recall (Section IV). Only
+                // meaningful when the catalogue knows `person` at all.
+                if self.catalog.contains(SemanticClass::Human)
+                    && (SemanticClass::Human.id() as usize) < channels
+                    && matches!(
+                        true_class,
+                        SemanticClass::Road | SemanticClass::Sidewalk | SemanticClass::Terrain
+                    )
+                    && missed_class[idx].is_none()
                     && rng.gen_bool(self.profile.rare_class_leak)
                 {
                     let leak = confidence * rng.gen_range(0.05..0.15);
@@ -508,6 +587,73 @@ mod tests {
             ..NetworkProfile::strong()
         };
         let _ = NetworkSim::new(profile);
+    }
+
+    #[test]
+    fn channel_count_follows_a_custom_catalog() {
+        use metaseg_data::{ClassCatalog, ClassInfo};
+        use metaseg_imgproc::Color;
+        // Regression: the channel count used to be hardcoded to 19, so a
+        // non-Cityscapes catalogue produced ProbMaps whose channel count
+        // disagreed with the catalogue's class ids.
+        let entry = |class: SemanticClass, freq: f64| ClassInfo {
+            class,
+            typical_frequency: freq,
+            color: Color::BLACK,
+            rare_critical: class == SemanticClass::Human,
+        };
+        let catalog = ClassCatalog::new(vec![
+            entry(SemanticClass::Road, 0.5),
+            entry(SemanticClass::Sky, 0.3),
+            entry(SemanticClass::Human, 0.2),
+        ]);
+        let channels = catalog.channel_count();
+        assert_eq!(channels, SemanticClass::Human.id() as usize + 1);
+        let sim = NetworkSim::with_catalog(NetworkProfile::weak(), catalog);
+        assert_eq!(sim.channels(), channels);
+
+        // Ground truth drawn from the custom semantic space only.
+        let mut gt = LabelMap::filled(40, 24, SemanticClass::Sky);
+        for y in 12..24 {
+            for x in 0..40 {
+                gt.set(x, y, SemanticClass::Road);
+            }
+        }
+        for y in 10..16 {
+            for x in 18..22 {
+                gt.set(x, y, SemanticClass::Human);
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(77);
+        let probs = sim.predict(&gt, &mut rng);
+        assert_eq!(probs.num_classes(), channels);
+        assert_eq!(probs.shape(), gt.shape());
+        assert!(probs.validate().is_ok());
+        // Every argmax decision lands on a class the catalogue knows.
+        let predicted = probs.argmax_map();
+        for y in 0..24 {
+            for x in 0..40 {
+                let class = predicted.class_at(x, y);
+                assert!(
+                    sim.catalog().contains(class),
+                    "predicted out-of-catalog class {class} at ({x}, {y})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_catalog_behaviour_is_unchanged() {
+        // `new` and `with_catalog(cityscapes_like)` are the same simulator:
+        // identical RNG consumption, identical softmax fields, 19 channels.
+        let gt = make_ground_truth(21);
+        let mut rng_a = StdRng::seed_from_u64(13);
+        let mut rng_b = StdRng::seed_from_u64(13);
+        let a = NetworkSim::new(NetworkProfile::weak()).predict(&gt, &mut rng_a);
+        let b = NetworkSim::with_catalog(NetworkProfile::weak(), ClassCatalog::cityscapes_like())
+            .predict(&gt, &mut rng_b);
+        assert_eq!(a, b);
+        assert_eq!(a.num_classes(), 19);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::network::NetworkSim;
 use crate::scene::Scene;
 use crate::video::VideoConfig;
-use metaseg_data::{Frame, FrameId};
+use metaseg_data::{Frame, FrameId, ProbMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,6 +44,56 @@ impl<I: Iterator<Item = Frame>> FrameSource for I {
 
     fn frames_hint(&self) -> (usize, Option<usize>) {
         self.size_hint()
+    }
+}
+
+/// A [`FrameSource`] over softmax fields decoded from a transport layer —
+/// the adapter that turns "camera payloads arriving over the wire" into the
+/// pull contract the streaming engine drains.
+///
+/// A serving layer receives per-frame [`ProbMap`]s (e.g. JSON-decoded by
+/// `metaseg-serve`); the engine wants [`Frame`]s with sequential ids. This
+/// adapter wraps any iterator of decoded maps, stamps monotone
+/// [`FrameId`]s for the configured camera/sequence index, and emits
+/// unlabelled frames (wire frames never carry ground truth). It is lazy:
+/// memory stays bounded by whatever the underlying iterator holds.
+#[derive(Debug, Clone)]
+pub struct DecodedFrameSource<I> {
+    inner: I,
+    sequence: usize,
+    next_index: usize,
+}
+
+impl<I> DecodedFrameSource<I>
+where
+    I: Iterator<Item = ProbMap>,
+{
+    /// Wraps an iterator of decoded softmax fields as camera `sequence`,
+    /// numbering frames from zero.
+    pub fn new(sequence: usize, inner: impl IntoIterator<Item = ProbMap, IntoIter = I>) -> Self {
+        Self {
+            inner: inner.into_iter(),
+            sequence,
+            next_index: 0,
+        }
+    }
+
+    /// Index of the next frame that will be produced.
+    pub fn position(&self) -> usize {
+        self.next_index
+    }
+}
+
+impl<I: Iterator<Item = ProbMap>> FrameSource for DecodedFrameSource<I> {
+    fn next_frame(&mut self) -> Option<Frame> {
+        let probs = self.inner.next()?;
+        let id = FrameId::new(self.sequence, self.next_index);
+        self.next_index += 1;
+        Some(Frame::unlabeled(id, probs))
+    }
+
+    fn frames_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
     }
 }
 
@@ -192,6 +242,27 @@ mod tests {
             drain(VideoStream::open(&VideoConfig::small(), sim, 1, &mut rng)),
             expected
         );
+    }
+
+    #[test]
+    fn decoded_frame_source_stamps_sequential_unlabeled_frames() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let maps: Vec<_> = VideoStream::open(&VideoConfig::small(), sim, 0, &mut rng)
+            .map(|f| f.prediction)
+            .collect();
+        let mut source = DecodedFrameSource::new(3, maps.clone());
+        assert_eq!(source.frames_hint(), (maps.len(), Some(maps.len())));
+        let mut count = 0;
+        while let Some(frame) = source.next_frame() {
+            assert_eq!(frame.id.sequence, 3);
+            assert_eq!(frame.id.index, count);
+            assert!(!frame.is_labeled());
+            assert_eq!(frame.prediction, maps[count]);
+            count += 1;
+        }
+        assert_eq!(count, maps.len());
+        assert_eq!(source.position(), count);
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! A small blocking client for the serve protocol.
+//!
+//! Used by the integration tests, the demo example and the loadtest binary;
+//! production consumers in other languages just speak the JSON-lines
+//! protocol directly.
+
+use crate::protocol::{ErrorCode, ProtocolError, Request, Response};
+use metaseg::stream::{SegmentVerdict, SessionStats};
+use metaseg_data::ProbMap;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure of one request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed.
+    Io(io::Error),
+    /// The server's reply could not be decoded, or had an unexpected shape.
+    Protocol(String),
+    /// The server answered with a typed error.
+    Server {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl ClientError {
+    /// The typed server error code, when this is a server-side rejection.
+    pub fn server_code(&self) -> Option<ErrorCode> {
+        match self {
+            ClientError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(value: io::Error) -> Self {
+        ClientError::Io(value)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(value: ProtocolError) -> Self {
+        ClientError::Protocol(value.to_string())
+    }
+}
+
+/// A blocking JSON-lines connection to a serve instance.
+#[derive(Debug)]
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the connection fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads its response. Server-side `Error`
+    /// responses are returned as `Ok(Response::Error { .. })` here; the
+    /// typed helpers below turn them into [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors and undecodable replies.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.roundtrip(&request.encode())
+    }
+
+    /// One already-encoded line out, one response in.
+    fn roundtrip(&mut self, line: &str) -> Result<Response, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let read = self.reader.read_line(&mut reply)?;
+        if read == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        Ok(Response::decode(reply.trim_end())?)
+    }
+
+    fn finish<T>(
+        &mut self,
+        response: Response,
+        extract: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        match response {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => extract(other)
+                .map_err(|r| ClientError::Protocol(format!("unexpected response {r:?}"))),
+        }
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        extract: impl FnOnce(Response) -> Result<T, Response>,
+    ) -> Result<T, ClientError> {
+        let response = self.request(request)?;
+        self.finish(response, extract)
+    }
+
+    /// Opens a camera session; returns `(session id, series length)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection.
+    pub fn open(&mut self, model: &str, camera: &str) -> Result<(u64, usize), ClientError> {
+        self.expect(
+            &Request::Open {
+                model: model.to_string(),
+                camera: camera.to_string(),
+            },
+            |r| match r {
+                Response::Opened {
+                    session,
+                    series_length,
+                } => Ok((session, series_length)),
+                other => Err(other),
+            },
+        )
+    }
+
+    /// Submits one frame; returns `(frame index, verdicts)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection —
+    /// [`ErrorCode::Backpressure`] is the retryable overload signal.
+    pub fn submit(
+        &mut self,
+        session: u64,
+        probs: &ProbMap,
+    ) -> Result<(usize, Vec<SegmentVerdict>), ClientError> {
+        // Encode from the borrowed field — no per-frame ProbMap clone.
+        let response = self.roundtrip(&Request::encode_frame(session, probs))?;
+        self.finish(response, |r| match r {
+            Response::Verdicts {
+                frame, verdicts, ..
+            } => Ok((frame, verdicts)),
+            other => Err(other),
+        })
+    }
+
+    /// Fetches the session's statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection.
+    pub fn stats(&mut self, session: u64) -> Result<SessionStats, ClientError> {
+        self.expect(&Request::Stats { session }, |r| match r {
+            Response::Stats { stats, .. } => Ok(stats),
+            other => Err(other),
+        })
+    }
+
+    /// Closes a session; returns its final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection.
+    pub fn close(&mut self, session: u64) -> Result<SessionStats, ClientError> {
+        self.expect(&Request::Close { session }, |r| match r {
+            Response::Closed { stats, .. } => Ok(stats),
+            other => Err(other),
+        })
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Ping, |r| match r {
+            Response::Pong => Ok(()),
+            other => Err(other),
+        })
+    }
+}

@@ -1,0 +1,255 @@
+//! # metaseg-serve
+//!
+//! A thread-pool-based, multi-client inference service over the streaming
+//! MetaSeg engine: many camera feeds, many models, one process, memory
+//! bounded per session.
+//!
+//! The crate splits into:
+//!
+//! * [`ModelRegistry`] — named, cached, pre-validated [`MetaPredictor`]
+//!   handles (insert fitted handles in-process or load their JSON
+//!   checkpoints),
+//! * [`Server`] / [`ServerHandle`] — the TCP server: a non-blocking
+//!   acceptor, one thread per connection owning that connection's camera
+//!   sessions, and a bounded worker pool that rejects overload with a typed
+//!   `backpressure` error instead of blocking or buffering unboundedly,
+//! * [`Request`] / [`Response`] — the JSON-lines wire protocol,
+//! * [`ServeClient`] — a small blocking client for tests, demos and load
+//!   generators.
+//!
+//! [`MetaPredictor`]: metaseg_learners::MetaPredictor
+//!
+//! ## Wire format
+//!
+//! One compact JSON object per line; requests carry an `"op"`, success
+//! responses an `"ok"`, errors an `"err"` code. The encoding is stable and
+//! doc-tested:
+//!
+//! ```
+//! use metaseg_serve::{ErrorCode, Request, Response};
+//!
+//! // A session-open request renders to one JSON line…
+//! let open = Request::Open { model: "default".into(), camera: "cam-0".into() };
+//! assert_eq!(
+//!     open.encode(),
+//!     r#"{"op":"open","model":"default","camera":"cam-0"}"#
+//! );
+//!
+//! // …and the matching response parses back into typed form.
+//! let reply = Response::decode(r#"{"ok":"opened","session":1,"series_length":3}"#).unwrap();
+//! assert_eq!(reply, Response::Opened { session: 1, series_length: 3 });
+//!
+//! // Overload is a typed, retryable error — never a dropped connection.
+//! let busy = Response::decode(
+//!     r#"{"err":"backpressure","message":"inference queue is full (64 jobs)"}"#
+//! ).unwrap();
+//! assert!(matches!(busy, Response::Error { code: ErrorCode::Backpressure, .. }));
+//! ```
+//!
+//! ## Session lifecycle
+//!
+//! `open` creates a per-connection session owning a fresh
+//! [`MetaSegStream`](metaseg::stream::MetaSegStream); each `frame`
+//! submission runs the single-pass extraction → incremental tracking →
+//! windowed inference pipeline and answers with per-segment verdicts
+//! (predicted IoU, false-positive probability, track id) for *that* frame;
+//! `stats` snapshots the session counters; `close` (or disconnecting)
+//! releases the session. Sessions die with their connection — there is no
+//! server-side session leak when a camera goes away.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod protocol;
+mod registry;
+mod server;
+
+pub use client::{ClientError, ServeClient};
+pub use protocol::{ErrorCode, ProtocolError, Request, Response};
+pub use registry::{ModelEntry, ModelRegistry};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures: a small fitted predictor over the simulator.
+
+    use metaseg::stream::StreamConfig;
+    use metaseg::timedyn::{MetaModel, TimeDynConfig, TimeDynamic};
+    use metaseg_learners::{MetaPredictor, TabularDataset};
+    use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoScenario};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Fits a gradient-boosting predictor on time series of `length` frames
+    /// of the small simulated video scenario.
+    pub fn fitted_model(length: usize) -> (StreamConfig, MetaPredictor) {
+        let mut rng = StdRng::seed_from_u64(900);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let scenario = VideoScenario::generate(&VideoConfig::small(), &sim, &mut rng);
+        let pipeline = TimeDynamic::new(TimeDynConfig::default());
+        let mut train = TabularDataset::new();
+        for sequence in &scenario.dataset().sequences {
+            let analysis = pipeline.analyze_sequence(sequence);
+            train.extend_from(&pipeline.time_series_dataset(&analysis, length));
+        }
+        let predictor = pipeline
+            .fit_predictor(MetaModel::GradientBoosting, &train, 0)
+            .expect("the small scenario is fittable");
+        (StreamConfig::default(), predictor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fitted_model;
+    use metaseg_sim::{NetworkProfile, NetworkSim, VideoConfig, VideoStream};
+    use rand::{rngs::StdRng, SeedableRng};
+    use std::sync::Arc;
+
+    fn registry_with_default(length: usize) -> Arc<ModelRegistry> {
+        let registry = Arc::new(ModelRegistry::new());
+        let (config, predictor) = fitted_model(length);
+        registry
+            .insert("default", config, predictor)
+            .expect("fixture model is valid");
+        registry
+    }
+
+    #[test]
+    fn serve_one_camera_end_to_end() {
+        let registry = registry_with_default(2);
+        let handle = Server::spawn("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+
+        let mut client = ServeClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        let (session, series_length) = client.open("default", "cam-0").unwrap();
+        assert_eq!(series_length, 2);
+
+        let mut rng = StdRng::seed_from_u64(901);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let frames: Vec<_> = VideoStream::open(&VideoConfig::small(), sim, 0, &mut rng)
+            .take(4)
+            .map(|f| f.prediction)
+            .collect();
+        for (i, probs) in frames.iter().enumerate() {
+            let (frame, verdicts) = client.submit(session, probs).unwrap();
+            assert_eq!(frame, i);
+            for verdict in &verdicts {
+                assert!((0.0..=1.0).contains(&verdict.tp_probability));
+                assert!((0.0..=1.0).contains(&verdict.predicted_iou));
+            }
+        }
+        let stats = client.stats(session).unwrap();
+        assert_eq!(stats.frames, 4);
+        let final_stats = client.close(session).unwrap();
+        assert_eq!(final_stats.frames, 4);
+        // Closed sessions are gone.
+        assert_eq!(
+            client.stats(session).unwrap_err().server_code(),
+            Some(ErrorCode::UnknownSession)
+        );
+
+        let server_stats = handle.shutdown();
+        assert_eq!(server_stats.connections, 1);
+        assert_eq!(server_stats.sessions_opened, 1);
+        assert_eq!(server_stats.frames_processed, 4);
+        assert_eq!(server_stats.rejected, 0);
+    }
+
+    #[test]
+    fn oversized_lines_drop_the_connection_instead_of_growing_memory() {
+        use std::io::{Read, Write};
+        use std::net::TcpStream;
+
+        let registry = registry_with_default(2);
+        let handle = Server::spawn(
+            "127.0.0.1:0",
+            registry,
+            ServerConfig {
+                max_line_bytes: 1024,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut stream = TcpStream::connect(handle.local_addr()).unwrap();
+        // A newline-free flood larger than the cap: the server must close
+        // the connection (without ever answering) rather than buffer the
+        // line forever. The write may fail mid-flood when the server
+        // closes first; both outcomes are the success case.
+        let _ = stream.write_all(&vec![b'x'; 64 * 1024]);
+        let _ = stream.flush();
+        let mut reply = Vec::new();
+        let _ = stream.read_to_end(&mut reply);
+        assert!(
+            reply.is_empty(),
+            "no response expected to an oversized partial line"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_and_malformed_lines_keep_the_connection_alive() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let registry = registry_with_default(2);
+        let handle = Server::spawn("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut roundtrip = |line: &str| -> Response {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            Response::decode(reply.trim_end()).unwrap()
+        };
+
+        // A raw garbage line gets a typed bad-request error…
+        assert!(matches!(
+            roundtrip("this is not json"),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        // …an unknown model a typed unknown-model error…
+        assert!(matches!(
+            roundtrip(
+                &Request::Open {
+                    model: "missing".into(),
+                    camera: "cam".into()
+                }
+                .encode()
+            ),
+            Response::Error {
+                code: ErrorCode::UnknownModel,
+                ..
+            }
+        ));
+        // …a frame for a never-opened session a typed unknown-session error…
+        assert!(matches!(
+            roundtrip(&Request::Stats { session: 99 }.encode()),
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+        // …and the same connection still serves real requests afterwards.
+        assert!(matches!(
+            roundtrip(
+                &Request::Open {
+                    model: "default".into(),
+                    camera: "cam".into()
+                }
+                .encode()
+            ),
+            Response::Opened { .. }
+        ));
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,529 @@
+//! The JSON-lines wire protocol of the inference service.
+//!
+//! Every message is one compact JSON object per line. Requests carry an
+//! `"op"` discriminator, successful responses an `"ok"` discriminator, and
+//! error responses an `"err"` code plus a human-readable `"message"`:
+//!
+//! ```text
+//! -> {"op":"open","model":"default","camera":"cam-0"}
+//! <- {"ok":"opened","session":1,"series_length":3}
+//! -> {"op":"frame","session":1,"probs":{...softmax field...}}
+//! <- {"ok":"verdicts","session":1,"frame":0,"verdicts":[...]}
+//! -> {"op":"close","session":1}
+//! <- {"ok":"closed","session":1,"stats":{...}}
+//! ```
+//!
+//! Payload types ([`ProbMap`], [`SegmentVerdict`], [`SessionStats`]) use
+//! their derived serde encodings, so a served verdict is *bit-identical* to
+//! the in-process one after the round-trip (floats travel in shortest
+//! round-trip form).
+//!
+//! Decoding is total: any malformed line becomes a [`ProtocolError`], which
+//! the server answers with [`ErrorCode::BadRequest`] instead of dropping the
+//! connection — one garbled camera payload must not kill a session.
+
+use metaseg::stream::{SegmentVerdict, SessionStats};
+use metaseg_data::ProbMap;
+use serde::{Deserialize, DeserializeError, Serialize, Value};
+use std::fmt;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens a camera session served by the named model.
+    Open {
+        /// Registry name of the model that should serve the session.
+        model: String,
+        /// Free-form camera label, echoed in server-side statistics.
+        camera: String,
+    },
+    /// Submits the next frame of a session (a decoded softmax field).
+    Frame {
+        /// Session the frame belongs to.
+        session: u64,
+        /// The frame's softmax field.
+        probs: ProbMap,
+    },
+    /// Requests the session's lifetime statistics.
+    Stats {
+        /// Session to report on.
+        session: u64,
+    },
+    /// Closes a session, returning its final statistics.
+    Close {
+        /// Session to close.
+        session: u64,
+    },
+    /// Liveness probe; answered with [`Response::Pong`] without touching any
+    /// session.
+    Ping,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A session was opened.
+    Opened {
+        /// Server-assigned session id (unique per server lifetime).
+        session: u64,
+        /// Time-series depth of the serving engine.
+        series_length: usize,
+    },
+    /// Per-segment verdicts of one submitted frame.
+    Verdicts {
+        /// Session the verdicts belong to.
+        session: u64,
+        /// Index of the frame within the session.
+        frame: usize,
+        /// One verdict per tracked segment, in record order.
+        verdicts: Vec<SegmentVerdict>,
+    },
+    /// Session statistics snapshot.
+    Stats {
+        /// Session reported on.
+        session: u64,
+        /// The statistics snapshot.
+        stats: SessionStats,
+    },
+    /// A session was closed.
+    Closed {
+        /// The closed session.
+        session: u64,
+        /// Final statistics of the session.
+        stats: SessionStats,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A typed error. The connection stays usable afterwards.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Machine-readable error classes of [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The worker queue is full; retry after draining. The request had no
+    /// effect.
+    Backpressure,
+    /// The requested model is not in the registry.
+    UnknownModel,
+    /// The session id is not open on this connection.
+    UnknownSession,
+    /// The request line could not be decoded or carried an inconsistent
+    /// payload.
+    BadRequest,
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Backpressure => "backpressure",
+            ErrorCode::UnknownModel => "unknown-model",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_str_opt(text: &str) -> Option<Self> {
+        Some(match text {
+            "backpressure" => ErrorCode::Backpressure,
+            "unknown-model" => ErrorCode::UnknownModel,
+            "unknown-session" => ErrorCode::UnknownSession,
+            "bad-request" => ErrorCode::BadRequest,
+            "shutting-down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A wire message that could not be decoded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError(String);
+
+impl ProtocolError {
+    fn new(message: impl Into<String>) -> Self {
+        Self(message.into())
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<DeserializeError> for ProtocolError {
+    fn from(value: DeserializeError) -> Self {
+        Self::new(value.to_string())
+    }
+}
+
+fn object(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn required<'a>(value: &'a Value, key: &str) -> Result<&'a Value, ProtocolError> {
+    value
+        .get(key)
+        .ok_or_else(|| ProtocolError::new(format!("missing field `{key}`")))
+}
+
+fn u64_field(value: &Value, key: &str) -> Result<u64, ProtocolError> {
+    required(value, key)?
+        .as_u64()
+        .ok_or_else(|| ProtocolError::new(format!("field `{key}` must be a non-negative integer")))
+}
+
+fn string_field(value: &Value, key: &str) -> Result<String, ProtocolError> {
+    Ok(required(value, key)?
+        .as_str()
+        .ok_or_else(|| ProtocolError::new(format!("field `{key}` must be a string")))?
+        .to_string())
+}
+
+impl Request {
+    /// Renders a frame submission from borrowed parts — the hot-path
+    /// encoder: submitting a frame must not require cloning the softmax
+    /// field into an owned [`Request`] first.
+    pub fn encode_frame(session: u64, probs: &ProbMap) -> String {
+        let value = object(vec![
+            ("op", Value::String("frame".into())),
+            ("session", session.serialize()),
+            ("probs", probs.serialize()),
+        ]);
+        serde_json::to_string(&value).expect("document model serialization is infallible")
+    }
+
+    /// Renders the request as one compact JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            Request::Open { model, camera } => object(vec![
+                ("op", Value::String("open".into())),
+                ("model", model.serialize()),
+                ("camera", camera.serialize()),
+            ]),
+            Request::Frame { session, probs } => return Self::encode_frame(*session, probs),
+            Request::Stats { session } => object(vec![
+                ("op", Value::String("stats".into())),
+                ("session", session.serialize()),
+            ]),
+            Request::Close { session } => object(vec![
+                ("op", Value::String("close".into())),
+                ("session", session.serialize()),
+            ]),
+            Request::Ping => object(vec![("op", Value::String("ping".into()))]),
+        };
+        serde_json::to_string(&value).expect("document model serialization is infallible")
+    }
+
+    /// Decodes one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on malformed JSON, an unknown `op`, or a
+    /// missing/mistyped field; the server answers these with
+    /// [`ErrorCode::BadRequest`] rather than closing the connection.
+    pub fn decode(line: &str) -> Result<Self, ProtocolError> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| ProtocolError::new(e.to_string()))?;
+        let op = string_field(&value, "op")?;
+        match op.as_str() {
+            "open" => Ok(Request::Open {
+                model: string_field(&value, "model")?,
+                camera: string_field(&value, "camera")?,
+            }),
+            "frame" => Ok(Request::Frame {
+                session: u64_field(&value, "session")?,
+                probs: ProbMap::deserialize(required(&value, "probs")?)?,
+            }),
+            "stats" => Ok(Request::Stats {
+                session: u64_field(&value, "session")?,
+            }),
+            "close" => Ok(Request::Close {
+                session: u64_field(&value, "session")?,
+            }),
+            "ping" => Ok(Request::Ping),
+            other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+impl Response {
+    /// Renders the response as one compact JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            Response::Opened {
+                session,
+                series_length,
+            } => object(vec![
+                ("ok", Value::String("opened".into())),
+                ("session", session.serialize()),
+                ("series_length", series_length.serialize()),
+            ]),
+            Response::Verdicts {
+                session,
+                frame,
+                verdicts,
+            } => object(vec![
+                ("ok", Value::String("verdicts".into())),
+                ("session", session.serialize()),
+                ("frame", frame.serialize()),
+                ("verdicts", verdicts.serialize()),
+            ]),
+            Response::Stats { session, stats } => object(vec![
+                ("ok", Value::String("stats".into())),
+                ("session", session.serialize()),
+                ("stats", stats.serialize()),
+            ]),
+            Response::Closed { session, stats } => object(vec![
+                ("ok", Value::String("closed".into())),
+                ("session", session.serialize()),
+                ("stats", stats.serialize()),
+            ]),
+            Response::Pong => object(vec![("ok", Value::String("pong".into()))]),
+            Response::Error { code, message } => object(vec![
+                ("err", Value::String(code.as_str().into())),
+                ("message", message.serialize()),
+            ]),
+        };
+        serde_json::to_string(&value).expect("document model serialization is infallible")
+    }
+
+    /// Decodes one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] on malformed JSON, an unknown `ok`/`err`
+    /// discriminator, or a missing/mistyped field.
+    pub fn decode(line: &str) -> Result<Self, ProtocolError> {
+        let value: Value =
+            serde_json::from_str(line).map_err(|e| ProtocolError::new(e.to_string()))?;
+        if let Some(err) = value.get("err") {
+            let code_text = err
+                .as_str()
+                .ok_or_else(|| ProtocolError::new("field `err` must be a string"))?;
+            let code = ErrorCode::from_str_opt(code_text)
+                .ok_or_else(|| ProtocolError::new(format!("unknown error code `{code_text}`")))?;
+            return Ok(Response::Error {
+                code,
+                message: string_field(&value, "message")?,
+            });
+        }
+        let ok = string_field(&value, "ok")?;
+        match ok.as_str() {
+            "opened" => Ok(Response::Opened {
+                session: u64_field(&value, "session")?,
+                series_length: usize::deserialize(required(&value, "series_length")?)?,
+            }),
+            "verdicts" => Ok(Response::Verdicts {
+                session: u64_field(&value, "session")?,
+                frame: usize::deserialize(required(&value, "frame")?)?,
+                verdicts: Vec::<SegmentVerdict>::deserialize(required(&value, "verdicts")?)?,
+            }),
+            "stats" => Ok(Response::Stats {
+                session: u64_field(&value, "session")?,
+                stats: SessionStats::deserialize(required(&value, "stats")?)?,
+            }),
+            "closed" => Ok(Response::Closed {
+                session: u64_field(&value, "session")?,
+                stats: SessionStats::deserialize(required(&value, "stats")?)?,
+            }),
+            "pong" => Ok(Response::Pong),
+            other => Err(ProtocolError::new(format!("unknown response `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaseg_data::SemanticClass;
+
+    fn tiny_probs() -> ProbMap {
+        let mut probs = ProbMap::uniform(2, 1, 3);
+        probs
+            .set_distribution(0, 0, &[0.5, 0.25, 0.25])
+            .expect("valid distribution");
+        probs
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = vec![
+            Request::Open {
+                model: "default".into(),
+                camera: "cam-0".into(),
+            },
+            Request::Frame {
+                session: 7,
+                probs: tiny_probs(),
+            },
+            Request::Stats { session: 7 },
+            Request::Close { session: 7 },
+            Request::Ping,
+        ];
+        for request in requests {
+            let line = request.encode();
+            assert!(!line.contains('\n'), "one message per line: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn borrowed_frame_encoder_matches_the_owned_one() {
+        let probs = tiny_probs();
+        assert_eq!(
+            Request::encode_frame(7, &probs),
+            Request::Frame { session: 7, probs }.encode()
+        );
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let verdict = SegmentVerdict {
+            frame: 3,
+            track_id: 9,
+            region_id: 1,
+            class: SemanticClass::Car,
+            area: 42,
+            tp_probability: 0.875,
+            predicted_iou: 1.0 / 3.0,
+        };
+        let responses = vec![
+            Response::Opened {
+                session: 1,
+                series_length: 3,
+            },
+            Response::Verdicts {
+                session: 1,
+                frame: 3,
+                verdicts: vec![verdict],
+            },
+            Response::Stats {
+                session: 1,
+                stats: SessionStats::default(),
+            },
+            Response::Closed {
+                session: 1,
+                stats: SessionStats::default(),
+            },
+            Response::Pong,
+            Response::Error {
+                code: ErrorCode::Backpressure,
+                message: "queue full".into(),
+            },
+        ];
+        for response in responses {
+            let line = response.encode();
+            assert!(!line.contains('\n'), "one message per line: {line}");
+            assert_eq!(Response::decode(&line).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn verdict_floats_roundtrip_bit_identically() {
+        let verdict = SegmentVerdict {
+            frame: 0,
+            track_id: 0,
+            region_id: 0,
+            class: SemanticClass::Human,
+            area: 1,
+            tp_probability: std::f64::consts::FRAC_1_SQRT_2,
+            predicted_iou: 2.0 / 7.0,
+        };
+        let line = Response::Verdicts {
+            session: 0,
+            frame: 0,
+            verdicts: vec![verdict.clone()],
+        }
+        .encode();
+        match Response::decode(&line).unwrap() {
+            Response::Verdicts { verdicts, .. } => {
+                assert!(verdicts[0].tp_probability == verdict.tp_probability);
+                assert!(verdicts[0].predicted_iou == verdict.predicted_iou);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_produce_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"open\"}",
+            "{\"op\":\"frame\",\"session\":-1,\"probs\":{}}",
+            "{\"op\":\"frame\",\"session\":1,\"probs\":{\"width\":1}}",
+            "{\"op\":\"frame\",\"session\":1}",
+        ] {
+            assert!(Request::decode(bad).is_err(), "accepted {bad:?}");
+        }
+        for bad in [
+            "{}",
+            "{\"ok\":\"nope\"}",
+            "{\"err\":\"nope\",\"message\":\"x\"}",
+        ] {
+            assert!(Response::decode(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_verdicts_error_instead_of_decoding_to_nan() {
+        // A verdict object missing a field (truncated document, mismatched
+        // peer) must be a decode error — never a silently-NaN probability.
+        let bad = "{\"ok\":\"verdicts\",\"session\":1,\"frame\":0,\"verdicts\":\
+                   [{\"frame\":0,\"track_id\":0,\"region_id\":0,\"class\":\"Car\",\"area\":1}]}";
+        let err = Response::decode(bad).unwrap_err();
+        assert!(
+            err.to_string().contains("missing field"),
+            "unexpected error: {err}"
+        );
+        // Explicit null is still the valid encoding of a non-finite float.
+        let null_prob = "{\"ok\":\"verdicts\",\"session\":1,\"frame\":0,\"verdicts\":\
+                         [{\"frame\":0,\"track_id\":0,\"region_id\":0,\"class\":\"Car\",\
+                         \"area\":1,\"tp_probability\":null,\"predicted_iou\":0.5}]}";
+        match Response::decode(null_prob).unwrap() {
+            Response::Verdicts { verdicts, .. } => assert!(verdicts[0].tp_probability.is_nan()),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for code in [
+            ErrorCode::Backpressure,
+            ErrorCode::UnknownModel,
+            ErrorCode::UnknownSession,
+            ErrorCode::BadRequest,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::from_str_opt(code.as_str()), Some(code));
+            assert_eq!(code.to_string(), code.as_str());
+        }
+        assert_eq!(ErrorCode::from_str_opt("nope"), None);
+    }
+}

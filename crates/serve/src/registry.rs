@@ -1,0 +1,201 @@
+//! Named, cached model handles for the serving layer.
+//!
+//! A server process serves many tenants, each pinned to a model by name.
+//! [`ModelRegistry`] owns the fitted [`MetaPredictor`] handles (inserted
+//! in-process or loaded from their serialized JSON checkpoint form), caches
+//! them behind [`Arc`]s so concurrent sessions share one copy, and validates
+//! every handle against its [`StreamConfig`] **once at registration** — a
+//! session open can then never fail on a config/predictor mismatch.
+
+use metaseg::stream::{MetaSegStream, StreamConfig};
+use metaseg::MetaSegError;
+use metaseg_learners::MetaPredictor;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One registered model: the stream configuration plus the fitted predictor
+/// every session of this model is served with.
+#[derive(Debug, Clone)]
+pub struct ModelEntry {
+    name: String,
+    config: StreamConfig,
+    predictor: MetaPredictor,
+}
+
+impl ModelEntry {
+    /// Registry name of the model.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stream configuration sessions of this model run under.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The fitted predictor handle.
+    pub fn predictor(&self) -> &MetaPredictor {
+        &self.predictor
+    }
+
+    /// Opens a fresh per-session streaming engine over this model.
+    pub fn open_stream(&self) -> MetaSegStream {
+        MetaSegStream::new(self.config, self.predictor.clone())
+            .expect("entry was validated at registration")
+    }
+}
+
+/// Thread-safe name → model map shared by every connection of a server.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a model under `name`, validating the
+    /// predictor against the stream configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaSegError::InvalidConfig`] when the predictor does not
+    /// fit the configuration (wrong feature dimensionality, window too
+    /// shallow, mismatched connectivities).
+    pub fn insert(
+        &self,
+        name: &str,
+        config: StreamConfig,
+        predictor: MetaPredictor,
+    ) -> Result<(), MetaSegError> {
+        // Validation = constructing a throwaway engine; registration is cold
+        // path, sessions are hot path.
+        MetaSegStream::new(config, predictor.clone())?;
+        let entry = Arc::new(ModelEntry {
+            name: name.to_string(),
+            config,
+            predictor,
+        });
+        self.models
+            .write()
+            .expect("registry lock never poisoned")
+            .insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Loads a model from its serialized JSON checkpoint form
+    /// ([`MetaPredictor::to_json`]) and caches it under `name`. If the name
+    /// is already registered, the existing handle is kept and the checkpoint
+    /// is not parsed again.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaSegError::Learn`] when the checkpoint cannot be
+    /// decoded, and [`MetaSegError::InvalidConfig`] when the decoded
+    /// predictor does not fit the configuration.
+    pub fn load_json(
+        &self,
+        name: &str,
+        config: StreamConfig,
+        checkpoint: &str,
+    ) -> Result<(), MetaSegError> {
+        if self.get(name).is_some() {
+            return Ok(());
+        }
+        let predictor = MetaPredictor::from_json(checkpoint)?;
+        self.insert(name, config, predictor)
+    }
+
+    /// Looks up a model by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.models
+            .read()
+            .expect("registry lock never poisoned")
+            .get(name)
+            .cloned()
+    }
+
+    /// Removes a model by name; existing sessions keep their handle alive
+    /// through the [`Arc`].
+    pub fn remove(&self, name: &str) -> bool {
+        self.models
+            .write()
+            .expect("registry lock never poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Names of all registered models, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .models
+            .read()
+            .expect("registry lock never poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models
+            .read()
+            .expect("registry lock never poisoned")
+            .len()
+    }
+
+    /// Whether the registry holds no models.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fitted_model;
+
+    #[test]
+    fn insert_validates_and_caches() {
+        let registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        let (config, predictor) = fitted_model(2);
+        registry
+            .insert("default", config, predictor.clone())
+            .unwrap();
+        assert_eq!(registry.names(), vec!["default".to_string()]);
+        let entry = registry.get("default").unwrap();
+        assert_eq!(entry.name(), "default");
+        assert_eq!(entry.open_stream().series_length(), 2);
+        assert!(registry.get("missing").is_none());
+
+        // A predictor deeper than the stream window is rejected.
+        let narrow = StreamConfig {
+            window: 1,
+            ..config
+        };
+        assert!(registry.insert("bad", narrow, predictor).is_err());
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn load_json_roundtrips_and_caches_by_name() {
+        let registry = ModelRegistry::new();
+        let (config, predictor) = fitted_model(2);
+        let checkpoint = predictor.to_json();
+        registry.load_json("ckpt", config, &checkpoint).unwrap();
+        assert_eq!(registry.get("ckpt").unwrap().predictor(), &predictor);
+        // Second load under the same name is a cache hit even with a
+        // corrupt checkpoint text.
+        registry.load_json("ckpt", config, "garbage").unwrap();
+        // A fresh name with a corrupt checkpoint is a typed error.
+        assert!(registry.load_json("other", config, "garbage").is_err());
+        assert!(registry.remove("ckpt"));
+        assert!(!registry.remove("ckpt"));
+    }
+}

@@ -1,0 +1,513 @@
+//! The multi-camera TCP inference server.
+//!
+//! Architecture (one process, three thread roles):
+//!
+//! * **Acceptor** — accepts TCP connections in a non-blocking poll loop and
+//!   spawns one connection thread each. It never does inference and never
+//!   blocks on the worker queue, so accepting stays O(1) under load.
+//! * **Connection threads** — own their camera *sessions* (session id →
+//!   [`MetaSegStream`] engine), decode request lines, and submit frame jobs
+//!   to the worker pool, relaying the verdicts back in request order. A
+//!   malformed line is answered with a typed `bad-request` error; the
+//!   connection survives.
+//! * **Worker pool** — `workers` threads draining a bounded job queue. When
+//!   the queue is full the submitting connection immediately answers
+//!   `backpressure` instead of blocking or buffering unboundedly — the
+//!   overload signal a fleet balancer needs.
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) stops the acceptor,
+//! rejects new sessions, lets connection threads finish their in-flight
+//! request, then drains every queued job before the workers exit — no
+//! accepted frame is ever silently dropped.
+
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::registry::ModelRegistry;
+use metaseg::stream::MetaSegStream;
+use metaseg_data::{Frame, FrameId, ProbMap};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs of a server instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Worker threads draining the inference queue.
+    pub workers: usize,
+    /// Bounded depth of the inference queue; submissions beyond it are
+    /// rejected with [`ErrorCode::Backpressure`].
+    pub queue_depth: usize,
+    /// Artificial per-frame inference delay in milliseconds — a loadtest /
+    /// test knob emulating heavier models; `0` (the default) for real
+    /// serving.
+    pub synthetic_delay_ms: u64,
+    /// Poll interval of the acceptor loop and the connection-thread read
+    /// timeout; bounds how quickly shutdown is observed.
+    pub poll_interval_ms: u64,
+    /// Maximum accepted request-line length in bytes; a connection whose
+    /// line grows past this without a newline is dropped (bounds per-
+    /// connection memory against peers that never terminate a line).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            synthetic_delay_ms: 0,
+            poll_interval_ms: 25,
+            // Generous for softmax payloads (a 500x300x19 frame is ~40 MiB
+            // of JSON) while still bounding a hostile newline-free stream.
+            max_line_bytes: 256 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    fn poll_interval(&self) -> Duration {
+        Duration::from_millis(self.poll_interval_ms.max(1))
+    }
+}
+
+/// Lifetime counters of a server, snapshot via [`ServerHandle::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: usize,
+    /// Sessions opened.
+    pub sessions_opened: usize,
+    /// Frame jobs fully processed.
+    pub frames_processed: usize,
+    /// Frame submissions rejected with `backpressure`.
+    pub rejected: usize,
+    /// Largest queue occupancy ever observed.
+    pub peak_queue_depth: usize,
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    registry: Arc<ModelRegistry>,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    next_session: AtomicU64,
+    queue_len: AtomicUsize,
+    connections: AtomicUsize,
+    sessions_opened: AtomicUsize,
+    frames_processed: AtomicUsize,
+    rejected: AtomicUsize,
+    peak_queue_depth: AtomicUsize,
+}
+
+/// One camera session: the engine plus bookkeeping labels.
+struct Session {
+    engine: MetaSegStream,
+    #[allow(dead_code)]
+    camera: String,
+}
+
+/// A queued inference job: one frame of one session plus the reply channel
+/// of the submitting connection thread.
+struct Job {
+    session_id: u64,
+    session: Arc<Mutex<Session>>,
+    probs: ProbMap,
+    reply: Sender<Response>,
+}
+
+/// A running server; dropping the handle aborts without draining, calling
+/// [`ServerHandle::shutdown`] drains gracefully.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    job_tx: Option<SyncSender<Job>>,
+    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Entry point: bind, spawn, serve.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
+    /// acceptor and worker threads. Returns immediately; the server runs
+    /// until [`ServerHandle::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when binding fails.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            shutting_down: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            queue_len: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            sessions_opened: AtomicUsize::new(0),
+            frames_processed: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            peak_queue_depth: AtomicUsize::new(0),
+        });
+
+        let workers = config.workers.max(1);
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|index| {
+                let rx = Arc::clone(&job_rx);
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("metaseg-worker-{index}"))
+                    .spawn(move || worker_loop(&rx, &shared))
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let job_tx = job_tx.clone();
+            thread::Builder::new()
+                .name("metaseg-acceptor".to_string())
+                .spawn(move || acceptor_loop(&listener, &shared, &job_tx))
+                .expect("spawning the acceptor thread succeeds")
+        };
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            job_tx: Some(job_tx),
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The address the server actually listens on (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server's lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.shared.connections.load(Ordering::Relaxed),
+            sessions_opened: self.shared.sessions_opened.load(Ordering::Relaxed),
+            frames_processed: self.shared.frames_processed.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            peak_queue_depth: self.shared.peak_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection finish its
+    /// in-flight request, drain all queued jobs, join every thread, and
+    /// return the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let connection_threads = acceptor.join().expect("acceptor thread never panics");
+            for handle in connection_threads {
+                let _ = handle.join();
+            }
+        }
+        // All connection threads are gone, so the acceptor-side sender is
+        // the last one: dropping it lets workers drain the queue and exit.
+        drop(self.job_tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+) -> Vec<JoinHandle<()>> {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted = 0usize;
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                let job_tx = job_tx.clone();
+                let handle = thread::Builder::new()
+                    .name(format!("metaseg-conn-{accepted}"))
+                    .spawn(move || connection_loop(stream, &shared, &job_tx))
+                    .expect("spawning a connection thread succeeds");
+                accepted += 1;
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Reap finished connection threads while idle so a
+                // long-running server with connection churn does not
+                // accumulate one JoinHandle per connection ever accepted.
+                reap_finished(&mut connections);
+                thread::sleep(shared.config.poll_interval());
+            }
+            // Transient accept errors (aborted handshakes) must not kill
+            // the server.
+            Err(_) => thread::sleep(shared.config.poll_interval()),
+        }
+    }
+    connections
+}
+
+/// Joins and drops every connection thread that has already exited.
+fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
+    let mut index = 0;
+    while index < connections.len() {
+        if connections[index].is_finished() {
+            let _ = connections.swap_remove(index).join();
+        } else {
+            index += 1;
+        }
+    }
+}
+
+/// Reads one line, tolerating read timeouts (used to poll the shutdown
+/// flag). Returns `None` on EOF, a fatal transport error, or a line
+/// exceeding the configured size cap (the transport-level analogue of the
+/// JSON parser's nesting-depth cap: a peer that never sends a newline must
+/// not grow server memory without bound).
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    buffer: &mut String,
+    shared: &Shared,
+) -> Option<()> {
+    buffer.clear();
+    loop {
+        match reader.read_line(buffer) {
+            Ok(0) => return None,
+            Ok(_) => {
+                // Timeouts can split a line: keep reading until the
+                // newline actually arrived.
+                if buffer.ends_with('\n') {
+                    return Some(());
+                }
+                if buffer.len() > shared.config.max_line_bytes {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return None;
+                }
+                if buffer.len() > shared.config.max_line_bytes {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<Job>) {
+    let _ = stream.set_nodelay(true);
+    if stream
+        .set_read_timeout(Some(shared.config.poll_interval()))
+        .is_err()
+    {
+        return;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut sessions: HashMap<u64, Arc<Mutex<Session>>> = HashMap::new();
+    let mut line = String::new();
+
+    while read_line_polled(&mut reader, &mut line, shared).is_some() {
+        let response = match Request::decode(line.trim_end()) {
+            Ok(request) => handle_request(request, &mut sessions, shared, job_tx),
+            Err(e) => Response::Error {
+                code: ErrorCode::BadRequest,
+                message: e.to_string(),
+            },
+        };
+        if writeln!(writer, "{}", response.encode()).is_err() {
+            return;
+        }
+        if writer.flush().is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_request(
+    request: Request,
+    sessions: &mut HashMap<u64, Arc<Mutex<Session>>>,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Open { model, camera } => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return shutting_down_error();
+            }
+            let Some(entry) = shared.registry.get(&model) else {
+                return Response::Error {
+                    code: ErrorCode::UnknownModel,
+                    message: format!("no model named `{model}` is registered"),
+                };
+            };
+            let engine = entry.open_stream();
+            let series_length = engine.series_length();
+            let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            sessions.insert(session, Arc::new(Mutex::new(Session { engine, camera })));
+            shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+            Response::Opened {
+                session,
+                series_length,
+            }
+        }
+        Request::Frame { session, probs } => {
+            if shared.shutting_down.load(Ordering::SeqCst) {
+                return shutting_down_error();
+            }
+            let Some(state) = sessions.get(&session) else {
+                return unknown_session_error(session);
+            };
+            // Decoded payloads cross a trust boundary: an inconsistent
+            // shape would panic deep inside metric extraction.
+            if !probs.shape_consistent() {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "frame payload has an inconsistent shape".to_string(),
+                };
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = Job {
+                session_id: session,
+                session: Arc::clone(state),
+                probs,
+                reply: reply_tx,
+            };
+            // Count the job before handing it over: the worker decrements
+            // after picking it up, so incrementing afterwards could race the
+            // counter below zero.
+            let depth = shared.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+            shared.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+            match job_tx.try_send(job) {
+                // The worker pool owns the job now; relay its verdicts in
+                // request order.
+                Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "worker pool exited before the frame was processed".to_string(),
+                }),
+                Err(TrySendError::Full(_)) => {
+                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+                    shared.rejected.fetch_add(1, Ordering::Relaxed);
+                    Response::Error {
+                        code: ErrorCode::Backpressure,
+                        message: format!(
+                            "inference queue is full ({} jobs); retry after backing off",
+                            shared.config.queue_depth.max(1)
+                        ),
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+                    shutting_down_error()
+                }
+            }
+        }
+        Request::Stats { session } => match sessions.get(&session) {
+            Some(state) => Response::Stats {
+                session,
+                stats: state
+                    .lock()
+                    .expect("session lock never poisoned")
+                    .engine
+                    .session_stats(),
+            },
+            None => unknown_session_error(session),
+        },
+        Request::Close { session } => match sessions.remove(&session) {
+            Some(state) => Response::Closed {
+                session,
+                stats: state
+                    .lock()
+                    .expect("session lock never poisoned")
+                    .engine
+                    .session_stats(),
+            },
+            None => unknown_session_error(session),
+        },
+    }
+}
+
+fn shutting_down_error() -> Response {
+    Response::Error {
+        code: ErrorCode::ShuttingDown,
+        message: "server is shutting down".to_string(),
+    }
+}
+
+fn unknown_session_error(session: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownSession,
+        message: format!("session {session} is not open on this connection"),
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    loop {
+        // Hold the lock only to pop one job; inference runs unlocked so the
+        // pool actually parallelises across sessions.
+        let job = {
+            let guard = rx.lock().expect("worker queue lock never poisoned");
+            guard.recv()
+        };
+        let Ok(job) = job else {
+            // Every sender is gone and the queue is drained: shutdown.
+            return;
+        };
+        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+        if shared.config.synthetic_delay_ms > 0 {
+            thread::sleep(Duration::from_millis(shared.config.synthetic_delay_ms));
+        }
+        let response = {
+            let mut session = job.session.lock().expect("session lock never poisoned");
+            let frame_index = session.engine.frames_seen();
+            let frame = Frame::unlabeled(
+                FrameId::new(job.session_id as usize, frame_index),
+                job.probs,
+            );
+            let verdicts = session.engine.push_frame(&frame);
+            Response::Verdicts {
+                session: job.session_id,
+                frame: verdicts.frame,
+                verdicts: verdicts.verdicts,
+            }
+        };
+        shared.frames_processed.fetch_add(1, Ordering::Relaxed);
+        // The connection may have gone away mid-flight; dropping the
+        // verdicts is then the right thing.
+        let _ = job.reply.send(response);
+    }
+}

@@ -62,8 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frame = &evaluation[0];
     let bayes_mask = DecisionRule::Bayes.apply(&frame.prediction);
     let ml_mask = DecisionRule::MaximumLikelihood(priors).apply(&frame.prediction);
-    render_labels(&bayes_mask, &catalog).save("rare_class_rescue_bayes.ppm")?;
-    render_labels(&ml_mask, &catalog).save("rare_class_rescue_ml.ppm")?;
-    println!("wrote rare_class_rescue_bayes.ppm and rare_class_rescue_ml.ppm");
+    // Panels belong in figures/ next to the regenerated paper artefacts,
+    // not in the repository root.
+    std::fs::create_dir_all("figures")?;
+    render_labels(&bayes_mask, &catalog).save("figures/rare_class_rescue_bayes.ppm")?;
+    render_labels(&ml_mask, &catalog).save("figures/rare_class_rescue_ml.ppm")?;
+    println!("wrote figures/rare_class_rescue_bayes.ppm and figures/rare_class_rescue_ml.ppm");
     Ok(())
 }

@@ -8,6 +8,7 @@
 //!   time-dynamic MetaSeg, false-negative analysis),
 //! * [`metaseg_sim`] — the synthetic street-scene + network simulator,
 //! * [`metaseg_learners`] — the from-scratch ML substrate,
+//! * [`metaseg_serve`] — the multi-camera TCP inference service,
 //! * [`metaseg_eval`], [`metaseg_tracking`], [`metaseg_rules`],
 //!   [`metaseg_data`], [`metaseg_imgproc`] — supporting substrates.
 //!
@@ -33,5 +34,6 @@ pub use metaseg_eval;
 pub use metaseg_imgproc;
 pub use metaseg_learners;
 pub use metaseg_rules;
+pub use metaseg_serve;
 pub use metaseg_sim;
 pub use metaseg_tracking;

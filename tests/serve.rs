@@ -1,0 +1,170 @@
+//! End-to-end integration test of the serve protocol: served verdicts must
+//! be bit-identical to in-process `MetaSegStream` verdicts for the same
+//! frame sequence, concurrent cameras must not interfere, and overload must
+//! surface as the typed `backpressure` error without dropping the
+//! connection.
+
+use metaseg_bench::serve_fixture;
+use metaseg_suite::metaseg::stream::{FrameVerdicts, MetaSegStream, StreamConfig};
+use metaseg_suite::metaseg_learners::MetaPredictor;
+use metaseg_suite::metaseg_serve::{
+    ErrorCode, ModelRegistry, ServeClient, Server, ServerConfig, ServerHandle,
+};
+use metaseg_suite::metaseg_sim::{
+    DecodedFrameSource, NetworkProfile, NetworkSim, ProbMap, VideoConfig, VideoStream,
+};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// Frames per simulated camera (kept small: each frame crosses the wire as
+/// JSON).
+const FRAMES_PER_CAMERA: usize = 5;
+
+/// A scaled-down video configuration so the wire payloads stay small.
+fn tiny_video_config() -> VideoConfig {
+    serve_fixture::video_config(FRAMES_PER_CAMERA, 48, 24)
+}
+
+/// The fitted model is expensive (seconds); share one across all tests.
+fn fitted() -> &'static (StreamConfig, MetaPredictor) {
+    static FITTED: OnceLock<(StreamConfig, MetaPredictor)> = OnceLock::new();
+    FITTED.get_or_init(|| serve_fixture::fit_predictor(&tiny_video_config(), 2, 4000))
+}
+
+fn spawn_server(config: ServerConfig) -> ServerHandle {
+    let (stream_config, predictor) = fitted().clone();
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("default", stream_config, predictor)
+        .expect("fixture model is valid");
+    Server::spawn("127.0.0.1:0", registry, config).expect("ephemeral bind succeeds")
+}
+
+/// The softmax fields of one simulated camera.
+fn camera_frames(camera: usize) -> Vec<ProbMap> {
+    let mut rng = StdRng::seed_from_u64(4100 + camera as u64);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    VideoStream::open(&tiny_video_config(), sim, camera, &mut rng)
+        .map(|f| f.prediction)
+        .collect()
+}
+
+/// The ground truth: what an in-process engine says about the same frames,
+/// fed through the wire-frame adapter.
+fn in_process_verdicts(frames: &[ProbMap]) -> Vec<FrameVerdicts> {
+    let (stream_config, predictor) = fitted().clone();
+    let mut engine = MetaSegStream::new(stream_config, predictor).expect("fixture model is valid");
+    let source = DecodedFrameSource::new(0, frames.to_vec());
+    engine.drain(source).frame_verdicts
+}
+
+#[test]
+fn served_verdicts_are_bit_identical_to_in_process_streaming() {
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.local_addr();
+
+    // Two concurrent cameras, each on its own connection, racing through
+    // the shared worker pool.
+    let threads: Vec<_> = (0..2)
+        .map(|camera| {
+            thread::spawn(move || {
+                let frames = camera_frames(camera);
+                let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                let (session, series_length) =
+                    client.open("default", &format!("cam-{camera}")).unwrap();
+                assert_eq!(series_length, 2);
+                let mut served = Vec::new();
+                for probs in &frames {
+                    let (frame, verdicts) = client.submit(session, probs).unwrap();
+                    served.push(FrameVerdicts { frame, verdicts });
+                }
+                let stats = client.close(session).unwrap();
+                assert_eq!(stats.frames, frames.len());
+                (frames, served)
+            })
+        })
+        .collect();
+
+    for thread in threads {
+        let (frames, served) = thread.join().expect("camera thread never panics");
+        // Exact equality: every float of every verdict survived the JSON
+        // round-trip and the server-side engine bit-identically.
+        assert_eq!(served, in_process_verdicts(&frames));
+        assert!(
+            served.iter().map(|f| f.verdicts.len()).sum::<usize>() > 0,
+            "the scenario must produce at least one verdict"
+        );
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.connections, 2);
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.frames_processed, 2 * FRAMES_PER_CAMERA);
+    assert_eq!(stats.rejected, 0);
+}
+
+#[test]
+fn backpressure_is_a_typed_error_and_the_connection_survives() {
+    // One worker with an artificial 400 ms inference delay and a queue of
+    // depth one: the third concurrent submission must be rejected.
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        synthetic_delay_ms: 400,
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+    let frames = camera_frames(0);
+    let probs = frames[0].clone();
+
+    let submit_in_thread = |probs: ProbMap| {
+        thread::spawn(move || {
+            let mut client = ServeClient::connect(addr).expect("connect succeeds");
+            let (session, _) = client.open("default", "cam-busy").unwrap();
+            client.submit(session, &probs).unwrap();
+        })
+    };
+    // First job occupies the worker, second fills the queue slot.
+    let busy_worker = submit_in_thread(probs.clone());
+    thread::sleep(Duration::from_millis(150));
+    let queued = submit_in_thread(probs.clone());
+    thread::sleep(Duration::from_millis(150));
+
+    // Third submission: typed backpressure rejection, not a dropped
+    // connection.
+    let mut client = ServeClient::connect(addr).expect("connect succeeds");
+    let (session, _) = client.open("default", "cam-rejected").unwrap();
+    let err = client.submit(session, &probs).unwrap_err();
+    assert_eq!(err.server_code(), Some(ErrorCode::Backpressure));
+
+    // The rejected connection keeps working: once the pool drains, the
+    // retried frame goes through on the same session.
+    busy_worker.join().expect("first camera completes");
+    queued.join().expect("second camera completes");
+    let (frame, _) = client.submit(session, &probs).unwrap();
+    assert_eq!(frame, 0);
+    let stats = client.close(session).unwrap();
+    assert_eq!(stats.frames, 1);
+
+    let server_stats = handle.shutdown();
+    assert_eq!(server_stats.rejected, 1);
+    assert_eq!(server_stats.frames_processed, 3);
+    assert!(server_stats.peak_queue_depth <= 2);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let mut client = ServeClient::connect(addr).expect("connect succeeds");
+    let (session, _) = client.open("default", "cam").unwrap();
+    let probs = camera_frames(0).remove(0);
+    client.submit(session, &probs).unwrap();
+    // Shutdown joins the acceptor, every connection thread and every
+    // worker; the processed-frame counter proves nothing was dropped.
+    let stats = handle.shutdown();
+    assert_eq!(stats.frames_processed, 1);
+    assert_eq!(stats.sessions_opened, 1);
+}

@@ -3,17 +3,24 @@
 //! The build environment cannot reach crates.io, so the workspace vendors a
 //! self-contained serialisation substrate: a [`Value`] document model, a
 //! [`Serialize`] trait that renders any deriving type into it, a
-//! [`Deserialize`] marker trait, and `#[derive(Serialize, Deserialize)]`
-//! macros (re-exported from the companion `serde_derive` proc-macro crate).
-//! The vendored `serde_json` crate renders [`Value`] as real JSON.
+//! [`Deserialize`] trait that rebuilds a deriving type from it, and
+//! `#[derive(Serialize, Deserialize)]` macros (re-exported from the
+//! companion `serde_derive` proc-macro crate). The vendored `serde_json`
+//! crate renders [`Value`] as real JSON and parses JSON back into it.
 //!
 //! The surface intentionally covers exactly what the MetaSeg crates need —
 //! derives on structs (including generic ones) and enums, plus impls for the
-//! standard scalar and container types.
+//! standard scalar and container types. Deserialisation is total over the
+//! shapes serialisation produces: for every deriving type `T`,
+//! `T::deserialize(&t.serialize())` reconstructs an equal value (non-finite
+//! floats round-trip through `null` as NaN, mirroring `serde_json`).
 
 #![forbid(unsafe_code)]
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::str::FromStr;
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -34,52 +41,260 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Short name of the value's shape, used in decode error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Object member lookup; `None` for missing keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if the value is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if the value is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.is_finite() && *n >= 0.0 && n.trunc() == *n => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if the value is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value entries, if the value is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can render themselves into a [`Value`].
 pub trait Serialize {
     /// Renders `self` as a document value.
     fn serialize(&self) -> Value;
 }
 
-/// Marker trait emitted by `#[derive(Deserialize)]`.
+/// Error produced when a [`Value`] cannot be decoded into the target type.
 ///
-/// No consumer in this workspace parses serialised data back, so the trait
-/// carries no methods; it exists so the ubiquitous
-/// `#[derive(Serialize, Deserialize)]` lines compile unchanged.
-pub trait Deserialize: Sized {}
+/// Carries a human-readable description plus the reverse path of
+/// struct-field / variant names the failure occurred under (outermost last),
+/// so a deep mismatch reads like `frame.prediction.data: expected number,
+/// found string`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeserializeError {
+    message: String,
+    path: Vec<&'static str>,
+}
 
-macro_rules! impl_serialize_number {
+impl DeserializeError {
+    /// Creates an error with a free-form description.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Creates the standard shape-mismatch error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// Creates the standard missing-struct-field error (used by generated
+    /// code). A missing field is always an error — explicit `null` is the
+    /// only encoding of `None`/NaN, so truncated documents cannot silently
+    /// decode to defaults.
+    pub fn missing_field(field: &'static str) -> Self {
+        Self::custom(format!("missing field `{field}`"))
+    }
+
+    /// Returns the error annotated with the field or variant it occurred in
+    /// (used by generated code; segments accumulate innermost-first).
+    pub fn in_field(mut self, segment: &'static str) -> Self {
+        self.path.push(segment);
+        self
+    }
+}
+
+impl fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.path.is_empty() {
+            for segment in self.path.iter().rev() {
+                write!(f, "{segment}.")?;
+            }
+        }
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Decodes a document value into `Self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeserializeError`] describing the first shape or range
+    /// mismatch encountered.
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        Ok(value.clone())
+    }
+}
+
+macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
             fn serialize(&self) -> Value {
                 Value::Number(*self as f64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+                let n = value
+                    .as_f64()
+                    .ok_or_else(|| DeserializeError::expected("number", value))?;
+                if !n.is_finite() || n.trunc() != n {
+                    return Err(DeserializeError::custom(format!(
+                        "expected integer, found {n}"
+                    )));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(DeserializeError::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
     )*};
 }
 
-impl_serialize_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+                match value {
+                    Value::Number(n) => Ok(*n as $t),
+                    // JSON has no NaN/Infinity; serialisation emits `null`
+                    // for non-finite floats, so `null` decodes back to NaN.
+                    Value::Null => Ok(<$t>::NAN),
+                    other => Err(DeserializeError::expected("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
 
 impl Serialize for bool {
     fn serialize(&self) -> Value {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeserializeError::expected("bool", value))
+    }
+}
 
 impl Serialize for char {
     fn serialize(&self) -> Value {
         Value::String(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeserializeError::expected("string", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeserializeError::custom(format!(
+                "expected single-character string, found {s:?}"
+            ))),
+        }
+    }
+}
 
 impl Serialize for String {
     fn serialize(&self) -> Value {
         Value::String(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeserializeError::expected("string", value))
+    }
+}
 
 impl Serialize for str {
     fn serialize(&self) -> Value {
@@ -98,7 +313,11 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
         (**self).serialize()
     }
 }
-impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
 
 impl<T: Serialize> Serialize for Option<T> {
     fn serialize(&self) -> Value {
@@ -108,14 +327,32 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+fn decode_sequence<T: Deserialize>(value: &Value) -> Result<Vec<T>, DeserializeError> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| DeserializeError::expected("array", value))?;
+    items.iter().map(T::deserialize).collect()
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        decode_sequence(value)
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn serialize(&self) -> Value {
@@ -128,14 +365,45 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Array(self.iter().map(Serialize::serialize).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        let items: Vec<T> = decode_sequence(value)?;
+        let found = items.len();
+        items.try_into().map_err(|_| {
+            DeserializeError::custom(format!("expected array of {N} elements, found {found}"))
+        })
+    }
+}
 
 impl<T: Serialize> Serialize for HashSet<T> {
     fn serialize(&self) -> Value {
         Value::Array(self.iter().map(Serialize::serialize).collect())
     }
 }
-impl<T: Deserialize> Deserialize for HashSet<T> {}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        decode_sequence(value).map(|items: Vec<T>| items.into_iter().collect())
+    }
+}
+
+fn decode_entries<K, V>(value: &Value) -> Result<Vec<(K, V)>, DeserializeError>
+where
+    K: FromStr,
+    V: Deserialize,
+{
+    let entries = value
+        .as_object()
+        .ok_or_else(|| DeserializeError::expected("object", value))?;
+    entries
+        .iter()
+        .map(|(k, v)| {
+            let key = k
+                .parse::<K>()
+                .map_err(|_| DeserializeError::custom(format!("invalid map key {k:?}")))?;
+            Ok((key, V::deserialize(v)?))
+        })
+        .collect()
+}
 
 impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
     fn serialize(&self) -> Value {
@@ -146,7 +414,11 @@ impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
         )
     }
 }
-impl<K, V: Deserialize> Deserialize for HashMap<K, V> {}
+impl<K: FromStr + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        decode_entries(value).map(|entries: Vec<(K, V)>| entries.into_iter().collect())
+    }
+}
 
 impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     fn serialize(&self) -> Value {
@@ -157,26 +429,44 @@ impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
         )
     }
 }
-impl<K, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+impl<K: FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        decode_entries(value).map(|entries: Vec<(K, V)>| entries.into_iter().collect())
+    }
+}
 
-macro_rules! impl_serialize_tuple {
-    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+; $len:expr)),+ $(,)?) => {$(
         impl<$($name: Serialize),+> Serialize for ($($name,)+) {
             fn serialize(&self) -> Value {
                 Value::Array(vec![$(self.$idx.serialize()),+])
             }
         }
-        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {}
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeserializeError::expected("array", value))?;
+                if items.len() != $len {
+                    return Err(DeserializeError::custom(format!(
+                        "expected array of {} elements, found {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
     )+};
 }
 
-impl_serialize_tuple!(
-    (A: 0),
-    (A: 0, B: 1),
-    (A: 0, B: 1, C: 2),
-    (A: 0, B: 1, C: 2, D: 3),
-    (A: 0, B: 1, C: 2, D: 3, E: 4),
-    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+impl_serde_tuple!(
+    (A: 0; 1),
+    (A: 0, B: 1; 2),
+    (A: 0, B: 1, C: 2; 3),
+    (A: 0, B: 1, C: 2, D: 3; 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4; 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5; 6),
 );
 
 impl Serialize for () {
@@ -184,7 +474,14 @@ impl Serialize for () {
         Value::Null
     }
 }
-impl Deserialize for () {}
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Null => Ok(()),
+            other => Err(DeserializeError::expected("null", other)),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -208,5 +505,72 @@ mod tests {
             (1u8, 2.5f64).serialize(),
             Value::Array(vec![Value::Number(1.0), Value::Number(2.5)])
         );
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(u16::deserialize(&3u16.serialize()), Ok(3));
+        assert_eq!(i32::deserialize(&(-7i32).serialize()), Ok(-7));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(String::deserialize(&"hi".serialize()), Ok("hi".into()));
+        assert_eq!(char::deserialize(&'x'.serialize()), Ok('x'));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip_as_nan() {
+        // Serialisation renders non-finite floats as null (JSON has no NaN),
+        // so decoding null as a float yields NaN rather than an error.
+        assert!(f64::deserialize(&Value::Null).unwrap().is_nan());
+        assert!(f32::deserialize(&Value::Null).unwrap().is_nan());
+    }
+
+    #[test]
+    fn integer_range_and_shape_errors() {
+        assert!(u8::deserialize(&Value::Number(300.0)).is_err());
+        assert!(u8::deserialize(&Value::Number(-1.0)).is_err());
+        assert!(u8::deserialize(&Value::Number(1.5)).is_err());
+        assert!(u8::deserialize(&Value::String("1".into())).is_err());
+        assert!(bool::deserialize(&Value::Number(1.0)).is_err());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(Vec::<u8>::deserialize(&v.serialize()), Ok(v));
+        let t = (1u8, 2.5f64);
+        assert_eq!(<(u8, f64)>::deserialize(&t.serialize()), Ok(t));
+        let a = [1u32, 2, 3];
+        assert_eq!(<[u32; 3]>::deserialize(&a.serialize()), Ok(a));
+        assert!(<[u32; 2]>::deserialize(&a.serialize()).is_err());
+        let opt = Some(4u16);
+        assert_eq!(Option::<u16>::deserialize(&opt.serialize()), Ok(opt));
+        assert_eq!(Option::<u16>::deserialize(&Value::Null), Ok(None));
+        let mut map = HashMap::new();
+        map.insert(7usize, "x".to_string());
+        assert_eq!(
+            HashMap::<usize, String>::deserialize(&map.serialize()),
+            Ok(map)
+        );
+    }
+
+    #[test]
+    fn error_paths_accumulate_field_names() {
+        let err = DeserializeError::expected("number", &Value::Null)
+            .in_field("inner")
+            .in_field("outer");
+        assert_eq!(err.to_string(), "outer.inner.expected number, found null");
+    }
+
+    #[test]
+    fn value_accessors() {
+        let obj = Value::Object(vec![("k".into(), Value::Number(2.0))]);
+        assert_eq!(obj.get("k"), Some(&Value::Number(2.0)));
+        assert_eq!(obj.get("missing"), None);
+        assert_eq!(obj.kind(), "object");
+        assert_eq!(Value::Number(2.5).as_u64(), None);
+        assert_eq!(Value::Number(2.0).as_u64(), Some(2));
+        assert_eq!(Value::deserialize(&obj), Ok(obj.clone()));
+        assert_eq!(obj.serialize(), obj);
     }
 }

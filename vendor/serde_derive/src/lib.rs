@@ -6,7 +6,9 @@
 //! unavailable without a crates.io mirror). Supports named-field structs
 //! (including generic ones), tuple structs, unit structs, and enums with
 //! unit, tuple and struct variants — the full shape surface of this
-//! workspace.
+//! workspace. The generated `Deserialize` impl inverts exactly the document
+//! shape the generated `Serialize` impl produces, so
+//! `T::deserialize(&t.serialize())` round-trips every deriving type.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -60,8 +62,12 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
     let (impl_generics, ty_generics) = generics_split(&parsed.generics, "::serde::Deserialize");
+    let body = deserialize_body(&parsed);
     format!(
-        "impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{}}",
+        "impl{impl_generics} ::serde::Deserialize for {}{ty_generics} {{\n\
+         fn deserialize(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeserializeError> {{ {body} }}\n\
+         }}",
         parsed.name
     )
     .parse()
@@ -155,6 +161,156 @@ fn serialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
                 "{enum_name}::{v} {{ {} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
                 fields.join(", "),
                 entries.join(", ")
+            )
+        }
+    }
+}
+
+// --- Deserialize codegen ---------------------------------------------------
+
+/// Decode expression for one named field read off `source` (an expression
+/// evaluating to `&Value` of the surrounding object). A missing field is a
+/// hard error: explicit `null` is the only encoding of `None`/NaN, so a
+/// truncated or foreign document cannot silently decode to defaults.
+fn named_field_decode(source: &str, field: &str) -> String {
+    format!(
+        "::serde::Deserialize::deserialize({source}.get(\"{field}\")\
+         .ok_or_else(|| ::serde::DeserializeError::missing_field(\"{field}\"))?)\
+         .map_err(|__e| __e.in_field(\"{field}\"))?"
+    )
+}
+
+/// Statements binding `__items` to the payload array of `source`, checked to
+/// hold exactly `count` elements.
+fn tuple_items_decode(source: &str, count: usize) -> String {
+    format!(
+        "let __items = {source}.as_array().ok_or_else(|| \
+         ::serde::DeserializeError::expected(\"array\", {source}))?;\n\
+         if __items.len() != {count} {{\n\
+         return Err(::serde::DeserializeError::custom(format!(\
+         \"expected array of {count} elements, found {{}}\", __items.len())));\n\
+         }}"
+    )
+}
+
+fn deserialize_body(input: &Input) -> String {
+    match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", named_field_decode("__value", f)))
+                .collect();
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Object(_) => Ok(Self {{ {} }}),\n\
+                 __other => Err(::serde::DeserializeError::expected(\"object\", __other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(count) => {
+            if *count == 1 {
+                // One-field tuple structs serialise transparently as the
+                // inner value; decode the same way.
+                "Ok(Self(::serde::Deserialize::deserialize(__value)?))".to_string()
+            } else {
+                let elements: Vec<String> = (0..*count)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "{}\nOk(Self({}))",
+                    tuple_items_decode("__value", *count),
+                    elements.join(", ")
+                )
+            }
+        }
+        Kind::UnitStruct => "match __value {\n\
+             ::serde::Value::Object(_) | ::serde::Value::Null => Ok(Self),\n\
+             __other => Err(::serde::DeserializeError::expected(\"object\", __other)),\n\
+             }"
+        .to_string(),
+        Kind::Enum(variants) => deserialize_enum_body(&input.name, variants),
+    }
+}
+
+fn deserialize_enum_body(enum_name: &str, variants: &[Variant]) -> String {
+    let unknown = format!(
+        "Err(::serde::DeserializeError::custom(format!(\
+         \"unknown variant `{{}}` of {enum_name}\", __other)))"
+    );
+
+    // Unit variants arrive as a bare string, payload variants as a
+    // single-entry object keyed by the variant name.
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{0}\" => Ok({enum_name}::{0}),", v.name))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, VariantFields::Unit))
+        .map(|v| deserialize_variant_arm(enum_name, v))
+        .collect();
+
+    let mut outer_arms = Vec::new();
+    if !unit_arms.is_empty() {
+        outer_arms.push(format!(
+            "::serde::Value::String(__name) => match __name.as_str() {{\n\
+             {}\n__other => {unknown},\n}},",
+            unit_arms.join("\n")
+        ));
+    }
+    if !payload_arms.is_empty() {
+        outer_arms.push(format!(
+            "::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+             let (__variant, __payload) = &__entries[0];\n\
+             match __variant.as_str() {{\n\
+             {}\n__other => {unknown},\n}}\n}},",
+            payload_arms.join("\n")
+        ));
+    }
+    outer_arms.push(
+        "__other => Err(::serde::DeserializeError::expected(\"enum variant\", __other)),"
+            .to_string(),
+    );
+    format!("match __value {{\n{}\n}}", outer_arms.join("\n"))
+}
+
+fn deserialize_variant_arm(enum_name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.fields {
+        VariantFields::Unit => unreachable!("unit variants are handled in the string arm"),
+        VariantFields::Tuple(count) => {
+            if *count == 1 {
+                format!(
+                    "\"{v}\" => Ok({enum_name}::{v}(\
+                     ::serde::Deserialize::deserialize(__payload)\
+                     .map_err(|__e| __e.in_field(\"{v}\"))?)),"
+                )
+            } else {
+                let elements: Vec<String> = (0..*count)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::deserialize(&__items[{i}])\
+                             .map_err(|__e| __e.in_field(\"{v}\"))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n{}\nOk({enum_name}::{v}({}))\n}},",
+                    tuple_items_decode("__payload", *count),
+                    elements.join(", ")
+                )
+            }
+        }
+        VariantFields::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", named_field_decode("__payload", f)))
+                .collect();
+            format!(
+                "\"{v}\" => Ok({enum_name}::{v} {{ {} }}),",
+                inits.join(", ")
             )
         }
     }

@@ -1,19 +1,35 @@
 //! Offline stand-in for the parts of `serde_json` this workspace uses:
-//! rendering any [`serde::Serialize`] type as compact or pretty-printed JSON.
+//! rendering any [`serde::Serialize`] type as compact or pretty-printed JSON
+//! and parsing JSON text back into any [`serde::Deserialize`] type.
+//!
+//! Parsing is hardened for servers that feed it untrusted wire bytes: the
+//! recursive-descent parser caps nesting depth (no stack overflow on
+//! adversarial input), reports byte offsets in every error, and rejects
+//! trailing garbage after the document.
 
 #![forbid(unsafe_code)]
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
-/// Serialisation error. The vendored document model is infallible, so this
-/// exists purely for signature compatibility with `serde_json`.
+/// Maximum nesting depth accepted by the parser. Deeper documents error out
+/// instead of overflowing the stack — important for servers parsing
+/// untrusted input.
+const MAX_DEPTH: usize = 128;
+
+/// Serialisation or parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
+impl Error {
+    fn parse(offset: usize, message: impl Into<String>) -> Self {
+        Error(format!("at byte {offset}: {}", message.into()))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialisation error: {}", self.0)
+        write!(f, "json error: {}", self.0)
     }
 }
 
@@ -41,6 +57,256 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     let mut out = String::new();
     write_value(&mut out, &value.serialize(), Some("  "), 0);
     Ok(out)
+}
+
+/// Parses a JSON document into any [`Deserialize`] type (including
+/// [`Value`] itself, which decodes as the parsed document).
+///
+/// # Errors
+///
+/// Fails on malformed JSON (with the byte offset of the problem), on
+/// documents nested deeper than an internal safety cap, on trailing
+/// non-whitespace after the document, and on any shape mismatch between the
+/// document and the target type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value(0)?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse(parser.pos, "trailing characters after value"));
+    }
+    T::deserialize(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Renders `value` into the document model (never fails; the `Result`
+/// mirrors the upstream `serde_json` signature).
+///
+/// # Errors
+///
+/// Never fails with the vendored document model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize())
+}
+
+/// Decodes a document value into any [`Deserialize`] type.
+///
+/// # Errors
+///
+/// Fails on any shape mismatch between the document and the target type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value).map_err(|e| Error(e.to_string()))
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(
+                self.pos,
+                format!("expected `{}`", byte as char),
+            ))
+        }
+    }
+
+    /// Consumes `keyword` if it is next in the input.
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, "document nested too deeply"));
+        }
+        match self.bytes.get(self.pos) {
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_whitespace();
+                if self.bytes.get(self.pos) == Some(&b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    self.skip_whitespace();
+                    items.push(self.parse_value(depth + 1)?);
+                    self.skip_whitespace();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::parse(self.pos, "expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_whitespace();
+                if self.bytes.get(self.pos) == Some(&b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_whitespace();
+                    let key = self.parse_string()?;
+                    self.skip_whitespace();
+                    self.expect(b':')?;
+                    self.skip_whitespace();
+                    let value = self.parse_value(depth + 1)?;
+                    entries.push((key, value));
+                    self.skip_whitespace();
+                    match self.bytes.get(self.pos) {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error::parse(self.pos, "expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(&other) => Err(Error::parse(
+                self.pos,
+                format!("unexpected character `{}`", other as char),
+            )),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        // Overflowing literals like `1e999` parse to infinity in Rust;
+        // reject them like upstream serde_json does — a wire peer must not
+        // be able to smuggle non-finite values past `null`-encoded NaN.
+        text.parse::<f64>()
+            .ok()
+            .filter(|n| n.is_finite())
+            .map(Value::Number)
+            .ok_or_else(|| Error::parse(start, format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(Error::parse(self.pos, "unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let high = self.parse_hex4()?;
+                            // Surrogate pairs encode astral-plane characters.
+                            let code = if (0xD800..0xDC00).contains(&high) {
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(Error::parse(
+                                        self.pos,
+                                        "unpaired high surrogate in string escape",
+                                    ));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::parse(
+                                        self.pos,
+                                        "invalid low surrogate in string escape",
+                                    ));
+                                }
+                                0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                high
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(Error::parse(
+                                        self.pos,
+                                        "invalid unicode escape in string",
+                                    ))
+                                }
+                            }
+                            // parse_hex4 advanced past the digits already.
+                            continue;
+                        }
+                        _ => return Err(Error::parse(self.pos, "invalid string escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // byte boundaries are guaranteed valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .expect("input originates from &str");
+                    let c = rest.chars().next().expect("non-empty by the match above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parses exactly four hex digits, advancing past them.
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse(self.pos, "truncated unicode escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse(self.pos, "invalid unicode escape"))?;
+        let code = u32::from_str_radix(text, 16)
+            .map_err(|_| Error::parse(self.pos, "invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
 }
 
 fn write_value(out: &mut String, value: &Value, indent: Option<&str>, level: usize) {
@@ -136,6 +402,92 @@ mod tests {
         assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+    }
+
+    #[test]
+    fn parse_roundtrips_shapes() {
+        let value: Value = from_str("{\"a\": [1, 2.5, true, null, \"x\"]}").unwrap();
+        assert_eq!(
+            value,
+            Value::Object(vec![(
+                "a".to_string(),
+                Value::Array(vec![
+                    Value::Number(1.0),
+                    Value::Number(2.5),
+                    Value::Bool(true),
+                    Value::Null,
+                    Value::String("x".to_string()),
+                ])
+            )])
+        );
+        let rendered = to_string(&value).unwrap();
+        assert_eq!(from_str::<Value>(&rendered).unwrap(), value);
+    }
+
+    #[test]
+    fn parse_decodes_into_types() {
+        assert_eq!(from_str::<Vec<u32>>("[1,2,3]").unwrap(), vec![1, 2, 3]);
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+        assert_eq!(from_str::<Option<bool>>("null").unwrap(), None);
+        assert!(from_str::<Vec<u32>>("[1,\"x\"]").is_err());
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\t\\\"\\\\\"").unwrap(),
+            "é\t\"\\"
+        );
+        // Astral-plane character via a surrogate pair.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+        assert_eq!(from_str::<String>("\"héllo\"").unwrap(), "héllo");
+    }
+
+    #[test]
+    fn float_precision_roundtrips_exactly() {
+        for v in [
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1.7976931348623157e308,
+            -1.0 / 7.0,
+            9_007_199_254_740_993.5,
+        ] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<f64>(&text).unwrap(), v, "through {text}");
+        }
+        // Non-finite values render as null and come back as NaN.
+        assert!(from_str::<f64>(&to_string(&f64::NAN).unwrap())
+            .unwrap()
+            .is_nan());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "1 2", "[1] x", "\"ab", "nul", "+",
+            "--1", "1e999", "-1e999",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+        let err = from_str::<Value>("[1, x]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "got {err}");
+    }
+
+    #[test]
+    fn parse_caps_nesting_depth() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(from_str::<Value>(&deep).is_err());
+        let shallow = "[".repeat(64) + &"]".repeat(64);
+        assert!(from_str::<Value>(&shallow).is_ok());
+    }
+
+    #[test]
+    fn value_conversions() {
+        let value = to_value(&vec![1u8, 2]).unwrap();
+        assert_eq!(from_value::<Vec<u8>>(&value).unwrap(), vec![1, 2]);
+        assert!(from_value::<bool>(&value).is_err());
     }
 
     #[test]
