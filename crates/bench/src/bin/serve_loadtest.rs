@@ -7,20 +7,31 @@
 //! queue depth. Exits non-zero if any camera fails, which is what CI keys
 //! on: ≥ 2 concurrent sessions sustained, queue depth bounded, no panics.
 //!
+//! `--wire` selects the frame-submission format (`json`, `binary-f64`,
+//! `binary-f32`, `binary-u16`), `--batch` the server's cross-session
+//! micro-batch cap, and `--compare` runs the same scenario twice — JSON
+//! without batching, then the selected binary mode with batching — and
+//! prints a one-line frames/s comparison (optionally enforced with
+//! `--require-speedup`):
+//!
 //! ```text
 //! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
-//!     --cameras 4 --frames 30 --workers 4 --queue-depth 8 --delay-ms 0
+//!     --cameras 4 --frames 30 --workers 4 --queue-depth 8 --delay-ms 0 \
+//!     --wire binary-f64 --batch 8 --compare
 //! ```
 
 use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
-use metaseg_serve::{ErrorCode, ModelRegistry, ServeClient, Server, ServerConfig};
-use metaseg_sim::{NetworkProfile, NetworkSim, VideoStream};
+use metaseg_serve::{
+    ErrorCode, FrameFormat, ModelRegistry, ServeClient, Server, ServerConfig, ServerStats,
+};
+use metaseg_sim::{NetworkProfile, NetworkSim, ProbEncoding, VideoStream};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-/// Camera geometry of the loadtest (small: frames cross the wire as JSON).
+/// Camera geometry of the loadtest (small: frames cross the wire per
+/// request).
 const FRAME_WIDTH: usize = 48;
 const FRAME_HEIGHT: usize = 24;
 
@@ -31,6 +42,10 @@ struct Options {
     workers: usize,
     queue_depth: usize,
     delay_ms: u64,
+    wire: FrameFormat,
+    batch: usize,
+    compare: bool,
+    require_speedup: Option<f64>,
 }
 
 impl Options {
@@ -41,6 +56,10 @@ impl Options {
             workers: 4,
             queue_depth: 8,
             delay_ms: 0,
+            wire: FrameFormat::Binary(ProbEncoding::F64),
+            batch: 8,
+            compare: false,
+            require_speedup: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -55,6 +74,21 @@ impl Options {
                 "--workers" => options.workers = take("--workers").max(1),
                 "--queue-depth" => options.queue_depth = take("--queue-depth").max(1),
                 "--delay-ms" => options.delay_ms = take("--delay-ms") as u64,
+                "--batch" => options.batch = take("--batch").max(1),
+                "--wire" => {
+                    let name = args.next().unwrap_or_default();
+                    options.wire = FrameFormat::from_str_opt(&name).unwrap_or_else(|| {
+                        panic!("--wire expects json|binary-f64|binary-f32|binary-u16, got `{name}`")
+                    });
+                }
+                "--compare" => options.compare = true,
+                "--require-speedup" => {
+                    let value = args
+                        .next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or_else(|| panic!("--require-speedup expects a ratio"));
+                    options.require_speedup = Some(value);
+                }
                 other => panic!("unknown flag `{other}`"),
             }
         }
@@ -62,22 +96,27 @@ impl Options {
     }
 }
 
-fn main() {
-    let options = Options::parse();
+/// Outcome of one loadtest run.
+struct RunReport {
+    frames_per_s: f64,
+    stats: ServerStats,
+}
 
-    // Fit one small model to serve every camera.
-    let (stream_config, predictor) =
-        fit_predictor(&video_config(12, FRAME_WIDTH, FRAME_HEIGHT), 2, 7000);
-    let registry = Arc::new(ModelRegistry::new());
-    registry
-        .insert("default", stream_config, predictor)
-        .expect("loadtest model is valid");
+/// Runs one full loadtest scenario: spawn a server over the shared fitted
+/// model, drive every camera in `wire` format, report, shut down.
+fn run_scenario(
+    options: &Options,
+    registry: &Arc<ModelRegistry>,
+    wire: FrameFormat,
+    batch: usize,
+) -> RunReport {
     let handle = Server::spawn(
         "127.0.0.1:0",
-        registry,
+        Arc::clone(registry),
         ServerConfig {
             workers: options.workers,
             queue_depth: options.queue_depth,
+            batch_max: batch,
             synthetic_delay_ms: options.delay_ms,
             ..ServerConfig::default()
         },
@@ -86,7 +125,7 @@ fn main() {
     let addr = handle.local_addr();
     println!(
         "serve_loadtest: {} cameras x {} frames against {addr} \
-         ({} workers, queue depth {}, synthetic delay {} ms)",
+         ({} workers, queue depth {}, batch {batch}, wire {wire}, synthetic delay {} ms)",
         options.cameras, options.frames, options.workers, options.queue_depth, options.delay_ms
     );
 
@@ -104,6 +143,9 @@ fn main() {
                     &mut rng,
                 );
                 let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                if wire != FrameFormat::Json {
+                    client.negotiate(wire).expect("negotiate succeeds");
+                }
                 let (session, _) = client
                     .open("default", &format!("cam-{camera}"))
                     .expect("open succeeds");
@@ -151,11 +193,11 @@ fn main() {
 
     latencies.sort();
     let total_frames = latencies.len();
+    let frames_per_s = total_frames as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
         "sustained {sustained} concurrent camera sessions: {total_frames} frames, \
-         {verdicts} verdicts in {:.2} s ({:.1} frames/s)",
+         {verdicts} verdicts in {:.2} s ({frames_per_s:.1} frames/s)",
         elapsed.as_secs_f64(),
-        total_frames as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     println!(
         "latency p50 {:.2} ms | p90 {:.2} ms | p99 {:.2} ms | max {:.2} ms",
@@ -165,9 +207,16 @@ fn main() {
         percentile_ms(&latencies, 1.0),
     );
     println!(
-        "server: {} frames processed, {} backpressure rejections ({retries} client retries), \
-         peak queue depth {} (bound {})",
-        stats.frames_processed, stats.rejected, stats.peak_queue_depth, options.queue_depth
+        "server: {} frames processed ({} binary), {} backpressure rejections \
+         ({retries} client retries), peak queue depth {} (bound {}), \
+         {} micro-batches (largest {})",
+        stats.frames_processed,
+        stats.binary_frames,
+        stats.rejected,
+        stats.peak_queue_depth,
+        options.queue_depth,
+        stats.batches,
+        stats.peak_batch,
     );
 
     assert!(
@@ -188,5 +237,59 @@ fn main() {
         options.cameras * options.frames,
         "every accepted frame must be processed exactly once"
     );
+    if let FrameFormat::Binary(_) = wire {
+        // Every submission (processed or backpressure-rejected before
+        // processing) arrived on the binary path.
+        assert_eq!(
+            stats.binary_frames,
+            stats.frames_processed + stats.rejected,
+            "every frame submission must have arrived on the binary path"
+        );
+    }
+    RunReport {
+        frames_per_s,
+        stats,
+    }
+}
+
+fn main() {
+    let options = Options::parse();
+
+    // Fit one small model to serve every camera, shared across runs so a
+    // comparison measures the wire + scheduler, not the fixture.
+    let (stream_config, predictor) =
+        fit_predictor(&video_config(12, FRAME_WIDTH, FRAME_HEIGHT), 2, 7000);
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .insert("default", stream_config, predictor)
+        .expect("loadtest model is valid");
+
+    if options.compare {
+        // Same scenario twice: the JSON-lines baseline without batching,
+        // then the selected binary mode with cross-session micro-batching.
+        let baseline = run_scenario(&options, &registry, FrameFormat::Json, 1);
+        println!();
+        let fast_wire = match options.wire {
+            FrameFormat::Json => FrameFormat::Binary(ProbEncoding::F64),
+            binary => binary,
+        };
+        let fast = run_scenario(&options, &registry, fast_wire, options.batch);
+        let speedup = fast.frames_per_s / baseline.frames_per_s.max(1e-9);
+        println!();
+        println!(
+            "comparison: json {:.1} frames/s vs {fast_wire}+batch{} {:.1} frames/s \
+             ({speedup:.2}x, largest micro-batch {})",
+            baseline.frames_per_s, options.batch, fast.frames_per_s, fast.stats.peak_batch,
+        );
+        if let Some(required) = options.require_speedup {
+            assert!(
+                speedup >= required,
+                "binary+batching must sustain at least {required:.2}x the JSON frames/s \
+                 (measured {speedup:.2}x)"
+            );
+        }
+    } else {
+        run_scenario(&options, &registry, options.wire, options.batch);
+    }
     println!("serve_loadtest: OK");
 }

@@ -470,6 +470,17 @@ impl MetaSegStream {
         FrameVerdicts { frame, verdicts }
     }
 
+    /// Pushes several frames through the engine **in order**, returning the
+    /// verdicts of each — the per-session half of the serving layer's
+    /// cross-session micro-batch: a worker that drained multiple queued
+    /// frames of one session submits them as one call.
+    ///
+    /// Defined as exactly repeated [`MetaSegStream::push_frame`] (pinned by
+    /// test), so batching can never change a verdict.
+    pub fn push_frames(&mut self, frames: &[Frame]) -> Vec<FrameVerdicts> {
+        frames.iter().map(|frame| self.push_frame(frame)).collect()
+    }
+
     /// Drains `source` to exhaustion and returns the report of *this drain*
     /// (counters are deltas against the engine state at entry, so reusing an
     /// engine across sources yields per-source reports). The batch path is
@@ -734,6 +745,61 @@ mod tests {
                 .map(|f| f.verdicts.len())
                 .sum::<usize>()
         );
+    }
+
+    #[test]
+    fn batched_pushes_are_bit_identical_to_sequential_pushes() {
+        let predictor = fitted_predictor(2);
+        let frames: Vec<Frame> = {
+            let mut rng = StdRng::seed_from_u64(43);
+            let sim = NetworkSim::new(NetworkProfile::weak());
+            VideoStream::open(&VideoConfig::small(), sim, 0, &mut rng).collect()
+        };
+        // One engine, one multi-frame call vs. frame-by-frame pushes.
+        let mut batched = MetaSegStream::new(StreamConfig::default(), predictor.clone()).unwrap();
+        let batch_verdicts = batched.push_frames(&frames);
+        let mut sequential =
+            MetaSegStream::new(StreamConfig::default(), predictor.clone()).unwrap();
+        let sequential_verdicts: Vec<FrameVerdicts> =
+            frames.iter().map(|f| sequential.push_frame(f)).collect();
+        assert_eq!(batch_verdicts, sequential_verdicts);
+        assert_eq!(batched.session_stats(), sequential.session_stats());
+
+        // Several engines fanned out in parallel vs. served one by one.
+        let make_engines = || -> Vec<MetaSegStream> {
+            (0..3)
+                .map(|_| MetaSegStream::new(StreamConfig::default(), predictor.clone()).unwrap())
+                .collect()
+        };
+        let frame_sets: Vec<Vec<Frame>> = (0..3)
+            .map(|camera| {
+                let mut rng = StdRng::seed_from_u64(60 + camera);
+                let sim = NetworkSim::new(NetworkProfile::weak());
+                VideoStream::open(&VideoConfig::small(), sim, camera as usize, &mut rng)
+                    .take(4)
+                    .collect()
+            })
+            .collect();
+        // The serving layer's micro-batch shape: one in-order push_frames
+        // call per engine, engines fanned out across the rayon pool.
+        let mut parallel_engines = make_engines();
+        let parallel_verdicts: Vec<Vec<FrameVerdicts>> = shard_streams(
+            parallel_engines
+                .iter_mut()
+                .zip(frame_sets.iter().cloned())
+                .collect(),
+            |_, (engine, frames)| engine.push_frames(&frames),
+        );
+        let mut serial_engines = make_engines();
+        let serial_verdicts: Vec<Vec<FrameVerdicts>> = serial_engines
+            .iter_mut()
+            .zip(frame_sets.iter())
+            .map(|(engine, frames)| engine.push_frames(frames))
+            .collect();
+        assert_eq!(parallel_verdicts, serial_verdicts);
+        for (parallel, serial) in parallel_engines.iter().zip(&serial_engines) {
+            assert_eq!(parallel.session_stats(), serial.session_stats());
+        }
     }
 
     #[test]

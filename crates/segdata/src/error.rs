@@ -37,6 +37,24 @@ pub enum DataError {
     },
     /// An operation that needs at least one element got an empty collection.
     EmptyCollection(&'static str),
+    /// A declared payload shape is unusable: a zero dimension, or a pixel /
+    /// byte count that overflows `usize` when multiplied out.
+    InvalidPayloadShape {
+        /// Declared width in pixels.
+        width: usize,
+        /// Declared height in pixels.
+        height: usize,
+        /// Declared softmax channels per pixel.
+        channels: usize,
+    },
+    /// A byte payload's length does not match the size implied by its
+    /// declared shape and value encoding.
+    PayloadSizeMismatch {
+        /// Bytes implied by the declared shape and encoding.
+        expected: usize,
+        /// Bytes actually provided.
+        found: usize,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -66,6 +84,19 @@ impl fmt::Display for DataError {
                 )
             }
             DataError::EmptyCollection(what) => write!(f, "{what} must not be empty"),
+            DataError::InvalidPayloadShape {
+                width,
+                height,
+                channels,
+            } => write!(
+                f,
+                "payload shape {width}x{height}x{channels} has a zero dimension \
+                 or overflows the addressable size"
+            ),
+            DataError::PayloadSizeMismatch { expected, found } => write!(
+                f,
+                "payload holds {found} bytes but its declared shape requires {expected}"
+            ),
         }
     }
 }

@@ -283,6 +283,248 @@ impl ProbMap {
     }
 }
 
+/// On-the-wire value encodings of a [`ProbMap`] payload.
+///
+/// The byte-level codec ([`ProbPayload`]) stores the softmax field as a flat
+/// little-endian value array in the map's native storage order (row-major,
+/// pixel-major: `data[(y * width + x) * channels + c]`). Three encodings
+/// trade wire size against fidelity:
+///
+/// * [`ProbEncoding::F64`] — 8 bytes/value, bit-exact: decoding recovers the
+///   original field exactly, so downstream verdicts are bit-identical to the
+///   in-process ones.
+/// * [`ProbEncoding::F32`] — 4 bytes/value, rounds each probability to the
+///   nearest `f32` (relative error ≤ 2⁻²⁴).
+/// * [`ProbEncoding::U16`] — 2 bytes/value, quantizes `[0, 1]` onto a
+///   65535-step grid (absolute error ≤ 2⁻¹⁷); values outside `[0, 1]`
+///   (including NaN) clamp onto the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProbEncoding {
+    /// Little-endian `f64`, lossless.
+    F64,
+    /// Little-endian `f32`, rounded.
+    F32,
+    /// Little-endian `u16`, quantized onto `[0, 1] / 65535`.
+    U16,
+}
+
+impl ProbEncoding {
+    /// Bytes one probability value occupies on the wire.
+    pub fn bytes_per_value(self) -> usize {
+        match self {
+            ProbEncoding::F64 => 8,
+            ProbEncoding::F32 => 4,
+            ProbEncoding::U16 => 2,
+        }
+    }
+
+    /// Whether decoding recovers the original `f64` field bit-exactly.
+    pub fn is_lossless(self) -> bool {
+        matches!(self, ProbEncoding::F64)
+    }
+
+    /// The one-byte wire tag of the encoding.
+    pub fn tag(self) -> u8 {
+        match self {
+            ProbEncoding::F64 => 0,
+            ProbEncoding::F32 => 1,
+            ProbEncoding::U16 => 2,
+        }
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => ProbEncoding::F64,
+            1 => ProbEncoding::F32,
+            2 => ProbEncoding::U16,
+            _ => return None,
+        })
+    }
+
+    /// Human/CLI spelling of the encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbEncoding::F64 => "f64",
+            ProbEncoding::F32 => "f32",
+            ProbEncoding::U16 => "u16",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "f64" => ProbEncoding::F64,
+            "f32" => ProbEncoding::F32,
+            "u16" => ProbEncoding::U16,
+            _ => return None,
+        })
+    }
+
+    /// Total payload bytes of a `width` x `height` x `channels` field, or
+    /// `None` when the shape has a zero dimension or the byte count
+    /// overflows `usize`.
+    pub fn payload_len(self, width: usize, height: usize, channels: usize) -> Option<usize> {
+        if width == 0 || height == 0 || channels == 0 {
+            return None;
+        }
+        width
+            .checked_mul(height)?
+            .checked_mul(channels)?
+            .checked_mul(self.bytes_per_value())
+    }
+}
+
+/// A [`ProbMap`] serialized to a flat byte payload plus the shape metadata
+/// needed to decode it — the transport-agnostic half of a binary wire frame
+/// (framing, sessions and checksums live in the transport layer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbPayload {
+    /// Width of the field in pixels.
+    pub width: usize,
+    /// Height of the field in pixels.
+    pub height: usize,
+    /// Softmax channels per pixel.
+    pub channels: usize,
+    /// Value encoding of `bytes`.
+    pub encoding: ProbEncoding,
+    /// The flat little-endian value array.
+    pub bytes: Vec<u8>,
+}
+
+impl ProbPayload {
+    /// Encodes a field. Infallible: every `ProbMap` upholds the shape
+    /// invariant the payload records.
+    pub fn encode(map: &ProbMap, encoding: ProbEncoding) -> Self {
+        Self {
+            width: map.width,
+            height: map.height,
+            channels: map.num_classes,
+            encoding,
+            bytes: map.payload_bytes(encoding),
+        }
+    }
+
+    /// Decodes the payload back into a field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidPayloadShape`] when the declared shape has
+    /// a zero dimension or overflows, and [`DataError::PayloadSizeMismatch`]
+    /// when `bytes` is shorter or longer than the shape implies. Never
+    /// panics, whatever the bytes contain.
+    pub fn decode(&self) -> Result<ProbMap, DataError> {
+        ProbMap::from_payload_bytes(
+            self.width,
+            self.height,
+            self.channels,
+            self.encoding,
+            &self.bytes,
+        )
+    }
+}
+
+impl ProbMap {
+    /// Serializes the field's values as a flat little-endian byte payload in
+    /// storage order (see [`ProbEncoding`] for the fidelity of each mode).
+    pub fn payload_bytes(&self, encoding: ProbEncoding) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity(self.data.len() * encoding.bytes_per_value());
+        self.extend_payload_bytes(encoding, &mut bytes);
+        bytes
+    }
+
+    /// Appends the payload of [`ProbMap::payload_bytes`] to an existing
+    /// buffer — transport encoders that prepend a header reserve one buffer
+    /// and encode straight into it instead of copying the payload a second
+    /// time.
+    pub fn extend_payload_bytes(&self, encoding: ProbEncoding, bytes: &mut Vec<u8>) {
+        bytes.reserve(self.data.len() * encoding.bytes_per_value());
+        match encoding {
+            ProbEncoding::F64 => {
+                for value in &self.data {
+                    bytes.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+            ProbEncoding::F32 => {
+                for value in &self.data {
+                    bytes.extend_from_slice(&(*value as f32).to_le_bytes());
+                }
+            }
+            ProbEncoding::U16 => {
+                for value in &self.data {
+                    // NaN saturates to 0 through the float-to-int cast.
+                    let quantized = (value.clamp(0.0, 1.0) * f64::from(u16::MAX)).round() as u16;
+                    bytes.extend_from_slice(&quantized.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Decodes a field from a flat little-endian byte payload.
+    ///
+    /// The inverse of [`ProbMap::payload_bytes`]: bit-exact for
+    /// [`ProbEncoding::F64`], the documented rounding otherwise. Value
+    /// *contents* are not validated (a wire peer can send any bits, exactly
+    /// as with the JSON encoding) — consumers on a trust boundary should
+    /// check [`ProbMap::shape_consistent`] / [`ProbMap::validate`] as
+    /// appropriate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidPayloadShape`] for zero/overflowing
+    /// shapes and [`DataError::PayloadSizeMismatch`] when `bytes` has the
+    /// wrong length. Never panics, whatever the bytes contain.
+    pub fn from_payload_bytes(
+        width: usize,
+        height: usize,
+        channels: usize,
+        encoding: ProbEncoding,
+        bytes: &[u8],
+    ) -> Result<Self, DataError> {
+        let expected = encoding.payload_len(width, height, channels).ok_or(
+            DataError::InvalidPayloadShape {
+                width,
+                height,
+                channels,
+            },
+        )?;
+        if bytes.len() != expected {
+            return Err(DataError::PayloadSizeMismatch {
+                expected,
+                found: bytes.len(),
+            });
+        }
+        let data: Vec<f64> = match encoding {
+            ProbEncoding::F64 => bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
+                .collect(),
+            ProbEncoding::F32 => bytes
+                .chunks_exact(4)
+                .map(|c| {
+                    f64::from(f32::from_le_bytes(
+                        c.try_into().expect("chunks_exact yields 4 bytes"),
+                    ))
+                })
+                .collect(),
+            ProbEncoding::U16 => bytes
+                .chunks_exact(2)
+                .map(|c| {
+                    f64::from(u16::from_le_bytes(
+                        c.try_into().expect("chunks_exact yields 2 bytes"),
+                    )) / f64::from(u16::MAX)
+                })
+                .collect(),
+        };
+        Ok(Self {
+            width,
+            height,
+            num_classes: channels,
+            data,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +635,171 @@ mod tests {
             let argmax = map.argmax_channel(0, 0);
             for &p in &dist {
                 prop_assert!(dist[argmax] >= p - 1e-15);
+            }
+        }
+    }
+
+    /// A map of the given shape filled with arbitrary (not necessarily
+    /// normalized) values — the payload codec must not care about
+    /// distribution validity.
+    fn arbitrary_map(width: usize, height: usize, channels: usize, values: &[f64]) -> ProbMap {
+        let mut map = ProbMap::uniform(width, height, channels);
+        let mut cursor = values.iter().cycle();
+        for y in 0..height {
+            for x in 0..width {
+                let dist: Vec<f64> = (0..channels).map(|_| *cursor.next().unwrap()).collect();
+                map.set_distribution_unchecked(x, y, &dist);
+            }
+        }
+        map
+    }
+
+    #[test]
+    fn payload_roundtrips_f64_bit_exactly() {
+        let map = arbitrary_map(
+            3,
+            2,
+            4,
+            &[0.25, 1.0 / 3.0, std::f64::consts::PI, -1.5e300, 0.0],
+        );
+        let payload = ProbPayload::encode(&map, ProbEncoding::F64);
+        assert_eq!(payload.bytes.len(), 3 * 2 * 4 * 8);
+        assert_eq!(payload.decode().unwrap(), map);
+    }
+
+    #[test]
+    fn payload_sizes_follow_the_encoding() {
+        let map = ProbMap::uniform(5, 3, 7);
+        for (encoding, bytes_per_value) in [
+            (ProbEncoding::F64, 8),
+            (ProbEncoding::F32, 4),
+            (ProbEncoding::U16, 2),
+        ] {
+            let payload = ProbPayload::encode(&map, encoding);
+            assert_eq!(payload.bytes.len(), 5 * 3 * 7 * bytes_per_value);
+            assert_eq!(payload.encoding.bytes_per_value(), bytes_per_value);
+            let decoded = payload.decode().unwrap();
+            assert!(decoded.shape_consistent());
+            assert_eq!(decoded.shape(), (5, 3));
+            assert_eq!(decoded.num_classes(), 7);
+        }
+    }
+
+    #[test]
+    fn quantized_encodings_have_documented_error_bounds() {
+        let mut map = ProbMap::uniform(2, 1, 3);
+        map.set_distribution(0, 0, &[0.1, 0.7, 0.2]).unwrap();
+        let f32_decoded = ProbPayload::encode(&map, ProbEncoding::F32)
+            .decode()
+            .unwrap();
+        let u16_decoded = ProbPayload::encode(&map, ProbEncoding::U16)
+            .decode()
+            .unwrap();
+        for y in 0..1 {
+            for x in 0..2 {
+                for c in 0..3 {
+                    let exact = map.distribution(x, y)[c];
+                    assert!((f32_decoded.distribution(x, y)[c] - exact).abs() <= exact * 1e-7);
+                    assert!((u16_decoded.distribution(x, y)[c] - exact).abs() <= 0.5 / 65535.0);
+                }
+            }
+        }
+        // NaN saturates onto the grid instead of poisoning the payload.
+        let mut map = ProbMap::uniform(1, 1, 2);
+        map.set_distribution_unchecked(0, 0, &[f64::NAN, 2.0]);
+        let decoded = ProbPayload::encode(&map, ProbEncoding::U16)
+            .decode()
+            .unwrap();
+        assert_eq!(decoded.distribution(0, 0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn payload_decode_rejects_bad_shapes_and_sizes_with_typed_errors() {
+        let bytes = vec![0u8; 16];
+        // Zero dimensions.
+        for (w, h, c) in [(0, 1, 2), (1, 0, 2), (1, 1, 0)] {
+            assert!(matches!(
+                ProbMap::from_payload_bytes(w, h, c, ProbEncoding::F64, &bytes),
+                Err(DataError::InvalidPayloadShape { .. })
+            ));
+        }
+        // Overflowing shape: the byte count must be computed checked.
+        assert!(matches!(
+            ProbMap::from_payload_bytes(usize::MAX, 2, 3, ProbEncoding::U16, &bytes),
+            Err(DataError::InvalidPayloadShape { .. })
+        ));
+        // Truncated and padded payloads.
+        assert!(matches!(
+            ProbMap::from_payload_bytes(1, 1, 2, ProbEncoding::F64, &bytes[..15]),
+            Err(DataError::PayloadSizeMismatch {
+                expected: 16,
+                found: 15
+            })
+        ));
+        assert!(matches!(
+            ProbMap::from_payload_bytes(1, 1, 2, ProbEncoding::U16, &bytes),
+            Err(DataError::PayloadSizeMismatch {
+                expected: 4,
+                found: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn encoding_tags_and_names_roundtrip() {
+        for encoding in [ProbEncoding::F64, ProbEncoding::F32, ProbEncoding::U16] {
+            assert_eq!(ProbEncoding::from_tag(encoding.tag()), Some(encoding));
+            assert_eq!(ProbEncoding::from_name(encoding.name()), Some(encoding));
+            assert_eq!(encoding.is_lossless(), encoding == ProbEncoding::F64);
+        }
+        assert_eq!(ProbEncoding::from_tag(3), None);
+        assert_eq!(ProbEncoding::from_name("f16"), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_f64_payload_roundtrips_exactly(
+            dims in (1usize..5, 1usize..4, 1usize..6),
+            values in proptest::collection::vec(-1.0f64..2.0, 24)
+        ) {
+            let (width, height, channels) = dims;
+            let map = arbitrary_map(width, height, channels, &values);
+            let payload = ProbPayload::encode(&map, ProbEncoding::F64);
+            prop_assert_eq!(payload.decode().unwrap(), map);
+        }
+
+        #[test]
+        fn prop_lossy_payloads_are_idempotent(
+            dims in (1usize..5, 1usize..4, 1usize..6),
+            values in proptest::collection::vec(0.0f64..=1.0, 24),
+            use_u16 in any::<bool>()
+        ) {
+            let (width, height, channels) = dims;
+            // Lossy encodings must converge after one round: decoding and
+            // re-encoding reproduces the same bytes (no drift under relay).
+            let encoding = if use_u16 { ProbEncoding::U16 } else { ProbEncoding::F32 };
+            let map = arbitrary_map(width, height, channels, &values);
+            let first = ProbPayload::encode(&map, encoding);
+            let second = ProbPayload::encode(&first.decode().unwrap(), encoding);
+            prop_assert_eq!(&first, &second);
+        }
+
+        #[test]
+        fn prop_payload_decode_never_panics(
+            dims in (0usize..6, 0usize..5, 0usize..5),
+            bytes in proptest::collection::vec(0u8..=255, 0..64),
+            tag in 0u8..4
+        ) {
+            let (width, height, channels) = dims;
+            let Some(encoding) = ProbEncoding::from_tag(tag) else { return Ok(()); };
+            // Arbitrary declared shapes against arbitrary bytes: either a
+            // structurally sound map or a typed error, never a panic.
+            match ProbMap::from_payload_bytes(width, height, channels, encoding, &bytes) {
+                Ok(map) => prop_assert!(map.shape_consistent()),
+                Err(
+                    DataError::InvalidPayloadShape { .. } | DataError::PayloadSizeMismatch { .. },
+                ) => {}
+                Err(other) => return Err(TestCaseError::fail(format!("unexpected error {other}"))),
             }
         }
     }

@@ -45,8 +45,8 @@ mod scene;
 mod source;
 mod video;
 
-pub use metaseg_data::{LabelMap, ProbMap};
+pub use metaseg_data::{LabelMap, ProbEncoding, ProbMap, ProbPayload};
 pub use network::{NetworkProfile, NetworkSim};
 pub use scene::{Scene, SceneConfig, SceneObject, ShapeKind};
-pub use source::{DecodedFrameSource, FrameSource, VideoStream};
+pub use source::{DecodedFrameSource, EncodedFrameSource, FrameSource, VideoStream};
 pub use video::{VideoConfig, VideoScenario};

@@ -4,7 +4,8 @@
 //! production consumers in other languages just speak the JSON-lines
 //! protocol directly.
 
-use crate::protocol::{ErrorCode, ProtocolError, Request, Response};
+use crate::protocol::{ErrorCode, FrameFormat, ProtocolError, Request, Response};
+use crate::wire::encode_binary_frame;
 use metaseg::stream::{SegmentVerdict, SessionStats};
 use metaseg_data::ProbMap;
 use std::fmt;
@@ -61,15 +62,20 @@ impl From<ProtocolError> for ClientError {
     }
 }
 
-/// A blocking JSON-lines connection to a serve instance.
+/// A blocking connection to a serve instance.
+///
+/// Starts on the JSON-lines protocol; [`ServeClient::negotiate`] switches
+/// frame submissions to the length-prefixed binary framing of
+/// [`crate::wire`] (control operations and all responses stay JSON lines).
 #[derive(Debug)]
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    format: FrameFormat,
 }
 
 impl ServeClient {
-    /// Connects to a running server.
+    /// Connects to a running server (frame format: JSON until negotiated).
     ///
     /// # Errors
     ///
@@ -81,6 +87,32 @@ impl ServeClient {
         Ok(Self {
             reader,
             writer: stream,
+            format: FrameFormat::Json,
+        })
+    }
+
+    /// The frame-submission format currently in effect.
+    pub fn frame_format(&self) -> FrameFormat {
+        self.format
+    }
+
+    /// Negotiates the connection's frame-submission format; subsequent
+    /// [`ServeClient::submit`] calls use it. A server predating binary
+    /// framing rejects the op with `bad-request`, in which case the
+    /// connection stays on JSON — callers wanting graceful fallback can
+    /// match on [`ClientError::server_code`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection; the format in
+    /// effect is unchanged on failure.
+    pub fn negotiate(&mut self, format: FrameFormat) -> Result<(), ClientError> {
+        self.expect(&Request::Negotiate { format }, |r| match r {
+            Response::Negotiated { format } => Ok(format),
+            other => Err(other),
+        })
+        .map(|confirmed| {
+            self.format = confirmed;
         })
     }
 
@@ -99,6 +131,12 @@ impl ServeClient {
     fn roundtrip(&mut self, line: &str) -> Result<Response, ClientError> {
         writeln!(self.writer, "{line}")?;
         self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Reads one JSON response line (every response is a JSON line, whatever
+    /// format the request went out in).
+    fn read_response(&mut self) -> Result<Response, ClientError> {
         let mut reply = String::new();
         let read = self.reader.read_line(&mut reply)?;
         if read == 0 {
@@ -151,7 +189,8 @@ impl ServeClient {
         )
     }
 
-    /// Submits one frame; returns `(frame index, verdicts)`.
+    /// Submits one frame in the negotiated format; returns `(frame index,
+    /// verdicts)`.
     ///
     /// # Errors
     ///
@@ -162,8 +201,18 @@ impl ServeClient {
         session: u64,
         probs: &ProbMap,
     ) -> Result<(usize, Vec<SegmentVerdict>), ClientError> {
-        // Encode from the borrowed field — no per-frame ProbMap clone.
-        let response = self.roundtrip(&Request::encode_frame(session, probs))?;
+        let response = match self.format {
+            // Encode from the borrowed field — no per-frame ProbMap clone.
+            FrameFormat::Json => self.roundtrip(&Request::encode_frame(session, probs))?,
+            FrameFormat::Binary(encoding) => {
+                // Length-prefixed binary frame out (no newline), JSON
+                // response line back.
+                let frame = encode_binary_frame(session, probs, encoding);
+                self.writer.write_all(&frame)?;
+                self.writer.flush()?;
+                self.read_response()?
+            }
+        };
         self.finish(response, |r| match r {
             Response::Verdicts {
                 frame, verdicts, ..

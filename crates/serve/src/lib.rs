@@ -11,9 +11,15 @@
 //!   checkpoints),
 //! * [`Server`] / [`ServerHandle`] — the TCP server: a non-blocking
 //!   acceptor, one thread per connection owning that connection's camera
-//!   sessions, and a bounded worker pool that rejects overload with a typed
+//!   sessions, and a bounded worker pool that drains **cross-session
+//!   micro-batches** (up to `batch_max` queued frames at a time, grouped by
+//!   session and fanned out across rayon) and rejects overload with a typed
 //!   `backpressure` error instead of blocking or buffering unboundedly,
 //! * [`Request`] / [`Response`] — the JSON-lines wire protocol,
+//! * [`wire`] — the negotiated length-prefixed **binary frame fast path**
+//!   for submissions (raw little-endian `f64`/`f32`/quantized-`u16` softmax
+//!   payloads behind a fixed checksummed header; see the module docs for
+//!   the byte layout),
 //! * [`ServeClient`] — a small blocking client for tests, demos and load
 //!   generators.
 //!
@@ -46,6 +52,27 @@
 //! assert!(matches!(busy, Response::Error { code: ErrorCode::Backpressure, .. }));
 //! ```
 //!
+//! Frame submissions can additionally switch to the binary fast path, per
+//! connection:
+//!
+//! ```
+//! use metaseg_serve::{FrameFormat, Request, Response};
+//! use metaseg_data::ProbEncoding;
+//!
+//! let negotiate = Request::Negotiate { format: FrameFormat::Binary(ProbEncoding::F64) };
+//! assert_eq!(negotiate.encode(), r#"{"op":"negotiate","frames":"binary-f64"}"#);
+//! let reply = Response::decode(r#"{"ok":"negotiated","frames":"binary-f64"}"#).unwrap();
+//! assert_eq!(
+//!     reply,
+//!     Response::Negotiated { format: FrameFormat::Binary(ProbEncoding::F64) }
+//! );
+//! ```
+//!
+//! After that, each frame travels as a 36-byte header plus the raw
+//! little-endian payload (layout doc-tested in [`wire`]); every response —
+//! and every other request — stays a JSON line, so the two formats coexist
+//! on one connection and pre-binary peers interoperate unchanged.
+//!
 //! ## Session lifecycle
 //!
 //! `open` creates a per-connection session owning a fresh
@@ -64,11 +91,13 @@ mod client;
 mod protocol;
 mod registry;
 mod server;
+pub mod wire;
 
 pub use client::{ClientError, ServeClient};
-pub use protocol::{ErrorCode, ProtocolError, Request, Response};
+pub use protocol::{ErrorCode, FrameFormat, ProtocolError, Request, Response};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use wire::WireError;
 
 #[cfg(test)]
 pub(crate) mod testutil {
@@ -201,6 +230,24 @@ mod tests {
         let stream = TcpStream::connect(handle.local_addr()).unwrap();
         let mut writer = stream.try_clone().unwrap();
         let mut reader = BufReader::new(stream);
+
+        // A request with invalid UTF-8 inside a JSON string is rejected
+        // outright (never lossily altered into a "valid" camera name), and
+        // the connection survives for everything below.
+        writer
+            .write_all(b"{\"op\":\"open\",\"model\":\"default\",\"camera\":\"\xFF\xFE\"}\n")
+            .unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        match Response::decode(reply.trim_end()).unwrap() {
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            } => assert!(message.contains("UTF-8"), "unexpected: {message}"),
+            other => panic!("unexpected response {other:?}"),
+        }
+
         let mut roundtrip = |line: &str| -> Response {
             writeln!(writer, "{line}").unwrap();
             writer.flush().unwrap();
@@ -251,5 +298,167 @@ mod tests {
             Response::Opened { .. }
         ));
         handle.shutdown();
+    }
+
+    #[test]
+    fn binary_frames_require_negotiation_and_malformed_ones_keep_the_connection() {
+        use crate::wire::encode_binary_frame;
+        use metaseg_data::{ProbEncoding, ProbMap};
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let registry = registry_with_default(2);
+        let handle = Server::spawn("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+
+        let stream = TcpStream::connect(handle.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let read_reply = |reader: &mut BufReader<TcpStream>| -> Response {
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            Response::decode(reply.trim_end()).unwrap()
+        };
+        let probs = ProbMap::uniform(6, 4, 3);
+        let frame = encode_binary_frame(1, &probs, ProbEncoding::F64);
+
+        // A binary frame before negotiation is a typed error, not a
+        // dropped connection (the header's length field lets the server
+        // skip the payload and resynchronise).
+        writer.write_all(&frame).unwrap();
+        writer.flush().unwrap();
+        let reply = read_reply(&mut reader);
+        assert!(matches!(
+            reply,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+
+        // Negotiate binary framing, open a session — both JSON lines.
+        writeln!(
+            writer,
+            "{}",
+            Request::Negotiate {
+                format: FrameFormat::Binary(ProbEncoding::F64)
+            }
+            .encode()
+        )
+        .unwrap();
+        assert!(matches!(
+            read_reply(&mut reader),
+            Response::Negotiated {
+                format: FrameFormat::Binary(ProbEncoding::F64)
+            }
+        ));
+        writeln!(
+            writer,
+            "{}",
+            Request::Open {
+                model: "default".into(),
+                camera: "cam".into()
+            }
+            .encode()
+        )
+        .unwrap();
+        let Response::Opened { session, .. } = read_reply(&mut reader) else {
+            panic!("open must succeed");
+        };
+
+        // A corrupt payload (checksum mismatch) is a typed error and the
+        // connection survives…
+        let mut corrupt = encode_binary_frame(session, &probs, ProbEncoding::F64);
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        writer.write_all(&corrupt).unwrap();
+        writer.flush().unwrap();
+        match read_reply(&mut reader) {
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            } => assert!(message.contains("checksum"), "unexpected: {message}"),
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // …as is a header that lies about its dimensions…
+        let mut lying = encode_binary_frame(session, &probs, ProbEncoding::F64);
+        lying[12..16].copy_from_slice(&77u32.to_le_bytes());
+        writer.write_all(&lying).unwrap();
+        writer.flush().unwrap();
+        match read_reply(&mut reader) {
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                message,
+            } => assert!(message.contains("shape requires"), "unexpected: {message}"),
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // …and a binary frame for a session that was never opened.
+        let unknown = encode_binary_frame(9999, &probs, ProbEncoding::F64);
+        writer.write_all(&unknown).unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_reply(&mut reader),
+            Response::Error {
+                code: ErrorCode::UnknownSession,
+                ..
+            }
+        ));
+
+        // The same connection still processes a valid binary frame.
+        let valid = encode_binary_frame(session, &probs, ProbEncoding::F64);
+        writer.write_all(&valid).unwrap();
+        writer.flush().unwrap();
+        assert!(matches!(
+            read_reply(&mut reader),
+            Response::Verdicts { frame: 0, .. }
+        ));
+
+        let stats = handle.shutdown();
+        assert_eq!(stats.frames_processed, 1);
+        // Arrival counter: only the valid frame counts — pre-negotiation,
+        // unknown-session and malformed frames are all rejected before
+        // their payload is ever decoded.
+        assert_eq!(stats.binary_frames, 1);
+    }
+
+    #[test]
+    fn negotiated_client_submits_binary_frames_with_identical_verdicts() {
+        use metaseg_data::ProbEncoding;
+
+        let registry = registry_with_default(2);
+        let handle = Server::spawn("127.0.0.1:0", registry, ServerConfig::default()).unwrap();
+        let addr = handle.local_addr();
+
+        let mut rng = StdRng::seed_from_u64(902);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let frames: Vec<_> = VideoStream::open(&VideoConfig::small(), sim, 0, &mut rng)
+            .take(3)
+            .map(|f| f.prediction)
+            .collect();
+
+        let submit_all = |format: Option<FrameFormat>| {
+            let mut client = ServeClient::connect(addr).unwrap();
+            if let Some(format) = format {
+                client.negotiate(format).unwrap();
+                assert_eq!(client.frame_format(), format);
+            }
+            let (session, _) = client.open("default", "cam").unwrap();
+            let verdicts: Vec<_> = frames
+                .iter()
+                .map(|probs| client.submit(session, probs).unwrap())
+                .collect();
+            client.close(session).unwrap();
+            verdicts
+        };
+
+        let json = submit_all(None);
+        let binary = submit_all(Some(FrameFormat::Binary(ProbEncoding::F64)));
+        // The lossless binary path yields bit-identical verdicts.
+        assert_eq!(json, binary);
+
+        let stats = handle.shutdown();
+        assert_eq!(stats.frames_processed, 6);
+        assert_eq!(stats.binary_frames, 3);
     }
 }

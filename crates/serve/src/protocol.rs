@@ -23,9 +23,63 @@
 //! connection — one garbled camera payload must not kill a session.
 
 use metaseg::stream::{SegmentVerdict, SessionStats};
-use metaseg_data::ProbMap;
+use metaseg_data::{ProbEncoding, ProbMap};
 use serde::{Deserialize, DeserializeError, Serialize, Value};
 use std::fmt;
+
+/// The frame-submission format of a connection.
+///
+/// Connections start in [`FrameFormat::Json`] (every frame is a JSON `frame`
+/// line — the backward-compatible default). A client that wants the binary
+/// fast path sends [`Request::Negotiate`]; once the server confirms with
+/// [`Response::Negotiated`], the client may submit frames as length-prefixed
+/// binary frames (see [`crate::wire`]) on the same connection. Control
+/// operations and every response stay JSON lines in either mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFormat {
+    /// JSON-lines `frame` submissions (default, always accepted).
+    Json,
+    /// Binary frame submissions with the given payload encoding.
+    Binary(ProbEncoding),
+}
+
+impl FrameFormat {
+    /// The wire spelling of the format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrameFormat::Json => "json",
+            FrameFormat::Binary(ProbEncoding::F64) => "binary-f64",
+            FrameFormat::Binary(ProbEncoding::F32) => "binary-f32",
+            FrameFormat::Binary(ProbEncoding::U16) => "binary-u16",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn from_str_opt(text: &str) -> Option<Self> {
+        Some(match text {
+            "json" => FrameFormat::Json,
+            "binary-f64" => FrameFormat::Binary(ProbEncoding::F64),
+            "binary-f32" => FrameFormat::Binary(ProbEncoding::F32),
+            "binary-u16" => FrameFormat::Binary(ProbEncoding::U16),
+            _ => return None,
+        })
+    }
+
+    /// Whether frame payloads decode to the exact field that was encoded
+    /// (and therefore yield bit-identical verdicts to in-process serving).
+    pub fn is_lossless(self) -> bool {
+        match self {
+            FrameFormat::Json => true,
+            FrameFormat::Binary(encoding) => encoding.is_lossless(),
+        }
+    }
+}
+
+impl fmt::Display for FrameFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +111,14 @@ pub enum Request {
     /// Liveness probe; answered with [`Response::Pong`] without touching any
     /// session.
     Ping,
+    /// Negotiates the connection's frame-submission format. Answered with
+    /// [`Response::Negotiated`] on success; servers predating binary framing
+    /// answer `bad-request` (unknown op), which a client treats as "JSON
+    /// only".
+    Negotiate {
+        /// The format the client wants to submit frames in.
+        format: FrameFormat,
+    },
 }
 
 /// A server-to-client message.
@@ -94,6 +156,11 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// The connection's frame-submission format was switched.
+    Negotiated {
+        /// The format now in effect for this connection.
+        format: FrameFormat,
+    },
     /// A typed error. The connection stays usable afterwards.
     Error {
         /// Machine-readable error class.
@@ -118,6 +185,10 @@ pub enum ErrorCode {
     BadRequest,
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
+    /// The server hit an internal failure serving this session (e.g. a
+    /// panic mid-inference left the engine in an unknown state). The
+    /// session is dead; open a new one. The connection stays usable.
+    Internal,
 }
 
 impl ErrorCode {
@@ -129,6 +200,7 @@ impl ErrorCode {
             ErrorCode::UnknownSession => "unknown-session",
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
         }
     }
 
@@ -140,6 +212,7 @@ impl ErrorCode {
             "unknown-session" => ErrorCode::UnknownSession,
             "bad-request" => ErrorCode::BadRequest,
             "shutting-down" => ErrorCode::ShuttingDown,
+            "internal" => ErrorCode::Internal,
             _ => return None,
         })
     }
@@ -234,6 +307,10 @@ impl Request {
                 ("session", session.serialize()),
             ]),
             Request::Ping => object(vec![("op", Value::String("ping".into()))]),
+            Request::Negotiate { format } => object(vec![
+                ("op", Value::String("negotiate".into())),
+                ("frames", Value::String(format.as_str().into())),
+            ]),
         };
         serde_json::to_string(&value).expect("document model serialization is infallible")
     }
@@ -265,6 +342,12 @@ impl Request {
                 session: u64_field(&value, "session")?,
             }),
             "ping" => Ok(Request::Ping),
+            "negotiate" => {
+                let text = string_field(&value, "frames")?;
+                let format = FrameFormat::from_str_opt(&text)
+                    .ok_or_else(|| ProtocolError::new(format!("unknown frame format `{text}`")))?;
+                Ok(Request::Negotiate { format })
+            }
             other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
         }
     }
@@ -303,6 +386,10 @@ impl Response {
                 ("stats", stats.serialize()),
             ]),
             Response::Pong => object(vec![("ok", Value::String("pong".into()))]),
+            Response::Negotiated { format } => object(vec![
+                ("ok", Value::String("negotiated".into())),
+                ("frames", Value::String(format.as_str().into())),
+            ]),
             Response::Error { code, message } => object(vec![
                 ("err", Value::String(code.as_str().into())),
                 ("message", message.serialize()),
@@ -351,6 +438,12 @@ impl Response {
                 stats: SessionStats::deserialize(required(&value, "stats")?)?,
             }),
             "pong" => Ok(Response::Pong),
+            "negotiated" => {
+                let text = string_field(&value, "frames")?;
+                let format = FrameFormat::from_str_opt(&text)
+                    .ok_or_else(|| ProtocolError::new(format!("unknown frame format `{text}`")))?;
+                Ok(Response::Negotiated { format })
+            }
             other => Err(ProtocolError::new(format!("unknown response `{other}`"))),
         }
     }
@@ -383,6 +476,12 @@ mod tests {
             Request::Stats { session: 7 },
             Request::Close { session: 7 },
             Request::Ping,
+            Request::Negotiate {
+                format: FrameFormat::Binary(metaseg_data::ProbEncoding::F64),
+            },
+            Request::Negotiate {
+                format: FrameFormat::Json,
+            },
         ];
         for request in requests {
             let line = request.encode();
@@ -430,6 +529,9 @@ mod tests {
                 stats: SessionStats::default(),
             },
             Response::Pong,
+            Response::Negotiated {
+                format: FrameFormat::Binary(metaseg_data::ProbEncoding::U16),
+            },
             Response::Error {
                 code: ErrorCode::Backpressure,
                 message: "queue full".into(),
@@ -479,6 +581,8 @@ mod tests {
             "{\"op\":\"frame\",\"session\":-1,\"probs\":{}}",
             "{\"op\":\"frame\",\"session\":1,\"probs\":{\"width\":1}}",
             "{\"op\":\"frame\",\"session\":1}",
+            "{\"op\":\"negotiate\"}",
+            "{\"op\":\"negotiate\",\"frames\":\"binary-f16\"}",
         ] {
             assert!(Request::decode(bad).is_err(), "accepted {bad:?}");
         }
@@ -520,10 +624,30 @@ mod tests {
             ErrorCode::UnknownSession,
             ErrorCode::BadRequest,
             ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_str_opt(code.as_str()), Some(code));
             assert_eq!(code.to_string(), code.as_str());
         }
         assert_eq!(ErrorCode::from_str_opt("nope"), None);
+    }
+
+    #[test]
+    fn frame_formats_roundtrip() {
+        use metaseg_data::ProbEncoding;
+        for format in [
+            FrameFormat::Json,
+            FrameFormat::Binary(ProbEncoding::F64),
+            FrameFormat::Binary(ProbEncoding::F32),
+            FrameFormat::Binary(ProbEncoding::U16),
+        ] {
+            assert_eq!(FrameFormat::from_str_opt(format.as_str()), Some(format));
+            assert_eq!(format.to_string(), format.as_str());
+        }
+        assert_eq!(FrameFormat::from_str_opt("binary"), None);
+        assert!(FrameFormat::Json.is_lossless());
+        assert!(FrameFormat::Binary(ProbEncoding::F64).is_lossless());
+        assert!(!FrameFormat::Binary(ProbEncoding::F32).is_lossless());
+        assert!(!FrameFormat::Binary(ProbEncoding::U16).is_lossless());
     }
 }

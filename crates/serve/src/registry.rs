@@ -11,7 +11,7 @@ use metaseg::stream::{MetaSegStream, StreamConfig};
 use metaseg::MetaSegError;
 use metaseg_learners::MetaPredictor;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// One registered model: the stream configuration plus the fitted predictor
 /// every session of this model is served with.
@@ -46,6 +46,10 @@ impl ModelEntry {
 }
 
 /// Thread-safe name → model map shared by every connection of a server.
+///
+/// Lock poisoning is recovered from rather than propagated: a thread that
+/// panicked mid-registration must not turn every later lookup (and thus
+/// every session open on the server) into a panic cascade.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
@@ -81,7 +85,7 @@ impl ModelRegistry {
         });
         self.models
             .write()
-            .expect("registry lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(name.to_string(), entry);
         Ok(())
     }
@@ -113,7 +117,7 @@ impl ModelRegistry {
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
         self.models
             .read()
-            .expect("registry lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .cloned()
     }
@@ -123,7 +127,7 @@ impl ModelRegistry {
     pub fn remove(&self, name: &str) -> bool {
         self.models
             .write()
-            .expect("registry lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .remove(name)
             .is_some()
     }
@@ -133,7 +137,7 @@ impl ModelRegistry {
         let mut names: Vec<String> = self
             .models
             .read()
-            .expect("registry lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .keys()
             .cloned()
             .collect();
@@ -145,7 +149,7 @@ impl ModelRegistry {
     pub fn len(&self) -> usize {
         self.models
             .read()
-            .expect("registry lock never poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
 

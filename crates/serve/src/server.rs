@@ -6,31 +6,47 @@
 //!   spawns one connection thread each. It never does inference and never
 //!   blocks on the worker queue, so accepting stays O(1) under load.
 //! * **Connection threads** — own their camera *sessions* (session id →
-//!   [`MetaSegStream`] engine), decode request lines, and submit frame jobs
-//!   to the worker pool, relaying the verdicts back in request order. A
-//!   malformed line is answered with a typed `bad-request` error; the
-//!   connection survives.
-//! * **Worker pool** — `workers` threads draining a bounded job queue. When
-//!   the queue is full the submitting connection immediately answers
-//!   `backpressure` instead of blocking or buffering unboundedly — the
-//!   overload signal a fleet balancer needs.
+//!   [`MetaSegStream`] engine), decode request messages, and submit frame
+//!   jobs to the worker pool, relaying the verdicts back in request order.
+//!   Each message is either a JSON line or (after [`Request::Negotiate`]) a
+//!   length-prefixed binary frame, routed by peeking one byte: JSON lines
+//!   always start with `{`, binary frames with the magic byte. A malformed
+//!   message is answered with a typed `bad-request` error; the connection
+//!   survives whenever the stream can be resynchronised (the binary header
+//!   carries the payload length, so even a frame that fails validation is
+//!   skipped cleanly).
+//! * **Worker pool** — `workers` threads draining a bounded job queue in
+//!   **cross-session micro-batches**: a worker pops one job, opportunistically
+//!   drains up to `batch_max - 1` more that are already queued, groups them
+//!   by session, and fans the groups out across the rayon pool, pushing each
+//!   group through [`MetaSegStream::push_frames`] — the in-order batch entry
+//!   point of the engine, pinned to equal repeated `push_frame`.
+//!   Frames of one session stay strictly ordered; frames of distinct
+//!   sessions run in parallel, keeping cores saturated under many-camera
+//!   load even with few pool workers. Batching never changes a verdict —
+//!   engines are per-session and process their frames in arrival order
+//!   exactly as in unbatched mode. When the queue is full the submitting
+//!   connection immediately answers `backpressure` instead of blocking or
+//!   buffering unboundedly — the overload signal a fleet balancer needs.
 //!
 //! Graceful shutdown ([`ServerHandle::shutdown`]) stops the acceptor,
 //! rejects new sessions, lets connection threads finish their in-flight
 //! request, then drains every queued job before the workers exit — no
 //! accepted frame is ever silently dropped.
 
-use crate::protocol::{ErrorCode, Request, Response};
+use crate::protocol::{ErrorCode, FrameFormat, Request, Response};
 use crate::registry::ModelRegistry;
+use crate::wire::{self, BinaryFrameHeader, WireError, BINARY_FRAME_MAGIC, BINARY_HEADER_LEN};
 use metaseg::stream::MetaSegStream;
 use metaseg_data::{Frame, FrameId, ProbMap};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -42,6 +58,12 @@ pub struct ServerConfig {
     /// Bounded depth of the inference queue; submissions beyond it are
     /// rejected with [`ErrorCode::Backpressure`].
     pub queue_depth: usize,
+    /// Largest cross-session micro-batch one worker drains from the queue in
+    /// one go (at least 1). Only frames *already queued* are taken — a
+    /// worker never waits to fill a batch, so lightly loaded servers keep
+    /// single-frame latency while loaded ones amortise dispatch across
+    /// sessions.
+    pub batch_max: usize,
     /// Artificial per-frame inference delay in milliseconds — a loadtest /
     /// test knob emulating heavier models; `0` (the default) for real
     /// serving.
@@ -49,9 +71,11 @@ pub struct ServerConfig {
     /// Poll interval of the acceptor loop and the connection-thread read
     /// timeout; bounds how quickly shutdown is observed.
     pub poll_interval_ms: u64,
-    /// Maximum accepted request-line length in bytes; a connection whose
-    /// line grows past this without a newline is dropped (bounds per-
-    /// connection memory against peers that never terminate a line).
+    /// Maximum accepted message length in bytes — the request-line cap of
+    /// the JSON path and the payload cap of the binary path. A connection
+    /// whose line grows past this without a newline, or whose binary header
+    /// declares a payload beyond it, is answered (where possible) and
+    /// dropped rather than allowed to grow server memory without bound.
     pub max_line_bytes: usize,
 }
 
@@ -60,6 +84,7 @@ impl Default for ServerConfig {
         Self {
             workers: 4,
             queue_depth: 64,
+            batch_max: 4,
             synthetic_delay_ms: 0,
             poll_interval_ms: 25,
             // Generous for softmax payloads (a 500x300x19 frame is ~40 MiB
@@ -84,10 +109,17 @@ pub struct ServerStats {
     pub sessions_opened: usize,
     /// Frame jobs fully processed.
     pub frames_processed: usize,
+    /// Frames that arrived as binary wire frames (the rest arrived as JSON).
+    pub binary_frames: usize,
     /// Frame submissions rejected with `backpressure`.
     pub rejected: usize,
     /// Largest queue occupancy ever observed.
     pub peak_queue_depth: usize,
+    /// Micro-batches drained by the worker pool (every drain counts, even a
+    /// single-frame one).
+    pub batches: usize,
+    /// Largest micro-batch ever drained in one go.
+    pub peak_batch: usize,
 }
 
 /// State shared by every thread of one server.
@@ -100,8 +132,11 @@ struct Shared {
     connections: AtomicUsize,
     sessions_opened: AtomicUsize,
     frames_processed: AtomicUsize,
+    binary_frames: AtomicUsize,
     rejected: AtomicUsize,
     peak_queue_depth: AtomicUsize,
+    batches: AtomicUsize,
+    peak_batch: AtomicUsize,
 }
 
 /// One camera session: the engine plus bookkeeping labels.
@@ -109,6 +144,27 @@ struct Session {
     engine: MetaSegStream,
     #[allow(dead_code)]
     camera: String,
+}
+
+/// A session whose mutex is poisoned is *dead*: a previous frame panicked
+/// mid-inference, so the engine may be half-updated (tracker advanced,
+/// windows not) and serving it further could emit silently-wrong verdicts.
+/// Every operation on it answers this typed error — the connection stays
+/// usable and the camera recovers by opening a fresh session.
+fn session_poisoned_error(session: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::Internal,
+        message: format!(
+            "session {session} died on a server-side panic; close it and open a new session"
+        ),
+    }
+}
+
+/// Per-connection state owned by its connection thread.
+struct Connection {
+    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    /// Whether binary frame submissions have been negotiated.
+    binary_frames: bool,
 }
 
 /// A queued inference job: one frame of one session plus the reply channel
@@ -159,8 +215,11 @@ impl Server {
             connections: AtomicUsize::new(0),
             sessions_opened: AtomicUsize::new(0),
             frames_processed: AtomicUsize::new(0),
+            binary_frames: AtomicUsize::new(0),
             rejected: AtomicUsize::new(0),
             peak_queue_depth: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            peak_batch: AtomicUsize::new(0),
         });
 
         let workers = config.workers.max(1);
@@ -208,8 +267,11 @@ impl ServerHandle {
             connections: self.shared.connections.load(Ordering::Relaxed),
             sessions_opened: self.shared.sessions_opened.load(Ordering::Relaxed),
             frames_processed: self.shared.frames_processed.load(Ordering::Relaxed),
+            binary_frames: self.shared.binary_frames.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             peak_queue_depth: self.shared.peak_queue_depth.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            peak_batch: self.shared.peak_batch.load(Ordering::Relaxed),
         }
     }
 
@@ -286,24 +348,89 @@ fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
     }
 }
 
+/// Peeks the first byte of the next message, tolerating read timeouts (used
+/// to poll the shutdown flag). Returns `None` on EOF, a fatal transport
+/// error, or shutdown — the connection then closes.
+fn peek_byte_polled(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Option<u8> {
+    loop {
+        match reader.fill_buf() {
+            Ok([]) => return None,
+            Ok(buffered) => return Some(buffered[0]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Fills `buffer` completely, tolerating read timeouts. Returns `None` on
+/// EOF, a fatal transport error, or shutdown mid-read.
+fn read_exact_polled(
+    reader: &mut BufReader<TcpStream>,
+    buffer: &mut [u8],
+    shared: &Shared,
+) -> Option<()> {
+    let mut filled = 0;
+    while filled < buffer.len() {
+        match reader.read(&mut buffer[filled..]) {
+            Ok(0) => return None,
+            Ok(read) => filled += read,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+/// Reads and discards exactly `count` bytes — how the binary path
+/// resynchronises after a frame whose header was readable but invalid.
+fn skip_polled(reader: &mut BufReader<TcpStream>, count: usize, shared: &Shared) -> Option<()> {
+    let mut scratch = [0u8; 8192];
+    let mut remaining = count;
+    while remaining > 0 {
+        let chunk = remaining.min(scratch.len());
+        read_exact_polled(reader, &mut scratch[..chunk], shared)?;
+        remaining -= chunk;
+    }
+    Some(())
+}
+
 /// Reads one line, tolerating read timeouts (used to poll the shutdown
 /// flag). Returns `None` on EOF, a fatal transport error, or a line
 /// exceeding the configured size cap (the transport-level analogue of the
 /// JSON parser's nesting-depth cap: a peer that never sends a newline must
 /// not grow server memory without bound).
+///
+/// Reads raw bytes via `read_until`, *not* `read_line`: `read_line`'s UTF-8
+/// guard truncates its output when a read error interrupts the stream
+/// mid-multi-byte-character, silently losing bytes already consumed from
+/// the socket — a timeout landing inside a multi-byte camera name would
+/// corrupt a well-formed request. Bytes survive timeouts here; the caller
+/// validates UTF-8 once, after the newline arrived, and answers a typed
+/// `bad-request` on invalid sequences (never silent replacement, never a
+/// dropped byte).
 fn read_line_polled(
     reader: &mut BufReader<TcpStream>,
-    buffer: &mut String,
+    buffer: &mut Vec<u8>,
     shared: &Shared,
 ) -> Option<()> {
     buffer.clear();
     loop {
-        match reader.read_line(buffer) {
+        match reader.read_until(b'\n', buffer) {
             Ok(0) => return None,
             Ok(_) => {
                 // Timeouts can split a line: keep reading until the
                 // newline actually arrived.
-                if buffer.ends_with('\n') {
+                if buffer.ends_with(b"\n") {
                     return Some(());
                 }
                 if buffer.len() > shared.config.max_line_bytes {
@@ -324,6 +451,95 @@ fn read_line_polled(
     }
 }
 
+/// Outcome of reading one binary frame off the stream.
+enum BinaryRead {
+    /// A well-formed frame of an open session: submit it.
+    Frame { session: u64, probs: ProbMap },
+    /// A frame that was skipped or failed decoding: answer the typed
+    /// response, keep the connection.
+    Reject(Response),
+    /// The stream cannot be resynchronised (EOF, transport error, or a
+    /// declared payload beyond the size cap): answer if possible, then
+    /// close the connection.
+    Drop(Option<WireError>),
+}
+
+fn bad_request(message: impl ToString) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: message.to_string(),
+    }
+}
+
+/// Reads one binary frame (the magic byte has been peeked, not consumed).
+///
+/// The header is fixed-size and carries the payload length, so even frames
+/// that fail validation can usually be skipped exactly; only payloads
+/// declared beyond the cap force a disconnect (reading them would defeat
+/// the memory bound, and skipping terabytes is indistinguishable from a
+/// hung connection).
+///
+/// Frames that are doomed regardless of their contents — binary framing not
+/// negotiated, or a session id (carried in the header) that is not open on
+/// this connection — are rejected *before* the payload is read: the bytes
+/// are skipped in a fixed scratch buffer, so a peer cannot make the server
+/// allocate, checksum or float-decode work it will throw away.
+fn read_binary_message(
+    reader: &mut BufReader<TcpStream>,
+    connection: &Connection,
+    shared: &Shared,
+) -> BinaryRead {
+    let mut header_bytes = [0u8; BINARY_HEADER_LEN];
+    if read_exact_polled(reader, &mut header_bytes, shared).is_none() {
+        return BinaryRead::Drop(None);
+    }
+    let cap = shared.config.max_line_bytes as u64;
+    let validated = BinaryFrameHeader::parse(&header_bytes)
+        .and_then(|header| header.checked_payload_len(cap).map(|len| (header, len)));
+    match validated {
+        Ok((header, payload_len)) => {
+            let rejection = if !connection.binary_frames {
+                Some(bad_request(
+                    "binary framing was not negotiated on this connection \
+                     (send the negotiate op first)",
+                ))
+            } else if !connection.sessions.contains_key(&header.session) {
+                Some(unknown_session_error(header.session))
+            } else {
+                None
+            };
+            if let Some(response) = rejection {
+                if skip_polled(reader, payload_len, shared).is_none() {
+                    return BinaryRead::Drop(None);
+                }
+                return BinaryRead::Reject(response);
+            }
+            let mut payload = vec![0u8; payload_len];
+            if read_exact_polled(reader, &mut payload, shared).is_none() {
+                return BinaryRead::Drop(None);
+            }
+            match header.decode_payload(&payload) {
+                Ok(probs) => BinaryRead::Frame {
+                    session: header.session,
+                    probs,
+                },
+                Err(e) => BinaryRead::Reject(bad_request(e)),
+            }
+        }
+        Err(e) => {
+            // The declared length sits at a fixed offset whatever else is
+            // wrong with the header; use it to resynchronise if it is
+            // bounded.
+            let declared = wire::declared_payload_len(&header_bytes);
+            if declared <= cap && skip_polled(reader, declared as usize, shared).is_some() {
+                BinaryRead::Reject(bad_request(e))
+            } else {
+                BinaryRead::Drop(Some(e))
+            }
+        }
+    }
+}
+
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<Job>) {
     let _ = stream.set_nodelay(true);
     if stream
@@ -337,16 +553,44 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<
     };
     let mut writer = write_half;
     let mut reader = BufReader::new(stream);
-    let mut sessions: HashMap<u64, Arc<Mutex<Session>>> = HashMap::new();
-    let mut line = String::new();
+    let mut connection = Connection {
+        sessions: HashMap::new(),
+        binary_frames: false,
+    };
+    let mut line_bytes = Vec::new();
 
-    while read_line_polled(&mut reader, &mut line, shared).is_some() {
-        let response = match Request::decode(line.trim_end()) {
-            Ok(request) => handle_request(request, &mut sessions, shared, job_tx),
-            Err(e) => Response::Error {
-                code: ErrorCode::BadRequest,
-                message: e.to_string(),
-            },
+    loop {
+        let Some(first_byte) = peek_byte_polled(&mut reader, shared) else {
+            return;
+        };
+        let (response, close_after_reply) = if first_byte == BINARY_FRAME_MAGIC {
+            match read_binary_message(&mut reader, &connection, shared) {
+                BinaryRead::Frame { session, probs } => {
+                    shared.binary_frames.fetch_add(1, Ordering::Relaxed);
+                    (
+                        submit_frame(session, probs, &connection, shared, job_tx),
+                        false,
+                    )
+                }
+                BinaryRead::Reject(response) => (response, false),
+                BinaryRead::Drop(Some(e)) => (bad_request(e), true),
+                BinaryRead::Drop(None) => return,
+            }
+        } else {
+            let Some(()) = read_line_polled(&mut reader, &mut line_bytes, shared) else {
+                return;
+            };
+            // Strict UTF-8 at the trust boundary: lossy replacement would
+            // silently alter string fields (e.g. a camera name) inside an
+            // otherwise well-formed request.
+            let response = match std::str::from_utf8(&line_bytes) {
+                Ok(line) => match Request::decode(line.trim_end()) {
+                    Ok(request) => handle_request(request, &mut connection, shared, job_tx),
+                    Err(e) => bad_request(e),
+                },
+                Err(e) => bad_request(format_args!("request line is not valid UTF-8: {e}")),
+            };
+            (response, false)
         };
         if writeln!(writer, "{}", response.encode()).is_err() {
             return;
@@ -354,17 +598,28 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<
         if writer.flush().is_err() {
             return;
         }
+        if close_after_reply {
+            return;
+        }
     }
 }
 
 fn handle_request(
     request: Request,
-    sessions: &mut HashMap<u64, Arc<Mutex<Session>>>,
+    connection: &mut Connection,
     shared: &Arc<Shared>,
     job_tx: &SyncSender<Job>,
 ) -> Response {
     match request {
         Request::Ping => Response::Pong,
+        Request::Negotiate { format } => {
+            // Binary framing is a per-connection capability switch; control
+            // operations and responses stay JSON lines either way. The
+            // payload encoding of each binary frame is self-describing, so
+            // the server only needs to remember "binary allowed".
+            connection.binary_frames = matches!(format, FrameFormat::Binary(_));
+            Response::Negotiated { format }
+        }
         Request::Open { model, camera } => {
             if shared.shutting_down.load(Ordering::SeqCst) {
                 return shutting_down_error();
@@ -378,7 +633,9 @@ fn handle_request(
             let engine = entry.open_stream();
             let series_length = engine.series_length();
             let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-            sessions.insert(session, Arc::new(Mutex::new(Session { engine, camera })));
+            connection
+                .sessions
+                .insert(session, Arc::new(Mutex::new(Session { engine, camera })));
             shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
             Response::Opened {
                 session,
@@ -386,78 +643,95 @@ fn handle_request(
             }
         }
         Request::Frame { session, probs } => {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                return shutting_down_error();
-            }
-            let Some(state) = sessions.get(&session) else {
-                return unknown_session_error(session);
-            };
-            // Decoded payloads cross a trust boundary: an inconsistent
-            // shape would panic deep inside metric extraction.
-            if !probs.shape_consistent() {
-                return Response::Error {
-                    code: ErrorCode::BadRequest,
-                    message: "frame payload has an inconsistent shape".to_string(),
-                };
-            }
-            let (reply_tx, reply_rx) = mpsc::channel();
-            let job = Job {
-                session_id: session,
-                session: Arc::clone(state),
-                probs,
-                reply: reply_tx,
-            };
-            // Count the job before handing it over: the worker decrements
-            // after picking it up, so incrementing afterwards could race the
-            // counter below zero.
-            let depth = shared.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
-            shared.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
-            match job_tx.try_send(job) {
-                // The worker pool owns the job now; relay its verdicts in
-                // request order.
-                Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
-                    code: ErrorCode::ShuttingDown,
-                    message: "worker pool exited before the frame was processed".to_string(),
-                }),
-                Err(TrySendError::Full(_)) => {
-                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                    shared.rejected.fetch_add(1, Ordering::Relaxed);
-                    Response::Error {
-                        code: ErrorCode::Backpressure,
-                        message: format!(
-                            "inference queue is full ({} jobs); retry after backing off",
-                            shared.config.queue_depth.max(1)
-                        ),
-                    }
+            submit_frame(session, probs, connection, shared, job_tx)
+        }
+        Request::Stats { session } => match connection.sessions.get(&session).cloned() {
+            Some(state) => match state.lock() {
+                Ok(guard) => Response::Stats {
+                    session,
+                    stats: guard.engine.session_stats(),
+                },
+                Err(_) => {
+                    // Dead session: evict it so later requests get the
+                    // honest unknown-session answer.
+                    connection.sessions.remove(&session);
+                    session_poisoned_error(session)
                 }
-                Err(TrySendError::Disconnected(_)) => {
-                    shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-                    shutting_down_error()
-                }
+            },
+            None => unknown_session_error(session),
+        },
+        Request::Close { session } => match connection.sessions.remove(&session) {
+            Some(state) => match state.lock() {
+                Ok(guard) => Response::Closed {
+                    session,
+                    stats: guard.engine.session_stats(),
+                },
+                // Evicted either way; the final statistics are unknowable.
+                Err(_) => session_poisoned_error(session),
+            },
+            None => unknown_session_error(session),
+        },
+    }
+}
+
+/// Submits one decoded frame to the worker pool and waits for its verdicts —
+/// the shared tail of the JSON and binary submission paths.
+fn submit_frame(
+    session: u64,
+    probs: ProbMap,
+    connection: &Connection,
+    shared: &Arc<Shared>,
+    job_tx: &SyncSender<Job>,
+) -> Response {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return shutting_down_error();
+    }
+    let Some(state) = connection.sessions.get(&session) else {
+        return unknown_session_error(session);
+    };
+    // Decoded payloads cross a trust boundary: an inconsistent shape would
+    // panic deep inside metric extraction. (The binary decoder validates
+    // this by construction; the JSON decoder does not.)
+    if !probs.shape_consistent() {
+        return Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "frame payload has an inconsistent shape".to_string(),
+        };
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        session_id: session,
+        session: Arc::clone(state),
+        probs,
+        reply: reply_tx,
+    };
+    // Count the job before handing it over: the worker decrements after
+    // picking it up, so incrementing afterwards could race the counter
+    // below zero.
+    let depth = shared.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    match job_tx.try_send(job) {
+        // The worker pool owns the job now; relay its verdicts in request
+        // order.
+        Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "worker pool exited before the frame was processed".to_string(),
+        }),
+        Err(TrySendError::Full(_)) => {
+            shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+            shared.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                code: ErrorCode::Backpressure,
+                message: format!(
+                    "inference queue is full ({} jobs); retry after backing off",
+                    shared.config.queue_depth.max(1)
+                ),
             }
         }
-        Request::Stats { session } => match sessions.get(&session) {
-            Some(state) => Response::Stats {
-                session,
-                stats: state
-                    .lock()
-                    .expect("session lock never poisoned")
-                    .engine
-                    .session_stats(),
-            },
-            None => unknown_session_error(session),
-        },
-        Request::Close { session } => match sessions.remove(&session) {
-            Some(state) => Response::Closed {
-                session,
-                stats: state
-                    .lock()
-                    .expect("session lock never poisoned")
-                    .engine
-                    .session_stats(),
-            },
-            None => unknown_session_error(session),
-        },
+        Err(TrySendError::Disconnected(_)) => {
+            shared.queue_len.fetch_sub(1, Ordering::Relaxed);
+            shutting_down_error()
+        }
     }
 }
 
@@ -475,39 +749,120 @@ fn unknown_session_error(session: u64) -> Response {
     }
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
-    loop {
-        // Hold the lock only to pop one job; inference runs unlocked so the
-        // pool actually parallelises across sessions.
-        let job = {
-            let guard = rx.lock().expect("worker queue lock never poisoned");
-            guard.recv()
-        };
-        let Ok(job) = job else {
-            // Every sender is gone and the queue is drained: shutdown.
-            return;
-        };
-        shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-        if shared.config.synthetic_delay_ms > 0 {
-            thread::sleep(Duration::from_millis(shared.config.synthetic_delay_ms));
+/// One session's slice of a drained micro-batch: its jobs, in arrival order.
+struct SessionBatch {
+    session_id: u64,
+    session: Arc<Mutex<Session>>,
+    jobs: Vec<(ProbMap, Sender<Response>)>,
+}
+
+/// Processes one session group: lock once, push the frames in order through
+/// the engine's batch entry point, reply per frame.
+fn process_session_batch(batch: SessionBatch, shared: &Shared) {
+    let SessionBatch {
+        session_id,
+        session,
+        jobs,
+    } = batch;
+    let processed = jobs.len();
+    let Ok(mut session) = session.lock() else {
+        // A previous frame of this session panicked mid-inference: the
+        // engine state is unknown, so refuse to serve it rather than risk
+        // silently-wrong verdicts.
+        for (_, reply) in jobs {
+            let _ = reply.send(session_poisoned_error(session_id));
         }
-        let response = {
-            let mut session = job.session.lock().expect("session lock never poisoned");
-            let frame_index = session.engine.frames_seen();
-            let frame = Frame::unlabeled(
-                FrameId::new(job.session_id as usize, frame_index),
-                job.probs,
-            );
-            let verdicts = session.engine.push_frame(&frame);
-            Response::Verdicts {
-                session: job.session_id,
-                frame: verdicts.frame,
-                verdicts: verdicts.verdicts,
-            }
-        };
-        shared.frames_processed.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    if shared.config.synthetic_delay_ms > 0 {
+        // The synthetic delay models *per-frame* model cost, so a group of
+        // n frames sleeps n times the configured delay — identical to the
+        // unbatched schedule; batching only parallelises across sessions.
+        thread::sleep(Duration::from_millis(
+            shared.config.synthetic_delay_ms * processed as u64,
+        ));
+    }
+    let base = session.engine.frames_seen();
+    let mut frames = Vec::with_capacity(processed);
+    let mut replies = Vec::with_capacity(processed);
+    for (offset, (probs, reply)) in jobs.into_iter().enumerate() {
+        frames.push(Frame::unlabeled(
+            FrameId::new(session_id as usize, base + offset),
+            probs,
+        ));
+        replies.push(reply);
+    }
+    let verdict_sets = session.engine.push_frames(&frames);
+    drop(session);
+    shared
+        .frames_processed
+        .fetch_add(processed, Ordering::Relaxed);
+    for (reply, verdicts) in replies.into_iter().zip(verdict_sets) {
         // The connection may have gone away mid-flight; dropping the
         // verdicts is then the right thing.
-        let _ = job.reply.send(response);
+        let _ = reply.send(Response::Verdicts {
+            session: session_id,
+            frame: verdicts.frame,
+            verdicts: verdicts.verdicts,
+        });
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
+    let batch_max = shared.config.batch_max.max(1);
+    loop {
+        // Hold the queue lock only to drain: block for the first job, then
+        // opportunistically take whatever is already queued, up to the
+        // batch cap. Inference runs unlocked so the pool actually
+        // parallelises across sessions.
+        let jobs: Vec<Job> = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            match guard.recv() {
+                Ok(first) => {
+                    let mut jobs = vec![first];
+                    while jobs.len() < batch_max {
+                        match guard.try_recv() {
+                            Ok(job) => jobs.push(job),
+                            Err(_) => break,
+                        }
+                    }
+                    jobs
+                }
+                // Every sender is gone and the queue is drained: shutdown.
+                Err(_) => return,
+            }
+        };
+        shared.queue_len.fetch_sub(jobs.len(), Ordering::Relaxed);
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared.peak_batch.fetch_max(jobs.len(), Ordering::Relaxed);
+
+        // Group by session, preserving arrival order within each group, so
+        // one session's frames stay strictly ordered while distinct
+        // sessions fan out across the rayon pool. A linear scan is right:
+        // batches are small (≤ batch_max).
+        let mut groups: Vec<SessionBatch> = Vec::new();
+        for job in jobs {
+            match groups
+                .iter_mut()
+                .find(|group| group.session_id == job.session_id)
+            {
+                Some(group) => group.jobs.push((job.probs, job.reply)),
+                None => groups.push(SessionBatch {
+                    session_id: job.session_id,
+                    session: job.session,
+                    jobs: vec![(job.probs, job.reply)],
+                }),
+            }
+        }
+        if groups.len() == 1 {
+            // The common lightly-loaded case: skip the parallel dispatch.
+            let group = groups.pop().expect("length checked above");
+            process_session_batch(group, shared);
+        } else {
+            let () = groups
+                .into_par_iter()
+                .map(|group| process_session_batch(group, shared))
+                .collect();
+        }
     }
 }

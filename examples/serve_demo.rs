@@ -10,7 +10,7 @@
 //! ```
 
 use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
-use metaseg_suite::metaseg_serve::{ModelRegistry, ServeClient, Server, ServerConfig};
+use metaseg_suite::metaseg_serve::{FrameFormat, ModelRegistry, ServeClient, Server, ServerConfig};
 use metaseg_suite::metaseg_sim::{NetworkProfile, NetworkSim, VideoStream};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
@@ -34,9 +34,25 @@ fn flag(name: &str, default: usize) -> usize {
     default
 }
 
+/// Parses the `--wire` flag (`json`, `binary-f64`, `binary-f32`,
+/// `binary-u16`); defaults to the lossless binary fast path.
+fn wire_flag() -> FrameFormat {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--wire" {
+            let name = args.next().unwrap_or_default();
+            return FrameFormat::from_str_opt(&name).unwrap_or_else(|| {
+                panic!("--wire expects json|binary-f64|binary-f32|binary-u16, got `{name}`")
+            });
+        }
+    }
+    FrameFormat::Binary(metaseg_suite::metaseg_data::ProbEncoding::F64)
+}
+
 fn main() {
     let cameras = flag("--cameras", 3).max(1);
     let frames = flag("--frames", 10).max(1);
+    let wire = wire_flag();
 
     // --- Train once, serialize, serve from the checkpoint. -----------------
     println!("fitting the meta predictor on a small simulated video corpus…");
@@ -59,7 +75,10 @@ fn main() {
     let handle = Server::spawn("127.0.0.1:0", registry, ServerConfig::default())
         .expect("ephemeral bind succeeds");
     let addr = handle.local_addr();
-    println!("serving on {addr}; driving {cameras} cameras x {frames} frames over TCP\n");
+    println!(
+        "serving on {addr}; driving {cameras} cameras x {frames} frames over TCP \
+         (wire format: {wire})\n"
+    );
 
     let started = Instant::now();
     let threads: Vec<_> = (0..cameras)
@@ -74,6 +93,11 @@ fn main() {
                     &mut rng,
                 );
                 let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                if wire != FrameFormat::Json {
+                    // Binary framing is opt-in per connection; JSON needs
+                    // no negotiation.
+                    client.negotiate(wire).expect("negotiate succeeds");
+                }
                 let (session, _) = client
                     .open("default", &format!("cam-{camera}"))
                     .expect("open succeeds");

@@ -1,0 +1,143 @@
+//! Golden-corpus regression test: a fixed-seed scenario whose per-frame
+//! segment metrics and streaming verdicts are pinned to a checked-in
+//! fixture.
+//!
+//! The differential tests (`tests/streaming.rs`, `tests/serve.rs`) prove
+//! the pipeline's surfaces agree *with each other*; this test pins what
+//! they agree *on*. A refactor of metric extraction, tracking, window
+//! assembly, the learners or the serve codecs that changes any float of any
+//! verdict — even one that keeps all the differential tests green by
+//! changing every path identically — shows up here as a one-line diff
+//! against a stable oracle.
+//!
+//! The fixture stores one JSON line per frame (metrics first, then
+//! verdicts), using the same shortest-round-trip float encoding as the wire
+//! protocol, so every `f64` is pinned bit-exactly. After an *intended*
+//! behaviour change, regenerate it with:
+//!
+//! ```text
+//! METASEG_UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! and review the fixture diff like any other code change.
+
+use metaseg_bench::serve_fixture;
+use metaseg_suite::metaseg::pipeline::frame_metrics;
+use metaseg_suite::metaseg::stream::MetaSegStream;
+use metaseg_suite::metaseg_data::Frame;
+use metaseg_suite::metaseg_sim::{NetworkProfile, NetworkSim, VideoStream};
+use rand::{rngs::StdRng, SeedableRng};
+use serde::{Serialize, Value};
+use std::path::PathBuf;
+
+/// Frames of the golden clip.
+const GOLDEN_FRAMES: usize = 6;
+
+/// Where the checked-in oracle lives.
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("expected.jsonl")
+}
+
+/// Renders the golden corpus: the fixed-seed scenario, streamed through a
+/// fixed-seed fitted predictor, as one JSON line per frame.
+fn render_golden_corpus() -> Vec<String> {
+    // Everything seeded: the training corpus, the fitted predictor and the
+    // evaluation clip are all pure functions of these constants.
+    let video = serve_fixture::video_config(8, 32, 16);
+    let (stream_config, predictor) = serve_fixture::fit_predictor(&video, 2, 5000);
+    let mut engine =
+        MetaSegStream::new(stream_config, predictor).expect("golden model fits its config");
+
+    let mut rng = StdRng::seed_from_u64(5100);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    let frames: Vec<Frame> = VideoStream::open(&video, sim, 0, &mut rng)
+        .take(GOLDEN_FRAMES)
+        .collect();
+
+    frames
+        .iter()
+        .map(|frame| {
+            // The per-frame single-pass metrics (no ground truth, exactly
+            // what the serving layer extracts)…
+            let records = frame_metrics(&frame.prediction, None, &stream_config.metrics);
+            // …and the streaming verdicts over the same frame.
+            let verdicts = engine.push_frame(frame);
+            let line = Value::Object(vec![
+                ("frame".to_string(), verdicts.frame.serialize()),
+                ("records".to_string(), records.serialize()),
+                ("verdicts".to_string(), verdicts.verdicts.serialize()),
+            ]);
+            serde_json::to_string(&line).expect("document model serialization is infallible")
+        })
+        .collect()
+}
+
+#[test]
+fn golden_corpus_metrics_and_verdicts_match_the_checked_in_oracle() {
+    let actual = render_golden_corpus();
+    assert_eq!(actual.len(), GOLDEN_FRAMES);
+    assert!(
+        actual.iter().any(|line| line.contains("tp_probability")),
+        "the golden clip must produce at least one verdict"
+    );
+
+    let path = fixture_path();
+    if std::env::var("METASEG_UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().expect("fixture path has a parent"))
+            .expect("fixture directory is creatable");
+        std::fs::write(&path, actual.join("\n") + "\n").expect("fixture is writable");
+        println!("golden fixture regenerated at {}", path.display());
+        return;
+    }
+
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {}: {e}\n\
+             regenerate it with METASEG_UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    let expected: Vec<&str> = expected.lines().collect();
+    assert_eq!(
+        expected.len(),
+        actual.len(),
+        "golden fixture has {} frames, the scenario produced {} — if this \
+         change is intended, regenerate with METASEG_UPDATE_GOLDEN=1",
+        expected.len(),
+        actual.len()
+    );
+    for (index, (expected_line, actual_line)) in expected.iter().zip(&actual).enumerate() {
+        if expected_line != actual_line {
+            // Locate the first divergent byte so the failure is readable
+            // even though each line holds hundreds of floats.
+            let split = expected_line
+                .bytes()
+                .zip(actual_line.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| expected_line.len().min(actual_line.len()));
+            let context = |line: &str| -> String {
+                let start = split.saturating_sub(60);
+                let end = (split + 60).min(line.len());
+                line[start..end].to_string()
+            };
+            panic!(
+                "golden mismatch at frame {index}, byte {split}:\n  expected …{}…\n  \
+                 actual   …{}…\nif this change is intended, regenerate the fixture with \
+                 METASEG_UPDATE_GOLDEN=1 cargo test --test golden and review its diff",
+                context(expected_line),
+                context(actual_line)
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_rendering_is_deterministic() {
+    // The oracle is only an oracle if re-rendering it is a pure function;
+    // a hidden source of nondeterminism (thread ordering, uninitialised
+    // state, time) would otherwise masquerade as a regression.
+    assert_eq!(render_golden_corpus(), render_golden_corpus());
+}

@@ -6,9 +6,10 @@
 
 use metaseg_bench::serve_fixture;
 use metaseg_suite::metaseg::stream::{FrameVerdicts, MetaSegStream, StreamConfig};
+use metaseg_suite::metaseg_data::ProbEncoding;
 use metaseg_suite::metaseg_learners::MetaPredictor;
 use metaseg_suite::metaseg_serve::{
-    ErrorCode, ModelRegistry, ServeClient, Server, ServerConfig, ServerHandle,
+    ErrorCode, FrameFormat, ModelRegistry, ServeClient, Server, ServerConfig, ServerHandle,
 };
 use metaseg_suite::metaseg_sim::{
     DecodedFrameSource, NetworkProfile, NetworkSim, ProbMap, VideoConfig, VideoStream,
@@ -103,6 +104,103 @@ fn served_verdicts_are_bit_identical_to_in_process_streaming() {
     assert_eq!(stats.sessions_opened, 2);
     assert_eq!(stats.frames_processed, 2 * FRAMES_PER_CAMERA);
     assert_eq!(stats.rejected, 0);
+}
+
+/// Drives `cameras` concurrent sessions against `addr` in the given frame
+/// format and returns each camera's `(frames, served verdicts)`.
+fn drive_cameras(
+    addr: std::net::SocketAddr,
+    cameras: usize,
+    format: FrameFormat,
+) -> Vec<(Vec<ProbMap>, Vec<FrameVerdicts>)> {
+    let threads: Vec<_> = (0..cameras)
+        .map(|camera| {
+            thread::spawn(move || {
+                let frames = camera_frames(camera);
+                let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                if format != FrameFormat::Json {
+                    client.negotiate(format).unwrap();
+                }
+                let (session, _) = client.open("default", &format!("cam-{camera}")).unwrap();
+                let mut served = Vec::new();
+                for probs in &frames {
+                    let (frame, verdicts) = client.submit(session, probs).unwrap();
+                    served.push(FrameVerdicts { frame, verdicts });
+                }
+                let stats = client.close(session).unwrap();
+                assert_eq!(stats.frames, frames.len());
+                (frames, served)
+            })
+        })
+        .collect();
+    threads
+        .into_iter()
+        .map(|t| t.join().expect("camera thread never panics"))
+        .collect()
+}
+
+#[test]
+fn binary_path_is_bit_identical_to_json_and_in_process_under_forced_micro_batching() {
+    // One worker with a synthetic per-frame delay forces the queue to fill
+    // while a batch is in flight, so the next drain picks up frames of
+    // *distinct* sessions as one cross-session micro-batch (asserted below
+    // via peak_batch). Verdicts must be unaffected.
+    let handle = spawn_server(ServerConfig {
+        workers: 1,
+        batch_max: 8,
+        queue_depth: 8,
+        synthetic_delay_ms: 250,
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+    const CAMERAS: usize = 3;
+
+    for format in [FrameFormat::Json, FrameFormat::Binary(ProbEncoding::F64)] {
+        for (frames, served) in drive_cameras(addr, CAMERAS, format) {
+            // Exact equality: the lossless binary payload and the JSON
+            // payload both reproduce the in-process engine bit for bit,
+            // batched or not.
+            assert_eq!(
+                served,
+                in_process_verdicts(&frames),
+                "{format} verdicts must match the in-process engine"
+            );
+        }
+    }
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.frames_processed, 2 * CAMERAS * FRAMES_PER_CAMERA);
+    assert_eq!(stats.binary_frames, CAMERAS * FRAMES_PER_CAMERA);
+    assert!(
+        stats.peak_batch >= 2,
+        "the scenario must actually exercise cross-session micro-batching \
+         (largest drained batch: {})",
+        stats.peak_batch
+    );
+    assert!(stats.batches < stats.frames_processed);
+}
+
+#[test]
+fn lossy_binary_encodings_serve_within_tolerance() {
+    // f32/u16 payloads are documented as lossy: verdicts need not be
+    // bit-identical, but the meta-classifier scores must stay probabilities
+    // and the segment structure (tracks, regions, areas) must be intact.
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    for encoding in [ProbEncoding::F32, ProbEncoding::U16] {
+        for (frames, served) in drive_cameras(addr, 1, FrameFormat::Binary(encoding)) {
+            let reference = in_process_verdicts(&frames);
+            assert_eq!(served.len(), reference.len());
+            for (served_frame, reference_frame) in served.iter().zip(&reference) {
+                assert_eq!(served_frame.frame, reference_frame.frame);
+                for verdict in &served_frame.verdicts {
+                    assert!((0.0..=1.0).contains(&verdict.tp_probability));
+                    assert!((0.0..=1.0).contains(&verdict.predicted_iou));
+                }
+            }
+        }
+    }
+    handle.shutdown();
 }
 
 #[test]
