@@ -73,7 +73,9 @@ pub use compositions::Composition;
 pub use error::MetaSegError;
 pub use metrics::{segment_metrics, FeatureSet, MetricsConfig, SegmentRecord};
 pub use pipeline::{
-    frame_metrics, frame_metrics_with_components, frame_metrics_with_labels, FrameBatch,
+    extract_frame, frame_metrics, frame_metrics_banded, frame_metrics_scratch,
+    frame_metrics_with_components, frame_metrics_with_labels, ExtractionScratch, FrameBatch,
+    ScratchStats,
 };
 pub use stream::{
     process_videos, shard_streams, FrameVerdicts, MetaSegStream, SegmentVerdict, StreamConfig,

@@ -9,7 +9,7 @@
 
 use crate::metrics::{segment_metrics, MetricsConfig, SegmentRecord, METRIC_COUNT};
 use metaseg_data::{LabelMap, ProbMap};
-use metaseg_imgproc::{inner_boundary, resize_bilinear, CropWindow, Grid};
+use metaseg_imgproc::{resize_bilinear, CropWindow, Grid};
 use serde::{Deserialize, Serialize};
 
 /// Number of extra metrics appended by the multi-resolution ensemble
@@ -170,36 +170,51 @@ pub fn multires_segment_metrics(
 
     // Re-derive the predicted components to aggregate the variance map over
     // the same segments (ids match because both use the ensemble mean).
+    // One row-major walk of the label grid folds every region's variance
+    // sums — O(pixels) total, where per-region bounding-box scans would
+    // re-read overlapping boxes once per region.
     let predicted_labels = ensemble.mean.argmax_map();
     let components = predicted_labels.segments(config.metrics.connectivity);
+    let labels = components.labels();
+    #[derive(Clone, Copy, Default)]
+    struct VarianceSums {
+        all: f64,
+        boundary: f64,
+        interior: f64,
+        count_all: usize,
+        count_boundary: usize,
+    }
+    let mut sums = vec![VarianceSums::default(); components.component_count()];
+    for ((x, y), &id) in labels.iter_pixels() {
+        let variance = *ensemble.variance.get(x, y);
+        let (xi, yi) = (x as isize, y as isize);
+        // Inner-boundary predicate of `metaseg_imgproc::inner_boundary`.
+        let is_boundary = [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
+            .iter()
+            .any(|&(dx, dy)| !matches!(labels.checked_get(xi + dx, yi + dy), Some(&n) if n == id));
+        let entry = &mut sums[id];
+        entry.all += variance;
+        entry.count_all += 1;
+        if is_boundary {
+            entry.boundary += variance;
+            entry.count_boundary += 1;
+        } else {
+            entry.interior += variance;
+        }
+    }
     for record in records.iter_mut() {
-        if let Some(region) = components.region(record.region_id) {
-            let boundary = inner_boundary(region, components.labels());
-            let boundary_set: std::collections::HashSet<(usize, usize)> =
-                boundary.iter().copied().collect();
-            let mean_of = |pixels: &[(usize, usize)]| -> f64 {
-                if pixels.is_empty() {
-                    0.0
-                } else {
-                    pixels
-                        .iter()
-                        .map(|&(x, y)| *ensemble.variance.get(x, y))
-                        .sum::<f64>()
-                        / pixels.len() as f64
-                }
+        if let Some(entry) = sums.get(record.region_id).filter(|e| e.count_all > 0) {
+            let all = entry.all / entry.count_all as f64;
+            let bd = if entry.count_boundary == 0 {
+                0.0
+            } else {
+                entry.boundary / entry.count_boundary as f64
             };
-            let interior: Vec<(usize, usize)> = region
-                .pixels
-                .iter()
-                .copied()
-                .filter(|p| !boundary_set.contains(p))
-                .collect();
-            let all = mean_of(&region.pixels);
-            let bd = mean_of(&boundary);
-            let int = if interior.is_empty() {
+            let interior_count = entry.count_all - entry.count_boundary;
+            let int = if interior_count == 0 {
                 all
             } else {
-                mean_of(&interior)
+                entry.interior / interior_count as f64
             };
             record.metrics.push(all);
             record.metrics.push(bd);

@@ -1,0 +1,301 @@
+//! The pre-fusion single-pass extraction kernel, retained verbatim as the
+//! performance baseline and a second (exact) differential oracle.
+//!
+//! This is the kernel the fused, scratch-backed, band-parallel pipeline
+//! replaced: one full argmax pass over the channel axis to build the Bayes
+//! label map, a labelling pass that materialises every region's pixel list,
+//! then a metric pass that re-reads each pixel's full distribution and
+//! counts ground-truth overlaps in one hash map per segment. It allocates
+//! everything per frame.
+//!
+//! Two consumers keep it alive:
+//!
+//! * the `serial_kernel_is_bit_identical_to_legacy_kernel` test pins the
+//!   fused serial path to it **exactly** (every float of every record), so
+//!   the refactored hot path provably computes the same function;
+//! * the `extraction_profile` bench bin measures the fused/banded kernel
+//!   against it — the "retained serial path" of the CI speedup gate.
+//!
+//! It must not be edited for speed; its value is being the old kernel.
+
+use crate::metrics::{MetricsConfig, SegmentRecord, BASE_METRIC_COUNT, METRIC_COUNT, NUM_CHANNELS};
+use metaseg_data::{LabelMap, ProbMap, SemanticClass};
+use metaseg_imgproc::{Connectivity, Grid};
+use std::collections::HashMap;
+
+/// The historical argmax pass: one dedicated comparison walk of the channel
+/// axis per pixel (ties to the first maximum), independent of the fused
+/// scan the production kernel uses now.
+fn legacy_argmax_ids(prediction: &ProbMap) -> Grid<u16> {
+    Grid::from_fn(prediction.width(), prediction.height(), |x, y| {
+        let dist = prediction.distribution(x, y);
+        let mut best = 0usize;
+        let mut best_p = dist[0];
+        for (i, &p) in dist.iter().enumerate().skip(1) {
+            if p > best_p {
+                best = i;
+                best_p = p;
+            }
+        }
+        // The historical map round-tripped through `SemanticClass`.
+        SemanticClass::from_id(best as u16)
+            .expect("channel index is a valid class id")
+            .id()
+    })
+}
+
+/// Pre-slimming region representation: the pixel list is materialised, as
+/// the historical labelling pass did (16 bytes of traffic per pixel).
+struct LegacyRegion {
+    id: usize,
+    class_id: u16,
+    pixels: Vec<(usize, usize)>,
+}
+
+impl LegacyRegion {
+    fn area(&self) -> usize {
+        self.pixels.len()
+    }
+
+    fn centroid(&self) -> (f64, f64) {
+        let n = self.pixels.len() as f64;
+        let (sx, sy) = self.pixels.iter().fold((0.0, 0.0), |(sx, sy), &(x, y)| {
+            (sx + x as f64, sy + y as f64)
+        });
+        (sx / n, sy / n)
+    }
+}
+
+const UNASSIGNED: usize = usize::MAX;
+
+/// The historical connected-component labelling with per-region pixel lists.
+fn legacy_components(
+    map: &Grid<u16>,
+    connectivity: Connectivity,
+) -> (Grid<usize>, Vec<LegacyRegion>) {
+    let (width, height) = map.shape();
+    let mut labels = Grid::filled(width, height, UNASSIGNED);
+    let mut regions: Vec<LegacyRegion> = Vec::new();
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+
+    for y in 0..height {
+        for x in 0..width {
+            if *labels.get(x, y) != UNASSIGNED {
+                continue;
+            }
+            let class_id = *map.get(x, y);
+            let id = regions.len();
+            let mut pixels = Vec::new();
+
+            stack.push((x, y));
+            labels.set(x, y, id);
+            while let Some((cx, cy)) = stack.pop() {
+                pixels.push((cx, cy));
+                let neighbors = match connectivity {
+                    Connectivity::Four => map.neighbors4(cx, cy),
+                    Connectivity::Eight => map.neighbors8(cx, cy),
+                };
+                for (nx, ny) in neighbors {
+                    if *labels.get(nx, ny) == UNASSIGNED && *map.get(nx, ny) == class_id {
+                        labels.set(nx, ny, id);
+                        stack.push((nx, ny));
+                    }
+                }
+            }
+
+            regions.push(LegacyRegion {
+                id,
+                class_id,
+                pixels,
+            });
+        }
+    }
+
+    (labels, regions)
+}
+
+/// Per-segment sums of the historical kernel, including the per-segment
+/// class-probability vector it allocated.
+#[derive(Debug, Clone)]
+struct LegacyAccumulator {
+    sum_boundary: [f64; 3],
+    sum_interior: [f64; 3],
+    boundary_len: usize,
+    sum_top1: f64,
+    sum_class_probs: Vec<f64>,
+    non_void: usize,
+}
+
+impl LegacyAccumulator {
+    fn new(num_channels: usize) -> Self {
+        Self {
+            sum_boundary: [0.0; 3],
+            sum_interior: [0.0; 3],
+            boundary_len: 0,
+            sum_top1: 0.0,
+            sum_class_probs: vec![0.0; num_channels],
+            non_void: 0,
+        }
+    }
+}
+
+/// The historical single-pass kernel: argmax map, pixel-materialising
+/// labelling, one hash map of overlaps per segment, per-frame allocations
+/// throughout. Kept byte-for-byte equivalent to the pre-fusion
+/// `frame_metrics` so the fused serial path can be pinned to it exactly.
+pub fn legacy_frame_metrics(
+    prediction: &ProbMap,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+) -> Vec<SegmentRecord> {
+    let predicted_ids = legacy_argmax_ids(prediction);
+    let (labels, regions) = legacy_components(&predicted_ids, config.connectivity);
+    let segment_count = regions.len();
+    let (width, height) = prediction.shape();
+    let num_channels = prediction.num_classes();
+
+    // Ground-truth components through the historical pixel-materialising
+    // labelling as well (the seed kernel knew no other).
+    let gt_components = ground_truth.map(|gt| legacy_components(gt.ids(), config.connectivity));
+
+    let mut accumulators: Vec<LegacyAccumulator> = (0..segment_count)
+        .map(|_| LegacyAccumulator::new(num_channels))
+        .collect();
+    let mut overlaps: Vec<HashMap<usize, usize>> = vec![HashMap::new(); segment_count];
+
+    for y in 0..height {
+        for x in 0..width {
+            let segment = *labels.get(x, y);
+            let acc = &mut accumulators[segment];
+
+            let dist = prediction.distribution(x, y);
+            let mut raw_entropy = 0.0f64;
+            let mut first = f64::NEG_INFINITY;
+            let mut second = f64::NEG_INFINITY;
+            for (channel, &p) in dist.iter().enumerate() {
+                if p > 0.0 {
+                    raw_entropy += -p * p.ln();
+                }
+                if p > first {
+                    second = first;
+                    first = p;
+                } else if p > second {
+                    second = p;
+                }
+                acc.sum_class_probs[channel] += p;
+            }
+            if dist.len() == 1 {
+                second = 0.0;
+            }
+            let entropy = (raw_entropy / (dist.len() as f64).ln()).clamp(0.0, 1.0);
+            let margin = (1.0 - (first - second)).clamp(0.0, 1.0);
+            let variation = (1.0 - first).clamp(0.0, 1.0);
+
+            acc.sum_top1 += first;
+
+            let (xi, yi) = (x as isize, y as isize);
+            let is_boundary = [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
+                .iter()
+                .any(|&(dx, dy)| {
+                    !matches!(labels.checked_get(xi + dx, yi + dy), Some(&id) if id == segment)
+                });
+            let zone = if is_boundary {
+                acc.boundary_len += 1;
+                &mut acc.sum_boundary
+            } else {
+                &mut acc.sum_interior
+            };
+            zone[0] += entropy;
+            zone[1] += margin;
+            zone[2] += variation;
+
+            if let (Some(gt), Some((gt_labels, _))) = (ground_truth, &gt_components) {
+                let gt_class = gt.class_at(x, y);
+                if gt_class != SemanticClass::Void {
+                    acc.non_void += 1;
+                }
+                if gt_class.id() == regions[segment].class_id {
+                    let gt_segment = *gt_labels.get(x, y);
+                    *overlaps[segment].entry(gt_segment).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    let min_area = config.min_segment_area.max(1);
+    let mut records = Vec::with_capacity(segment_count);
+    for region in &regions {
+        if region.area() < min_area {
+            continue;
+        }
+        let acc = &accumulators[region.id];
+        let class = SemanticClass::from_id(region.class_id).expect("valid class id");
+
+        let area = region.area() as f64;
+        let boundary_length = acc.boundary_len as f64;
+        let interior_count = region.area() - acc.boundary_len;
+        let interior_area = interior_count as f64;
+
+        let mut metrics = Vec::with_capacity(METRIC_COUNT);
+        for heat in 0..3 {
+            let mean_whole = (acc.sum_boundary[heat] + acc.sum_interior[heat]) / area;
+            let mean_boundary = if acc.boundary_len == 0 {
+                0.0
+            } else {
+                acc.sum_boundary[heat] / boundary_length
+            };
+            let mean_interior = if interior_count == 0 {
+                mean_whole
+            } else {
+                acc.sum_interior[heat] / interior_area
+            };
+            metrics.push(mean_whole);
+            metrics.push(mean_boundary);
+            metrics.push(mean_interior);
+        }
+        metrics.push(area);
+        metrics.push(boundary_length);
+        metrics.push(interior_area);
+        metrics.push(if area > 0.0 {
+            interior_area / area
+        } else {
+            0.0
+        });
+        metrics.push(if boundary_length > 0.0 {
+            area / boundary_length
+        } else {
+            area
+        });
+        metrics.push(acc.sum_top1 / area);
+        for channel in 0..NUM_CHANNELS {
+            let sum = acc.sum_class_probs.get(channel).copied().unwrap_or(0.0);
+            metrics.push(sum / area);
+        }
+        debug_assert_eq!(metrics.len(), BASE_METRIC_COUNT + NUM_CHANNELS);
+
+        let iou = gt_components.as_ref().map(|(_, gt_regions)| {
+            if acc.non_void == 0 {
+                return None;
+            }
+            let touched = &overlaps[region.id];
+            if touched.is_empty() {
+                return Some(0.0);
+            }
+            let intersection: usize = touched.values().sum();
+            let union_area: usize = touched.keys().map(|&g| gt_regions[g].area()).sum();
+            let union = region.area() + union_area - intersection;
+            Some(intersection as f64 / union as f64)
+        });
+
+        records.push(SegmentRecord {
+            region_id: region.id,
+            class,
+            area: region.area(),
+            boundary_length: acc.boundary_len,
+            centroid: region.centroid(),
+            metrics,
+            iou: iou.flatten(),
+        });
+    }
+    records
+}

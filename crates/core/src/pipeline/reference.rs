@@ -44,11 +44,11 @@ pub fn naive_segment_metrics(
             continue;
         }
         let class = SemanticClass::from_id(region.class_id).expect("valid class id");
+        let region_pixels: Vec<(usize, usize)> = components.pixels_of(region.id).collect();
         let boundary_pixels = inner_boundary(region, components.labels());
         let interior_pixels: Vec<(usize, usize)> = {
             let boundary_set: PixelSet = boundary_pixels.iter().copied().collect();
-            region
-                .pixels
+            region_pixels
                 .iter()
                 .copied()
                 .filter(|p| !boundary_set.contains(p))
@@ -64,7 +64,7 @@ pub fn naive_segment_metrics(
         // segments without interior the interior aggregate falls back to the
         // segment mean.
         for heat in [&entropy, &margin, &variation] {
-            let mean_all = mean_over(heat, &region.pixels);
+            let mean_all = mean_over(heat, &region_pixels);
             let mean_boundary = mean_over(heat, &boundary_pixels);
             let mean_interior = if interior_pixels.is_empty() {
                 mean_all
@@ -90,8 +90,7 @@ pub fn naive_segment_metrics(
             area
         });
         // Mean maximum softmax probability.
-        let mean_max: f64 = region
-            .pixels
+        let mean_max: f64 = region_pixels
             .iter()
             .map(|&(x, y)| prediction.top2(x, y).0)
             .sum::<f64>()
@@ -100,8 +99,7 @@ pub fn naive_segment_metrics(
         // Mean class probabilities.
         for channel in 0..NUM_CHANNELS {
             let class_of_channel = SemanticClass::from_id(channel as u16).expect("valid channel");
-            let mean_prob: f64 = region
-                .pixels
+            let mean_prob: f64 = region_pixels
                 .iter()
                 .map(|&(x, y)| prediction.prob_at(x, y, class_of_channel))
                 .sum::<f64>()
@@ -114,24 +112,23 @@ pub fn naive_segment_metrics(
         // class that intersect the segment.
         let iou_target = match (&gt_components, ground_truth) {
             (Some(gt_cc), Some(gt_map)) => {
-                let non_void = region
-                    .pixels
+                let non_void = region_pixels
                     .iter()
                     .filter(|&&(x, y)| gt_map.class_at(x, y) != SemanticClass::Void)
                     .count();
                 if non_void == 0 {
                     None
                 } else {
-                    let pred_set: PixelSet = region.pixels.iter().copied().collect();
+                    let pred_set: PixelSet = region_pixels.iter().copied().collect();
                     // Ground-truth components of the same class touching the segment.
                     let mut union_set: PixelSet = PixelSet::new();
                     for gt_region in gt_cc.regions() {
                         if gt_region.class_id != region.class_id {
                             continue;
                         }
-                        let touches = gt_region.pixels.iter().any(|p| pred_set.contains(p));
+                        let touches = gt_cc.pixels_of(gt_region.id).any(|p| pred_set.contains(&p));
                         if touches {
-                            union_set.extend(gt_region.pixels.iter().copied());
+                            union_set.extend(gt_cc.pixels_of(gt_region.id));
                         }
                     }
                     if union_set.is_empty() {

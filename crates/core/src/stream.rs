@@ -32,7 +32,7 @@
 
 use crate::error::MetaSegError;
 use crate::metrics::{MetricsConfig, SegmentRecord, METRIC_COUNT};
-use crate::pipeline::frame_metrics_with_components;
+use crate::pipeline::{extract_frame, ExtractionScratch, ScratchStats};
 use crate::timedyn::TimeDynConfig;
 use metaseg_data::{Frame, LabelMap, SemanticClass};
 use metaseg_learners::MetaPredictor;
@@ -305,6 +305,10 @@ pub struct MetaSegStream {
     tracker: IncrementalTracker,
     windows: TrackWindows,
     predictor: MetaPredictor,
+    /// Per-session extraction scratch: the kernel's planes, labelling state
+    /// and accumulators are reused across every frame this engine serves, so
+    /// steady-state extraction performs no internal heap allocation.
+    scratch: ExtractionScratch,
     frames_seen: usize,
     verdicts_emitted: usize,
     flagged: usize,
@@ -329,6 +333,7 @@ impl MetaSegStream {
             tracker: IncrementalTracker::new(config.tracker),
             windows: TrackWindows::new(series_length),
             predictor,
+            scratch: ExtractionScratch::new(),
             frames_seen: 0,
             verdicts_emitted: 0,
             flagged: 0,
@@ -384,24 +389,29 @@ impl MetaSegStream {
         }
     }
 
+    /// Current capacities of the engine's extraction scratch — constant in
+    /// steady state (the kernel allocates nothing once its buffers have
+    /// grown to the session's working-set size).
+    pub fn scratch_stats(&self) -> ScratchStats {
+        self.scratch.stats()
+    }
+
     /// Consumes the next frame of the stream and returns the online verdicts
     /// of its tracked segments. Only the frame's softmax field is read —
     /// ground truth, if present, is ignored.
     ///
-    /// The frame is labelled exactly once: the Bayes argmax map and its
-    /// connected components are shared between metric extraction and the
-    /// incremental tracker (the engine requires matching connectivities at
-    /// construction, so the two always agree on region ids).
+    /// The frame's channel axis is scanned exactly once (the fused kernel
+    /// derives the Bayes class and every dispersion value in one walk) and
+    /// the frame is labelled exactly once: the connected components are
+    /// shared between metric extraction and the incremental tracker (the
+    /// engine requires matching connectivities at construction, so the two
+    /// always agree on region ids). All kernel buffers come from the
+    /// session's [`ExtractionScratch`].
     pub fn push_frame(&mut self, frame: &Frame) -> FrameVerdicts {
-        let predicted = frame.prediction.argmax_map();
-        let components = predicted.segments(self.config.metrics.connectivity);
-        let records = frame_metrics_with_components(
-            &frame.prediction,
-            &components,
-            None,
-            &self.config.metrics,
-        );
-        let frame_tracks = self.tracker.observe_segments(&components);
+        let metrics_config = self.config.metrics;
+        let (components, records) =
+            extract_frame(&frame.prediction, None, &metrics_config, &mut self.scratch);
+        let frame_tracks = self.tracker.observe_segments(components);
         self.ingest(frame_tracks, &records)
     }
 
@@ -800,6 +810,74 @@ mod tests {
         for (parallel, serial) in parallel_engines.iter().zip(&serial_engines) {
             assert_eq!(parallel.session_stats(), serial.session_stats());
         }
+    }
+
+    /// One engine session (one [`ExtractionScratch`]) fed frames of two
+    /// different shapes produces verdicts identical to the same engine fed
+    /// fresh-scratch extraction results through `push_extracted` — stale
+    /// scratch state never leaks between frames of different extents — and
+    /// the session scratch stops growing once both shapes have been seen.
+    #[test]
+    fn scratch_reuse_across_frame_shapes_matches_fresh_extraction() {
+        use crate::pipeline::{frame_metrics_scratch, ExtractionScratch};
+        let predictor = fitted_predictor(2);
+        let config = StreamConfig::default();
+        // Interleave two camera geometries into one session's frame order.
+        let frames: Vec<Frame> = {
+            let mut small_rng = StdRng::seed_from_u64(90);
+            let small_sim = NetworkSim::new(NetworkProfile::weak());
+            let small: Vec<Frame> =
+                VideoStream::open(&VideoConfig::small(), small_sim, 0, &mut small_rng)
+                    .take(4)
+                    .collect();
+            let mut large_rng = StdRng::seed_from_u64(91);
+            let large_sim = NetworkSim::new(NetworkProfile::weak());
+            let large_config = VideoConfig {
+                scene: metaseg_sim::SceneConfig::cityscapes_like(),
+                ..VideoConfig::small()
+            };
+            let large: Vec<Frame> = VideoStream::open(&large_config, large_sim, 1, &mut large_rng)
+                .take(4)
+                .collect();
+            small
+                .into_iter()
+                .zip(large)
+                .flat_map(|(s, l)| [s, l])
+                .collect()
+        };
+
+        let mut streamed = MetaSegStream::new(config, predictor.clone()).unwrap();
+        let mut manual = MetaSegStream::new(config, predictor).unwrap();
+        for (index, frame) in frames.iter().enumerate() {
+            let session_verdicts = streamed.push_frame(frame);
+            // The control path extracts with a brand-new scratch per frame
+            // and feeds the records through the tracking/window tail.
+            let predicted = frame.prediction.argmax_map();
+            let records = frame_metrics_scratch(
+                &frame.prediction,
+                None,
+                &config.metrics,
+                &mut ExtractionScratch::new(),
+            );
+            let manual_verdicts = manual.push_extracted(&predicted, &records);
+            assert_eq!(
+                session_verdicts, manual_verdicts,
+                "frame {index}: reused session scratch must match fresh-scratch extraction"
+            );
+        }
+        assert_eq!(streamed.session_stats().frames, frames.len());
+        // Steady state: replaying shapes the session has already served
+        // grows no scratch buffer (the verdicts differ — the tracker has
+        // history now — but extraction allocates nothing).
+        let stats_after_first_lap = streamed.scratch_stats();
+        for frame in &frames {
+            streamed.push_frame(frame);
+        }
+        assert_eq!(
+            streamed.scratch_stats(),
+            stats_after_first_lap,
+            "steady-state frames must not allocate session scratch"
+        );
     }
 
     #[test]

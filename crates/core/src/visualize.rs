@@ -43,8 +43,8 @@ pub fn render_segment_values(
             Some(v) => ColorMap::RedGreen.color(*v),
             None => Color::WHITE,
         };
-        if let Some(region) = components.region(record.region_id) {
-            for &(x, y) in &region.pixels {
+        if components.region(record.region_id).is_some() {
+            for (x, y) in components.pixels_of(record.region_id) {
                 image.set(x, y, color);
             }
         }

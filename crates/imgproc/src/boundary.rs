@@ -15,21 +15,21 @@ use crate::grid::Grid;
 /// frame cuts segments off.
 pub fn inner_boundary(region: &Region, labels: &Grid<usize>) -> Vec<(usize, usize)> {
     let mut boundary = Vec::new();
-    for &(x, y) in &region.pixels {
-        let mut is_boundary = false;
-        let (xi, yi) = (x as isize, y as isize);
-        for (dx, dy) in [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)] {
-            match labels.checked_get(xi + dx, yi + dy) {
-                Some(&id) if id == region.id => {}
-                // Out of image or different component: boundary pixel.
-                _ => {
-                    is_boundary = true;
-                    break;
-                }
+    let (x0, y0, x1, y1) = region.bbox;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            if *labels.get(x, y) != region.id {
+                continue;
             }
-        }
-        if is_boundary {
-            boundary.push((x, y));
+            let (xi, yi) = (x as isize, y as isize);
+            let is_boundary = [(-1isize, 0isize), (1, 0), (0, -1), (0, 1)]
+                .iter()
+                .any(|&(dx, dy)| {
+                    !matches!(labels.checked_get(xi + dx, yi + dy), Some(&id) if id == region.id)
+                });
+            if is_boundary {
+                boundary.push((x, y));
+            }
         }
     }
     boundary
@@ -53,9 +53,12 @@ pub fn boundary_mask(region: &Region, labels: &Grid<usize>) -> Grid<bool> {
 pub fn interior_mask(region: &Region, labels: &Grid<usize>) -> Grid<bool> {
     let boundary = boundary_mask(region, labels);
     let mut mask = Grid::filled(labels.width(), labels.height(), false);
-    for &(x, y) in &region.pixels {
-        if !*boundary.get(x, y) {
-            mask.set(x, y, true);
+    let (x0, y0, x1, y1) = region.bbox;
+    for y in y0..=y1 {
+        for x in x0..=x1 {
+            if *labels.get(x, y) == region.id && !*boundary.get(x, y) {
+                mask.set(x, y, true);
+            }
         }
     }
     mask

@@ -18,31 +18,37 @@ pub enum Connectivity {
 }
 
 /// A single connected component (segment) extracted from a label map.
+///
+/// A region is a compact summary — id, class, area, bounding box and
+/// centroid sums folded during the labelling pass. The member pixels are
+/// *not* materialised (that used to cost 16 bytes of traffic per pixel on
+/// the extraction hot path); consumers that need them iterate
+/// [`ComponentLabels::pixels_of`], which scans the bounding box of the
+/// component in the label grid.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Region {
     /// Component id, dense in `0..component_count`.
     pub id: usize,
     /// The label value shared by all pixels of this component.
     pub class_id: u16,
-    /// All member pixels as `(x, y)` coordinates.
-    pub pixels: Vec<(usize, usize)>,
     /// Axis-aligned bounding box `(min_x, min_y, max_x, max_y)` (inclusive).
     pub bbox: (usize, usize, usize, usize),
+    /// Number of member pixels.
+    area: usize,
+    /// Σ x and Σ y over the member pixels, folded in labelling order.
+    centroid_sum: (f64, f64),
 }
 
 impl Region {
     /// Number of pixels of the component (its "size" `S` in the paper).
     pub fn area(&self) -> usize {
-        self.pixels.len()
+        self.area
     }
 
     /// Centroid of the component in pixel coordinates.
     pub fn centroid(&self) -> (f64, f64) {
-        let n = self.pixels.len() as f64;
-        let (sx, sy) = self.pixels.iter().fold((0.0, 0.0), |(sx, sy), &(x, y)| {
-            (sx + x as f64, sy + y as f64)
-        });
-        (sx / n, sy / n)
+        let n = self.area as f64;
+        (self.centroid_sum.0 / n, self.centroid_sum.1 / n)
     }
 
     /// Width and height of the bounding box.
@@ -92,6 +98,35 @@ impl ComponentLabels {
         &self.labels
     }
 
+    /// Iterates the member pixels of component `id` in row-major order by
+    /// scanning the component's bounding box in the label grid.
+    ///
+    /// This replaces the per-region pixel list that regions used to
+    /// materialise: the label grid already knows every membership, so the
+    /// few consumers that genuinely need coordinates (tracking, rendering,
+    /// the differential-test oracles) re-derive them here instead of every
+    /// labelling pass paying to store them. Unknown ids yield an empty
+    /// iterator.
+    ///
+    /// Cost is `O(bbox area)`, not `O(segment area)`: a thin diagonal
+    /// component of `n` pixels scans an `n × n` box. For compact segments
+    /// the two coincide; callers iterating *every* region of a frame with
+    /// many elongated segments should prefer one row-major walk of
+    /// [`ComponentLabels::labels`], which buckets all regions in
+    /// `O(pixels)` total.
+    pub fn pixels_of(&self, id: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        // An inverted dummy box makes the row range empty for unknown ids.
+        let (x0, y0, x1, y1) = self
+            .regions
+            .get(id)
+            .map(|region| region.bbox)
+            .unwrap_or((1, 1, 0, 0));
+        let labels = &self.labels;
+        (y0..=y1).flat_map(move |y| {
+            (x0..=x1).filter_map(move |x| (*labels.get(x, y) == id).then_some((x, y)))
+        })
+    }
+
     /// Consumes the labelling and returns `(label grid, regions)`.
     pub fn into_parts(self) -> (Grid<usize>, Vec<Region>) {
         (self.labels, self.regions)
@@ -117,52 +152,141 @@ impl ComponentLabels {
 /// assert_ne!(cc.component_of(0, 1), cc.component_of(2, 0));
 /// ```
 pub fn connected_components(map: &Grid<u16>, connectivity: Connectivity) -> ComponentLabels {
-    let (width, height) = map.shape();
-    let mut labels = Grid::filled(width, height, UNASSIGNED);
-    let mut regions: Vec<Region> = Vec::new();
-    let mut stack: Vec<(usize, usize)> = Vec::new();
+    let mut labeler = Labeler::new();
+    labeler.label(map, connectivity);
+    labeler
+        .take()
+        .expect("label() always leaves a result behind")
+}
 
-    for y in 0..height {
-        for x in 0..width {
-            if *labels.get(x, y) != UNASSIGNED {
-                continue;
-            }
-            let class_id = *map.get(x, y);
-            let id = regions.len();
-            let mut pixels = Vec::new();
-            let (mut min_x, mut min_y, mut max_x, mut max_y) = (x, y, x, y);
+/// Reusable connected-component labelling state.
+///
+/// [`connected_components`] allocates a fresh label grid, region vector and
+/// flood-fill stack per call. A `Labeler` owns all three and reuses them
+/// across calls, so a per-session (or per-thread) instance labels frame
+/// after frame without touching the allocator once its buffers have grown
+/// to the working-set size — the labelling half of the extraction kernel's
+/// zero-allocation steady state.
+#[derive(Debug, Clone, Default)]
+pub struct Labeler {
+    /// The labelling of the most recent `label` call, kept for buffer reuse.
+    result: Option<ComponentLabels>,
+    /// Flood-fill stack, reused across components and calls.
+    stack: Vec<(usize, usize)>,
+}
 
-            stack.push((x, y));
-            labels.set(x, y, id);
-            while let Some((cx, cy)) = stack.pop() {
-                pixels.push((cx, cy));
-                min_x = min_x.min(cx);
-                min_y = min_y.min(cy);
-                max_x = max_x.max(cx);
-                max_y = max_y.max(cy);
-
-                let neighbors = match connectivity {
-                    Connectivity::Four => map.neighbors4(cx, cy),
-                    Connectivity::Eight => map.neighbors8(cx, cy),
-                };
-                for (nx, ny) in neighbors {
-                    if *labels.get(nx, ny) == UNASSIGNED && *map.get(nx, ny) == class_id {
-                        labels.set(nx, ny, id);
-                        stack.push((nx, ny));
-                    }
-                }
-            }
-
-            regions.push(Region {
-                id,
-                class_id,
-                pixels,
-                bbox: (min_x, min_y, max_x, max_y),
-            });
-        }
+impl Labeler {
+    /// Creates an empty labeler. Buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    ComponentLabels { labels, regions }
+    /// Labels the connected components of `map`, reusing the buffers of any
+    /// previous call. Semantics are identical to [`connected_components`]
+    /// (same ids, same region order, same centroid fold order).
+    pub fn label(&mut self, map: &Grid<u16>, connectivity: Connectivity) -> &ComponentLabels {
+        let (width, height) = map.shape();
+        let (mut labels, mut regions) = match self.result.take() {
+            Some(previous) => previous.into_parts(),
+            None => (Grid::filled(width, height, UNASSIGNED), Vec::new()),
+        };
+        labels.reset(width, height, UNASSIGNED);
+        regions.clear();
+        let map_slice = map.as_slice();
+
+        for start_y in 0..height {
+            for start_x in 0..width {
+                if *labels.get(start_x, start_y) != UNASSIGNED {
+                    continue;
+                }
+                let class_id = map_slice[start_y * width + start_x];
+                let id = regions.len();
+                let mut area = 0usize;
+                let (mut sum_x, mut sum_y) = (0.0f64, 0.0f64);
+                let (mut min_x, mut min_y, mut max_x, mut max_y) =
+                    (start_x, start_y, start_x, start_y);
+
+                self.stack.push((start_x, start_y));
+                labels.set(start_x, start_y, id);
+                while let Some((cx, cy)) = self.stack.pop() {
+                    // Fold the per-region summary exactly where the pixel
+                    // list used to record the pixel, so the centroid sums
+                    // see the same addition order as the historical
+                    // pixel-vector fold (bit-identical centroids).
+                    area += 1;
+                    sum_x += cx as f64;
+                    sum_y += cy as f64;
+                    min_x = min_x.min(cx);
+                    min_y = min_y.min(cy);
+                    max_x = max_x.max(cx);
+                    max_y = max_y.max(cy);
+
+                    // Neighbour visit order matches `Grid::neighbors4` /
+                    // `Grid::neighbors8` (row above, own row, row below; left
+                    // to right), without materialising a vector per pixel.
+                    let mut visit = |nx: usize, ny: usize| {
+                        if *labels.get(nx, ny) == UNASSIGNED
+                            && map_slice[ny * width + nx] == class_id
+                        {
+                            labels.set(nx, ny, id);
+                            self.stack.push((nx, ny));
+                        }
+                    };
+                    match connectivity {
+                        Connectivity::Four => {
+                            if cx > 0 {
+                                visit(cx - 1, cy);
+                            }
+                            if cx + 1 < width {
+                                visit(cx + 1, cy);
+                            }
+                            if cy > 0 {
+                                visit(cx, cy - 1);
+                            }
+                            if cy + 1 < height {
+                                visit(cx, cy + 1);
+                            }
+                        }
+                        Connectivity::Eight => {
+                            let x_lo = cx.saturating_sub(1);
+                            let x_hi = (cx + 1).min(width - 1);
+                            let y_lo = cy.saturating_sub(1);
+                            let y_hi = (cy + 1).min(height - 1);
+                            for ny in y_lo..=y_hi {
+                                for nx in x_lo..=x_hi {
+                                    if nx != cx || ny != cy {
+                                        visit(nx, ny);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                regions.push(Region {
+                    id,
+                    class_id,
+                    bbox: (min_x, min_y, max_x, max_y),
+                    area,
+                    centroid_sum: (sum_x, sum_y),
+                });
+            }
+        }
+
+        self.result = Some(ComponentLabels { labels, regions });
+        self.result.as_ref().expect("stored just above")
+    }
+
+    /// The labelling of the most recent [`Labeler::label`] call, if any.
+    pub fn components(&self) -> Option<&ComponentLabels> {
+        self.result.as_ref()
+    }
+
+    /// Consumes the most recent labelling (the labeler stays usable and
+    /// simply re-grows its buffers on the next call).
+    pub fn take(&mut self) -> Option<ComponentLabels> {
+        self.result.take()
+    }
 }
 
 #[cfg(test)]
@@ -236,13 +360,18 @@ mod tests {
                 let cc = connected_components(&g, connectivity);
                 let total: usize = cc.regions().iter().map(Region::area).sum();
                 prop_assert_eq!(total, w * h);
-                // Every pixel's component id agrees with the region that lists it.
+                // Every pixel's component id agrees with the region that
+                // claims it, and pixels_of covers exactly the region's area.
                 for region in cc.regions() {
-                    for &(x, y) in &region.pixels {
+                    let mut seen = 0usize;
+                    for (x, y) in cc.pixels_of(region.id) {
                         prop_assert_eq!(cc.component_of(x, y), region.id);
                         prop_assert_eq!(*g.get(x, y), region.class_id);
+                        seen += 1;
                     }
+                    prop_assert_eq!(seen, region.area());
                 }
+                prop_assert_eq!(cc.pixels_of(cc.component_count()).count(), 0);
             }
         }
 

@@ -197,6 +197,25 @@ impl<T> Grid<T> {
         self.data[idx] = value;
     }
 
+    /// Reshapes the grid in place to `width` x `height`, filling every pixel
+    /// with `value`. The backing buffer is reused, so a grid that is reset
+    /// frame after frame (e.g. the extraction kernel's scratch planes)
+    /// allocates only when a new shape exceeds every shape seen before.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `height` is zero.
+    pub fn reset(&mut self, width: usize, height: usize, value: T)
+    where
+        T: Clone,
+    {
+        assert!(width > 0 && height > 0, "grid dimensions must be non-zero");
+        self.width = width;
+        self.height = height;
+        self.data.clear();
+        self.data.resize(width * height, value);
+    }
+
     /// Flat row-major view of the grid contents.
     pub fn as_slice(&self) -> &[T] {
         &self.data

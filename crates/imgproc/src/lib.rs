@@ -45,7 +45,7 @@ mod render;
 mod resize;
 
 pub use boundary::{boundary_length, boundary_mask, inner_boundary, interior_mask};
-pub use components::{connected_components, ComponentLabels, Connectivity, Region};
+pub use components::{connected_components, ComponentLabels, Connectivity, Labeler, Region};
 pub use error::GridError;
 pub use grid::Grid;
 pub use iou::{iou, iou_adjusted, mask_intersection, mask_union, PixelSet};

@@ -65,41 +65,48 @@ pub fn segment_precision_recall(
     );
     let mut scores = SegmentScores::default();
 
+    // Per-region counts in one row-major walk of each label grid (bounding
+    // box scans per region would re-read overlapping boxes many times).
     // Precision per predicted segment of the class.
     let predicted_components = prediction.segments(Connectivity::Eight);
+    let mut valid = vec![0usize; predicted_components.component_count()];
+    let mut correct = vec![0usize; predicted_components.component_count()];
+    for ((x, y), &id) in predicted_components.labels().iter_pixels() {
+        let gt = ground_truth.class_at(x, y);
+        if gt == SemanticClass::Void {
+            continue;
+        }
+        valid[id] += 1;
+        if gt == class {
+            correct[id] += 1;
+        }
+    }
     for region in predicted_components.regions() {
         if region.class_id != class.id() {
             continue;
         }
-        let mut valid = 0usize;
-        let mut correct = 0usize;
-        for &(x, y) in &region.pixels {
-            let gt = ground_truth.class_at(x, y);
-            if gt == SemanticClass::Void {
-                continue;
-            }
-            valid += 1;
-            if gt == class {
-                correct += 1;
-            }
-        }
-        if valid > 0 {
-            scores.precision.push(correct as f64 / valid as f64);
+        if valid[region.id] > 0 {
+            scores
+                .precision
+                .push(correct[region.id] as f64 / valid[region.id] as f64);
         }
     }
 
     // Recall per ground-truth segment of the class.
     let gt_components = ground_truth.segments(Connectivity::Eight);
+    let mut covered = vec![0usize; gt_components.component_count()];
+    for ((x, y), &id) in gt_components.labels().iter_pixels() {
+        if prediction.class_at(x, y) == class {
+            covered[id] += 1;
+        }
+    }
     for region in gt_components.regions() {
         if region.class_id != class.id() {
             continue;
         }
-        let covered = region
-            .pixels
-            .iter()
-            .filter(|&&(x, y)| prediction.class_at(x, y) == class)
-            .count();
-        scores.recall.push(covered as f64 / region.area() as f64);
+        scores
+            .recall
+            .push(covered[region.id] as f64 / region.area() as f64);
     }
 
     scores

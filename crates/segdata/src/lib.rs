@@ -36,4 +36,4 @@ pub use dataset::{Dataset, Sequence, SplitRatios};
 pub use error::DataError;
 pub use frame::{Frame, FrameId};
 pub use labelmap::LabelMap;
-pub use probmap::{ProbEncoding, ProbMap, ProbPayload};
+pub use probmap::{DistributionScan, ProbEncoding, ProbMap, ProbPayload};

@@ -9,6 +9,111 @@ use serde::{Deserialize, Serialize};
 /// Tolerance when validating that probability vectors sum to one.
 const DISTRIBUTION_TOLERANCE: f64 = 1e-6;
 
+/// Everything the extraction kernel needs from one pixel's softmax
+/// distribution, computed in a single fused scan of the channel axis.
+///
+/// The scan visits each probability exactly once and derives the argmax
+/// channel, the two largest values and the un-normalised Shannon entropy
+/// simultaneously. [`ProbMap::argmax_channel`], [`ProbMap::top2`] and the
+/// dispersion accessors are all routed through it, so there is exactly one
+/// definition of the tie-breaking ("first maximum wins") and of the entropy
+/// summation order in the codebase — and the hot extraction kernel reads
+/// each pixel's channel vector once instead of re-walking it per measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionScan {
+    /// Channel of the largest probability; ties resolve to the lowest
+    /// channel index (the first maximum encountered wins).
+    pub argmax: usize,
+    /// Largest probability.
+    pub top1: f64,
+    /// Second largest probability (`0.0` for single-channel distributions).
+    pub top2: f64,
+    /// Un-normalised entropy `Σ -p ln p` over the positive entries, summed
+    /// in channel order.
+    pub raw_entropy: f64,
+}
+
+impl DistributionScan {
+    /// Scans a probability vector once.
+    ///
+    /// The float operations and their order are bit-identical to the
+    /// historical per-measure accessors: entropy terms accumulate in
+    /// channel order over entries `> 0` (an entry of exactly `1.0`
+    /// contributes `-0.0`, which never changes the sum and is skipped), and
+    /// the top-2 search keeps the first maximum, matching `argmax`.
+    #[inline]
+    pub fn of(dist: &[f64]) -> Self {
+        let mut argmax = 0usize;
+        let mut first = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        let mut raw_entropy = 0.0f64;
+        // Softmax fields are value-sparse: most channels of a pixel share a
+        // handful of distinct probabilities (a flat "noise floor" plus a few
+        // peaks — and lossy wire encodings quantise onto a shared grid). A
+        // two-entry memo keyed on the exact bit pattern reuses the entropy
+        // term of repeated values; `ln` is deterministic per bit pattern, so
+        // the accumulated sum is bit-identical to recomputing every term.
+        let mut memo_bits = [u64::MAX; 2];
+        let mut memo_term = [0.0f64; 2];
+        for (channel, &p) in dist.iter().enumerate() {
+            if p > 0.0 && p != 1.0 {
+                let bits = p.to_bits();
+                let term = if memo_bits[0] == bits {
+                    memo_term[0]
+                } else if memo_bits[1] == bits {
+                    // Promote: keep the two most recent distinct values.
+                    memo_bits.swap(0, 1);
+                    memo_term.swap(0, 1);
+                    memo_term[0]
+                } else {
+                    let term = -p * p.ln();
+                    memo_bits[1] = memo_bits[0];
+                    memo_term[1] = memo_term[0];
+                    memo_bits[0] = bits;
+                    memo_term[0] = term;
+                    term
+                };
+                raw_entropy += term;
+            }
+            if p > first {
+                second = first;
+                first = p;
+                argmax = channel;
+            } else if p > second {
+                second = p;
+            }
+        }
+        if dist.len() == 1 {
+            second = 0.0;
+        }
+        Self {
+            argmax,
+            top1: first,
+            top2: second,
+            raw_entropy,
+        }
+    }
+
+    /// Normalised Shannon entropy `E_z ∈ [0, 1]` for a `num_classes`-way
+    /// distribution.
+    #[inline]
+    pub fn entropy(&self, num_classes: usize) -> f64 {
+        (self.raw_entropy / (num_classes as f64).ln()).clamp(0.0, 1.0)
+    }
+
+    /// Probability margin `D_z = 1 - (p_(1) - p_(2)) ∈ [0, 1]`.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        (1.0 - (self.top1 - self.top2)).clamp(0.0, 1.0)
+    }
+
+    /// Variation ratio `V_z = 1 - p_(1) ∈ [0, 1]`.
+    #[inline]
+    pub fn variation_ratio(&self) -> f64 {
+        (1.0 - self.top1).clamp(0.0, 1.0)
+    }
+}
+
 /// A dense per-pixel softmax field `f_z(y | x, w)`.
 ///
 /// For every pixel `z` the map stores one probability per *evaluated*
@@ -163,19 +268,34 @@ impl ProbMap {
         self.data[off..off + self.num_classes].copy_from_slice(probs);
     }
 
+    /// Scans the distribution at `(x, y)` once, yielding argmax, top-2 and
+    /// entropy simultaneously — the per-pixel primitive of the extraction
+    /// kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(x, y)` is outside the field.
+    pub fn scan_at(&self, x: usize, y: usize) -> DistributionScan {
+        DistributionScan::of(self.distribution(x, y))
+    }
+
+    /// Iterates the per-pixel probability vectors in storage (row-major,
+    /// pixel-major) order. This is the linear access path of the fused
+    /// extraction scan: no per-pixel offset arithmetic or bounds checks.
+    pub fn distributions(&self) -> impl ExactSizeIterator<Item = &[f64]> {
+        self.data.chunks_exact(self.num_classes)
+    }
+
+    /// The flat backing buffer in storage order
+    /// (`data[(y * width + x) * num_classes + c]`).
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
     /// Index of the most probable channel at `(x, y)` (ties resolve to the
     /// lowest class id, matching `argmax`).
     pub fn argmax_channel(&self, x: usize, y: usize) -> usize {
-        let dist = self.distribution(x, y);
-        let mut best = 0usize;
-        let mut best_p = dist[0];
-        for (i, &p) in dist.iter().enumerate().skip(1) {
-            if p > best_p {
-                best = i;
-                best_p = p;
-            }
-        }
-        best
+        self.scan_at(x, y).argmax
     }
 
     /// The maximum a-posteriori (Bayes) class at `(x, y)`.
@@ -191,43 +311,25 @@ impl ProbMap {
 
     /// Largest and second largest probability at `(x, y)`.
     pub fn top2(&self, x: usize, y: usize) -> (f64, f64) {
-        let dist = self.distribution(x, y);
-        let mut first = f64::NEG_INFINITY;
-        let mut second = f64::NEG_INFINITY;
-        for &p in dist {
-            if p > first {
-                second = first;
-                first = p;
-            } else if p > second {
-                second = p;
-            }
-        }
-        if dist.len() == 1 {
-            second = 0.0;
-        }
-        (first, second)
+        let scan = self.scan_at(x, y);
+        (scan.top1, scan.top2)
     }
 
     /// Normalised Shannon entropy at `(x, y)`:
     /// `E_z = -1/log(q) * Σ_y f_z(y) log f_z(y)` ∈ [0, 1].
     pub fn entropy_at(&self, x: usize, y: usize) -> f64 {
-        let dist = self.distribution(x, y);
-        let q = dist.len() as f64;
-        let raw: f64 = dist.iter().filter(|p| **p > 0.0).map(|p| -p * p.ln()).sum();
-        (raw / q.ln()).clamp(0.0, 1.0)
+        self.scan_at(x, y).entropy(self.num_classes)
     }
 
     /// Probability margin at `(x, y)`: `D_z = 1 - (p_(1) - p_(2))` ∈ [0, 1],
     /// large when the two best classes compete.
     pub fn margin_at(&self, x: usize, y: usize) -> f64 {
-        let (first, second) = self.top2(x, y);
-        (1.0 - (first - second)).clamp(0.0, 1.0)
+        self.scan_at(x, y).margin()
     }
 
     /// Variation ratio at `(x, y)`: `V_z = 1 - p_(1)` ∈ [0, 1].
     pub fn variation_ratio_at(&self, x: usize, y: usize) -> f64 {
-        let (first, _) = self.top2(x, y);
-        (1.0 - first).clamp(0.0, 1.0)
+        self.scan_at(x, y).variation_ratio()
     }
 
     /// Dense normalised-entropy heat map.
@@ -599,6 +701,71 @@ mod tests {
         assert!((second - 0.25).abs() < 1e-12);
         assert!((map.margin_at(0, 0) - (1.0 - 0.35)).abs() < 1e-12);
         assert!((map.variation_ratio_at(0, 0) - 0.4).abs() < 1e-12);
+    }
+
+    /// Pins the tie-breaking of the fused scan exactly: with duplicated
+    /// maxima the *first* maximum wins the argmax, and the second-largest
+    /// value equals the maximum (the duplicate). This is the historical
+    /// behaviour of the separate `argmax_channel` / `top2` loops, which are
+    /// now both routed through [`DistributionScan`].
+    #[test]
+    fn fused_scan_tie_breaking_first_max_wins() {
+        let mut map = ProbMap::uniform(1, 1, 4);
+        map.set_distribution(0, 0, &[0.1, 0.4, 0.4, 0.1]).unwrap();
+        assert_eq!(map.argmax_channel(0, 0), 1, "first maximum must win");
+        let (first, second) = map.top2(0, 0);
+        assert_eq!((first, second), (0.4, 0.4));
+        assert!((map.margin_at(0, 0) - 1.0).abs() < 1e-15);
+
+        // All-equal distribution: argmax is channel 0, top2 both maxima.
+        let uniform = ProbMap::uniform(1, 1, 5);
+        assert_eq!(uniform.argmax_channel(0, 0), 0);
+        let (first, second) = uniform.top2(0, 0);
+        assert_eq!(first, second);
+
+        // Single-channel distribution: second is defined as 0.
+        let single = ProbMap::uniform(1, 1, 1);
+        assert_eq!(single.top2(0, 0), (1.0, 0.0));
+        assert_eq!(single.argmax_channel(0, 0), 0);
+    }
+
+    /// The fused scan agrees with independent per-measure recomputation on
+    /// random distributions (including the entropy summation order and the
+    /// skip of exact-one entries, which contribute `-0.0`).
+    #[test]
+    fn fused_scan_matches_per_measure_definitions() {
+        let dists: [&[f64]; 4] = [
+            &[0.25, 0.5, 0.25],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.2, 0.2, 0.2, 0.2, 0.2],
+        ];
+        for dist in dists {
+            let scan = DistributionScan::of(dist);
+            // Fold from +0.0 in channel order — the accumulation the
+            // extraction kernel has always used (`Iterator::sum` would start
+            // from -0.0 and flip the sign of all-zero sums).
+            let naive_raw: f64 = dist
+                .iter()
+                .filter(|p| **p > 0.0)
+                .map(|p| -p * p.ln())
+                .fold(0.0, |acc, term| acc + term);
+            assert_eq!(scan.raw_entropy.to_bits(), naive_raw.to_bits());
+            let naive_max = dist.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(scan.top1, naive_max);
+            assert_eq!(dist[scan.argmax], naive_max);
+        }
+    }
+
+    #[test]
+    fn distributions_iterate_in_storage_order() {
+        let mut map = ProbMap::uniform(2, 2, 3);
+        map.set_distribution(1, 0, &[0.5, 0.25, 0.25]).unwrap();
+        let rows: Vec<&[f64]> = map.distributions().collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1], map.distribution(1, 0));
+        assert_eq!(map.values().len(), 2 * 2 * 3);
+        assert_eq!(&map.values()[3..6], map.distribution(1, 0));
     }
 
     #[test]

@@ -318,7 +318,7 @@ impl NetworkSim {
                 .filter(|(_, &c)| c > 0)
                 .map(|(i, _)| SemanticClass::from_id(i as u16).expect("valid id"))
                 .unwrap_or_else(|| self.fallback_class());
-            for &(x, y) in &region.pixels {
+            for (x, y) in segments.pixels_of(region.id) {
                 intended.set(x, y, fill);
                 missed.push((x, y, class));
             }

@@ -215,6 +215,36 @@ impl IncrementalTracker {
         });
         let mut claimed: Vec<bool> = vec![false; self.active.len()];
 
+        // Bucket the pixels of every matchable region in one row-major walk
+        // of the label grid — O(pixels) total, where per-region
+        // `pixels_of` bounding-box scans would cost O(Σ bbox areas).
+        let matchable: Vec<bool> = components
+            .regions()
+            .iter()
+            .map(|region| {
+                SemanticClass::from_id(region.class_id)
+                    .map(|class| class.is_evaluated())
+                    .unwrap_or(false)
+                    && region.area() >= self.config.min_segment_area
+            })
+            .collect();
+        let mut pixel_sets: Vec<PixelSet> = components
+            .regions()
+            .iter()
+            .map(|region| {
+                if matchable[region.id] {
+                    PixelSet::with_capacity(region.area())
+                } else {
+                    PixelSet::new()
+                }
+            })
+            .collect();
+        for ((x, y), &id) in components.labels().iter_pixels() {
+            if matchable[id] {
+                pixel_sets[id].insert((x, y));
+            }
+        }
+
         for region_id in region_order {
             let region = components
                 .region(region_id)
@@ -223,7 +253,7 @@ impl IncrementalTracker {
             if !class.is_evaluated() || region.area() < self.config.min_segment_area {
                 continue;
             }
-            let pixels: PixelSet = region.pixels.iter().copied().collect();
+            let pixels: PixelSet = std::mem::take(&mut pixel_sets[region_id]);
             let centroid = region.centroid();
 
             // Find the best matching existing track of the same class.
@@ -521,7 +551,7 @@ mod tests {
                 if !class.is_evaluated() || region.area() < config.min_segment_area {
                     continue;
                 }
-                let pixels: PixelSet = region.pixels.iter().copied().collect();
+                let pixels: PixelSet = components.pixels_of(region_id).collect();
                 let centroid = region.centroid();
                 let mut best: Option<(usize, f64)> = None;
                 for (track_idx, track) in tracks.iter().enumerate() {

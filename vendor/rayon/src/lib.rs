@@ -10,7 +10,32 @@
 
 #![forbid(unsafe_code)]
 
+use std::cell::Cell;
 use std::ops::Range;
+
+thread_local! {
+    /// Index of the worker chunk this thread is processing, when the thread
+    /// was spawned by one of the parallel operations below.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Index of the current thread within the pool, or `None` when called from
+/// outside a parallel operation — mirroring `rayon::current_thread_index`.
+/// Lets nested code detect that it is already running on a worker (e.g. to
+/// avoid spawning a second layer of threads over the same cores).
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|index| index.get())
+}
+
+/// Runs `f` with the thread marked as pool worker `index`.
+fn as_worker<R>(index: usize, f: impl FnOnce() -> R) -> R {
+    WORKER_INDEX.with(|slot| {
+        let previous = slot.replace(Some(index));
+        let result = f();
+        slot.set(previous);
+        result
+    })
+}
 
 pub mod prelude {
     //! The commonly imported surface, mirroring `rayon::prelude`.
@@ -43,10 +68,14 @@ where
     }
     let chunk_len = items.len().div_ceil(workers);
     let mut out: Vec<R> = Vec::with_capacity(items.len());
+    let f = &f;
     std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(|| chunk.iter().map(&f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(index, chunk)| {
+                scope.spawn(move || as_worker(index, || chunk.iter().map(f).collect::<Vec<R>>()))
+            })
             .collect();
         for handle in handles {
             out.extend(handle.join().expect("parallel worker panicked"));
@@ -107,7 +136,12 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(index, chunk)| {
+                scope.spawn(move || {
+                    as_worker(index, || chunk.into_iter().map(f).collect::<Vec<R>>())
+                })
+            })
             .collect();
         for handle in handles {
             out.extend(handle.join().expect("parallel worker panicked"));
@@ -297,6 +331,20 @@ mod tests {
         let empty: Vec<String> = Vec::new();
         let out: Vec<usize> = empty.into_par_iter().map(|s| s.len()).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_index_visible_inside_parallel_ops_only() {
+        assert_eq!(current_thread_index(), None);
+        let items: Vec<usize> = (0..64).collect();
+        let indices: Vec<Option<usize>> =
+            items.par_iter().map(|_| current_thread_index()).collect();
+        // Multi-worker runs mark every element; single-threaded fallbacks
+        // run inline and legitimately report None.
+        if current_num_threads() > 1 {
+            assert!(indices.iter().all(|i| i.is_some()));
+        }
+        assert_eq!(current_thread_index(), None);
     }
 
     #[test]
