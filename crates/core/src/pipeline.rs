@@ -74,10 +74,14 @@ pub mod baseline;
 pub mod reference;
 
 use crate::metrics::{MetricsConfig, SegmentRecord, BASE_METRIC_COUNT, METRIC_COUNT, NUM_CHANNELS};
-use metaseg_data::{DistributionScan, Frame, LabelMap, ProbMap, SemanticClass};
+use metaseg_data::{
+    fast_ln_positive_f32, DataError, DistributionScan, DistributionScanF32, Frame, LabelMap,
+    ProbMap, ProbPayload, SemanticClass,
+};
 use metaseg_imgproc::{ComponentLabels, Grid, Labeler};
 use rayon::prelude::*;
 use std::cell::RefCell;
+use std::sync::OnceLock;
 
 /// Minimum pixels per band: frames below `2 * MIN_BAND_PIXELS` stay serial,
 /// so the test/golden scenes (and any sub-VGA frame) are bit-stable across
@@ -181,14 +185,15 @@ pub struct ScratchStats {
 
 /// Reusable working memory of the extraction kernel.
 ///
-/// Owns every internal buffer: dispersion planes, argmax grid, labelers for
-/// predicted and ground-truth components, per-band accumulators, the flat
-/// class-probability matrix and the overlap runs. One scratch serves frames
-/// of *any* shape — buffers are sized per frame and only grow when a frame
-/// exceeds every shape seen before, so a session that streams a fixed camera
-/// reaches zero kernel allocations after the first frame. Stale state can
-/// never leak between frames: every buffer is re-initialised to the current
-/// frame's exact extent before use (pinned by the scratch-reuse tests).
+/// Owns every internal buffer: the wire-payload ingest planes, dispersion
+/// planes, argmax grid, labelers for predicted and ground-truth components,
+/// per-band accumulators, the flat class-probability matrix and the overlap
+/// runs. One scratch serves frames of *any* shape — buffers are sized per
+/// frame and only grow when a frame exceeds every shape seen before, so a
+/// session that streams a fixed camera reaches zero kernel allocations after
+/// the first frame. Stale state can never leak between frames: every buffer
+/// is re-initialised to the current frame's exact extent before use (pinned
+/// by the scratch-reuse tests).
 ///
 /// Ownership rules: [`crate::stream::MetaSegStream`] owns one scratch per
 /// session; the batch entry points ([`frame_metrics`], [`FrameBatch`])
@@ -196,24 +201,111 @@ pub struct ScratchStats {
 /// one wherever a frame loop lives.
 #[derive(Debug, Clone, Default)]
 pub struct ExtractionScratch {
+    /// Wire-payload ingest buffers (disjoint from the kernel state so the
+    /// kernel can borrow the decoded plane while mutating everything else).
+    ingest: IngestScratch,
+    /// The kernel's own working buffers.
+    kernel: KernelScratch,
+}
+
+/// Decoded-payload planes of the zero-copy ingest path: wire bytes
+/// dequantize straight into these reusable buffers, never through an owned
+/// [`ProbMap`].
+#[derive(Debug, Clone, Default)]
+struct IngestScratch {
+    /// Dequantized values of the double-precision (exact) path.
+    decoded_f64: Vec<f64>,
+    /// Dequantized values of the single-precision fast path (float-encoded
+    /// payloads only — quantized payloads are scanned in place, straight
+    /// out of the wire buffer, and need no ingest plane at all).
+    decoded_f32: Vec<f32>,
+}
+
+/// Every buffer the kernel itself mutates while a decoded plane is borrowed.
+#[derive(Debug, Clone, Default)]
+struct KernelScratch {
     /// Per-pixel Bayes class ids (the fused scan's argmax plane).
     argmax: Option<Grid<u16>>,
-    /// Per-pixel normalised entropy.
-    entropy: Vec<f64>,
-    /// Per-pixel probability margin.
-    margin: Vec<f64>,
-    /// Per-pixel variation ratio.
-    variation: Vec<f64>,
-    /// Per-pixel maximum softmax probability.
-    top1: Vec<f64>,
+    /// Dispersion planes of the exact f64 scan.
+    planes: MetricPlanes<f64>,
+    /// Dispersion planes of the f32 fast path: the scan's `f32` results are
+    /// stored as-is and widen (exactly) at the fold read, so the fast path
+    /// moves half the plane bytes of the exact path.
+    planes32: MetricPlanes<f32>,
     /// Labeling state for predicted components.
     labeler: Labeler,
     /// Labeling state for ground-truth components.
     gt_labeler: Labeler,
     /// Per-band fold state.
     bands: Vec<BandState>,
+    /// Per-band channel-major tiles of the f32 tiled scan layout.
+    tiles: Vec<Vec<f32>>,
     /// Merged, sorted, aggregated overlap runs.
     merged_runs: Vec<OverlapRun>,
+}
+
+/// The per-pixel dispersion planes at one storage precision (see
+/// [`PlaneValue`]): the fused scan's outputs, consumed once by the fold.
+#[derive(Debug, Clone, Default)]
+struct MetricPlanes<P> {
+    /// Per-pixel normalised entropy.
+    entropy: Vec<P>,
+    /// Per-pixel probability margin.
+    margin: Vec<P>,
+    /// Per-pixel variation ratio.
+    variation: Vec<P>,
+    /// Per-pixel maximum softmax probability.
+    top1: Vec<P>,
+}
+
+impl<P: PlaneValue> MetricPlanes<P> {
+    /// Grow-only resize: the scan overwrites every index below `pixels`, so
+    /// tails left over from larger frames are never read and per-frame
+    /// re-zeroing (pure write bandwidth) is skipped.
+    fn ensure(&mut self, pixels: usize) {
+        if self.entropy.len() < pixels {
+            self.entropy.resize(pixels, P::default());
+            self.margin.resize(pixels, P::default());
+            self.variation.resize(pixels, P::default());
+            self.top1.resize(pixels, P::default());
+        }
+    }
+}
+
+/// Storage precision of the dispersion planes, tied to the scan that fills
+/// them: the exact f64 scan stores `f64`; the f32 fast path stores its `f32`
+/// scan results unwidened and widens them — exactly, `f32 → f64` is lossless
+/// — at the single fold read. Same fold-side additions either way; the fast
+/// path just moves half the bytes through the cache between the two stages.
+trait PlaneValue: Copy + Send + Sync + Default {
+    /// Stores one f32 scan result (widening when the plane is `f64`).
+    fn from_scan_f32(value: f32) -> Self;
+    /// Widens one stored value for the fold's f64 zone accumulation.
+    fn to_f64(self) -> f64;
+}
+
+impl PlaneValue for f64 {
+    #[inline]
+    fn from_scan_f32(value: f32) -> Self {
+        f64::from(value)
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+impl PlaneValue for f32 {
+    #[inline]
+    fn from_scan_f32(value: f32) -> Self {
+        value
+    }
+
+    #[inline]
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
 }
 
 impl ExtractionScratch {
@@ -225,21 +317,28 @@ impl ExtractionScratch {
     /// Current buffer capacities — constant across steady-state frames.
     pub fn stats(&self) -> ScratchStats {
         ScratchStats {
-            pixel_capacity: self.entropy.capacity(),
+            pixel_capacity: self
+                .kernel
+                .planes
+                .entropy
+                .capacity()
+                .max(self.kernel.planes32.entropy.capacity()),
             segment_capacity: self
+                .kernel
                 .bands
                 .iter()
                 .map(|b| b.accs.capacity())
                 .max()
                 .unwrap_or(0),
             class_prob_capacity: self
+                .kernel
                 .bands
                 .iter()
                 .map(|b| b.class_probs.capacity())
                 .max()
                 .unwrap_or(0),
-            overlap_capacity: self.merged_runs.capacity(),
-            bands: self.bands.len(),
+            overlap_capacity: self.kernel.merged_runs.capacity(),
+            bands: self.kernel.bands.len(),
         }
     }
 }
@@ -277,10 +376,27 @@ thread_local! {
 /// kernel will use.
 pub fn auto_band_count(pixels: usize, rows: usize) -> usize {
     (pixels / MIN_BAND_PIXELS)
-        .min(rayon::current_num_threads())
+        .min(worker_threads())
         .min(MAX_BANDS)
         .min(rows)
         .max(1)
+}
+
+/// The machine's worker-thread count, resolved **once per process** at the
+/// first kernel call and cached.
+///
+/// `rayon::current_num_threads` consults `RAYON_NUM_THREADS` and
+/// `std::thread::available_parallelism()` on every call — the latter
+/// re-reads cgroup limits through the filesystem, which costs syscalls *and*
+/// a handful of heap allocations. Uncached, that made the auto-banded entry
+/// points measurably slower (and 4 allocs/frame heavier) than the explicit
+/// serial path on sub-threshold frames. Consequence of caching: a
+/// `RAYON_NUM_THREADS` change after the first extraction no longer affects
+/// the band count (it never affected the rayon pool either, which snapshots
+/// the value at pool construction).
+pub fn worker_threads() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(rayon::current_num_threads)
 }
 
 /// Computes the metric vector and IoU target of every predicted segment in a
@@ -328,12 +444,13 @@ pub fn frame_metrics_scratch(
     let (width, height) = prediction.shape();
     let bands = auto_band_count(width * height, height);
     run_kernel(
-        prediction,
+        FrameView::of(prediction),
         IdsSource::Fused,
         ground_truth,
         config,
-        scratch,
+        &mut scratch.kernel,
         bands,
+        ScanMode::PixelMajor,
     )
     .1
 }
@@ -351,12 +468,13 @@ pub fn frame_metrics_banded(
 ) -> Vec<SegmentRecord> {
     let bands = bands.clamp(1, prediction.height());
     run_kernel(
-        prediction,
+        FrameView::of(prediction),
         IdsSource::Fused,
         ground_truth,
         config,
-        scratch,
+        &mut scratch.kernel,
         bands,
+        ScanMode::PixelMajor,
     )
     .1
 }
@@ -374,13 +492,145 @@ pub fn extract_frame<'s>(
     let (width, height) = prediction.shape();
     let bands = auto_band_count(width * height, height);
     run_kernel(
-        prediction,
+        FrameView::of(prediction),
         IdsSource::Fused,
         ground_truth,
         config,
-        scratch,
+        &mut scratch.kernel,
         bands,
+        ScanMode::PixelMajor,
     )
+}
+
+/// Extracts metrics and components straight from a wire payload, without
+/// materialising a [`ProbMap`] — the zero-copy serve path.
+///
+/// The payload's bytes dequantize directly into a reusable ingest plane of
+/// the scratch (`u16` quantized, `f32` and `f64` payloads alike), and the
+/// fused kernel runs over that plane. With [`DispersionPrecision::F64`] the
+/// records are **bit-identical** to decoding the payload into a `ProbMap`
+/// first and calling [`extract_frame`] (pinned by a property test); with
+/// [`DispersionPrecision::F32`] the scan takes the single-precision fast
+/// path (layout: [`DEFAULT_F32_LAYOUT`]).
+///
+/// # Errors
+///
+/// Returns the typed [`DataError`]s of [`ProbPayload::decode`] when the
+/// declared shape is inconsistent with the byte length; the scratch is left
+/// reusable.
+pub fn extract_frame_payload<'s>(
+    payload: &ProbPayload,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+    scratch: &'s mut ExtractionScratch,
+    precision: DispersionPrecision,
+) -> Result<(&'s ComponentLabels, Vec<SegmentRecord>), DataError> {
+    let layout = match precision {
+        DispersionPrecision::F64 => None,
+        DispersionPrecision::F32 => Some(DEFAULT_F32_LAYOUT),
+    };
+    extract_frame_payload_layout(payload, ground_truth, config, scratch, layout)
+}
+
+/// [`extract_frame_payload`] with an explicit f32 scan layout (`None` forces
+/// the exact f64 path) — the benchmarking and testing hook behind the
+/// `extraction_profile` layout comparison and the layout-equivalence test.
+///
+/// # Errors
+///
+/// Same as [`extract_frame_payload`].
+pub fn extract_frame_payload_layout<'s>(
+    payload: &ProbPayload,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+    scratch: &'s mut ExtractionScratch,
+    layout: Option<F32ScanLayout>,
+) -> Result<(&'s ComponentLabels, Vec<SegmentRecord>), DataError> {
+    let bands = auto_band_count(payload.width * payload.height, payload.height);
+    let ExtractionScratch { ingest, kernel } = scratch;
+    match layout {
+        None => {
+            payload.decode_values_into(&mut ingest.decoded_f64)?;
+            let view = FrameView {
+                width: payload.width,
+                height: payload.height,
+                channels: payload.channels,
+                values: ingest.decoded_f64.as_slice(),
+            };
+            Ok(run_kernel(
+                view,
+                IdsSource::Fused,
+                ground_truth,
+                config,
+                kernel,
+                bands,
+                ScanMode::PixelMajor,
+            ))
+        }
+        Some(layout) => {
+            let mode = match layout {
+                F32ScanLayout::PixelMajor => ScanMode::PixelMajor,
+                F32ScanLayout::Tiled => ScanMode::Tiled,
+            };
+            // Quantized payloads are scanned *in place*: the kernel reads
+            // the little-endian byte pairs straight out of the wire buffer,
+            // dequantizing in-register at the point of use (scan gather and
+            // fold widening), so the densest wire encoding never
+            // materialises a decoded plane of any width. The floats
+            // produced are bit-identical to dequantizing into an `f32`
+            // plane first (same formula per value, pinned by test).
+            if let Some(pairs) = payload.quantized_pairs()? {
+                let view = FrameView {
+                    width: payload.width,
+                    height: payload.height,
+                    channels: payload.channels,
+                    values: pairs,
+                };
+                return Ok(run_kernel(
+                    view,
+                    IdsSource::Fused,
+                    ground_truth,
+                    config,
+                    kernel,
+                    bands,
+                    mode,
+                ));
+            }
+            payload.decode_values_into_f32(&mut ingest.decoded_f32)?;
+            let view = FrameView {
+                width: payload.width,
+                height: payload.height,
+                channels: payload.channels,
+                values: ingest.decoded_f32.as_slice(),
+            };
+            Ok(run_kernel(
+                view,
+                IdsSource::Fused,
+                ground_truth,
+                config,
+                kernel,
+                bands,
+                mode,
+            ))
+        }
+    }
+}
+
+/// [`frame_metrics`] over a wire payload: the record-only form of
+/// [`extract_frame_payload`].
+///
+/// # Errors
+///
+/// Same as [`extract_frame_payload`].
+pub fn frame_metrics_payload(
+    payload: &ProbPayload,
+    ground_truth: Option<&LabelMap>,
+    config: &MetricsConfig,
+    scratch: &mut ExtractionScratch,
+    precision: DispersionPrecision,
+) -> Result<Vec<SegmentRecord>, DataError> {
+    extract_frame_payload(payload, ground_truth, config, scratch, precision)
+        .map(|(_, records)| records)
 }
 
 /// [`frame_metrics`] with a caller-supplied Bayes label map of `prediction`.
@@ -397,12 +647,13 @@ pub fn frame_metrics_with_labels(
 ) -> Vec<SegmentRecord> {
     THREAD_SCRATCH.with(|scratch| {
         run_kernel(
-            prediction,
+            FrameView::of(prediction),
             IdsSource::Ids(predicted_labels.ids()),
             ground_truth,
             config,
-            &mut scratch.borrow_mut(),
+            &mut scratch.borrow_mut().kernel,
             1,
+            ScanMode::PixelMajor,
         )
         .1
     })
@@ -421,12 +672,13 @@ pub fn frame_metrics_with_components(
 ) -> Vec<SegmentRecord> {
     THREAD_SCRATCH.with(|scratch| {
         run_kernel(
-            prediction,
+            FrameView::of(prediction),
             IdsSource::Components(components),
             ground_truth,
             config,
-            &mut scratch.borrow_mut(),
+            &mut scratch.borrow_mut().kernel,
             1,
+            ScanMode::PixelMajor,
         )
         .1
     })
@@ -442,6 +694,454 @@ enum IdsSource<'a> {
     Components(&'a ComponentLabels),
 }
 
+/// Numeric precision of the per-pixel dispersion scan.
+///
+/// [`DispersionPrecision::F64`] (the default) reproduces the historical
+/// kernel bit for bit. [`DispersionPrecision::F32`] is the opt-in fast path:
+/// payload values dequantize to `f32` and the scan runs branch-free with a
+/// polynomial logarithm ([`metaseg_data::DistributionScanF32`]), trading
+/// `~1e-5` absolute dispersion error for SIMD-width throughput. Only the
+/// scan narrows — dispersion planes, per-segment accumulation and the
+/// epilogue stay `f64`, so downstream aggregates do not drift with segment
+/// size. Lossy wire encodings (`f32`/`u16`) already bound payload fidelity
+/// above that error, which is why the serve path can negotiate this
+/// per-connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DispersionPrecision {
+    /// Exact double-precision scan, bit-identical to [`frame_metrics`].
+    #[default]
+    F64,
+    /// Single-precision branch-free scan (documented `~1e-5` tolerance).
+    F32,
+}
+
+impl DispersionPrecision {
+    /// The wire/CLI spelling of the precision.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DispersionPrecision::F64 => "f64",
+            DispersionPrecision::F32 => "f32",
+        }
+    }
+
+    /// Parses the wire/CLI spelling.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "f64" => DispersionPrecision::F64,
+            "f32" => DispersionPrecision::F32,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for DispersionPrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Memory layout the f32 fused scan iterates in.
+///
+/// Both layouts produce identical floats (pinned by a test) — they differ
+/// only in how the channel axis reaches the vector units, so the
+/// `extraction_profile` bench measures both and the default
+/// ([`DEFAULT_F32_LAYOUT`]) is whichever wins on the bench scenes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum F32ScanLayout {
+    /// Scan each pixel's contiguous channel vector in place (the storage
+    /// order of the wire payload).
+    PixelMajor,
+    /// Transpose [`TILE_LANES`] pixels at a time into a channel-major
+    /// scratch tile, then run every compute loop over contiguous
+    /// fixed-width lane arrays.
+    Tiled,
+}
+
+/// Pixels per channel-major tile of [`F32ScanLayout::Tiled`]: 256 lanes ×
+/// 19 channels × 4 bytes ≈ 19 KiB, which together with the four 1 KiB lane
+/// accumulators still fits L1 while amortising the per-tile fixed costs
+/// (accumulator reset and plane writeback) over four times the pixels of
+/// the original 64-lane tile — worth ~7% whole-kernel throughput on the
+/// large bench scene. 512 lanes spills L1 and plateaus.
+pub const TILE_LANES: usize = 256;
+
+/// The f32 scan layout [`DispersionPrecision::F32`] dispatches to — the
+/// winner of the `extraction_profile` layout comparison on the bench scenes
+/// (the channel-major tile beats the pixel-major walk by ~1.5x on the large
+/// scene: its fixed-width lane loops are the shape the autovectoriser
+/// actually vectorises).
+pub const DEFAULT_F32_LAYOUT: F32ScanLayout = F32ScanLayout::Tiled;
+
+/// How the scan stage walks the decoded values; only the f32 kernel
+/// distinguishes the two (the f64 scan is pinned to the historical
+/// pixel-major loop for bit-identity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanMode {
+    PixelMajor,
+    Tiled,
+}
+
+/// A borrowed frame of decoded softmax values in pixel-major storage order
+/// (`values[(y * width + x) * channels + c]`) — what the kernel actually
+/// consumes, whether the values come from a [`ProbMap`] or were dequantized
+/// straight off the wire into the ingest scratch.
+#[derive(Clone, Copy)]
+struct FrameView<'a, V> {
+    width: usize,
+    height: usize,
+    channels: usize,
+    values: &'a [V],
+}
+
+impl<'a> FrameView<'a, f64> {
+    /// Views a decoded probability field.
+    fn of(prediction: &'a ProbMap) -> Self {
+        let (width, height) = prediction.shape();
+        Self {
+            width,
+            height,
+            channels: prediction.num_classes(),
+            values: prediction.values(),
+        }
+    }
+}
+
+/// One band's slices of the dispersion planes, split off for the scan stage.
+struct ScanPart<'p, P> {
+    /// Flat pixel index of the band's first pixel.
+    offset: usize,
+    /// How the f32 scan walks the values (ignored by the f64 scan).
+    mode: ScanMode,
+    entropy: &'p mut [P],
+    margin: &'p mut [P],
+    variation: &'p mut [P],
+    top1: &'p mut [P],
+    argmax: &'p mut [u16],
+    /// Channel-major scratch tile (used by the f32 tiled layout only).
+    tile: &'p mut Vec<f32>,
+}
+
+/// A softmax value type the kernel can scan and fold.
+///
+/// Three implementations exist: `f64`, whose scan is the verbatim
+/// historical loop over [`DistributionScan`] (bit-identical to
+/// [`baseline::legacy_frame_metrics`], pinned by test); `f32`, the
+/// branch-free fast path; and `[u8; 2]`, the little-endian byte pair of one
+/// quantized wire value scanned in place, which runs the same f32 fast path
+/// but dequantizes at the point of use ([`dequant_u16`] is the `f32`
+/// dequantization formula of [`ProbPayload::decode_values_into_f32`], so
+/// the two routes produce identical floats). Everything after the scan
+/// (labelling, fold, epilogue) accumulates in `f64` for all three.
+trait ProbValue: Copy + Send + Sync {
+    /// Storage precision of the dispersion planes this scan fills.
+    type Plane: PlaneValue;
+    /// Selects this scan's dispersion planes out of the kernel scratch.
+    fn planes<'a>(
+        planes: &'a mut MetricPlanes<f64>,
+        planes32: &'a mut MetricPlanes<f32>,
+    ) -> &'a mut MetricPlanes<Self::Plane>;
+    /// Scans one band's pixels into its dispersion-plane slices.
+    fn scan_band(
+        values: &[Self],
+        channels: usize,
+        part: &mut ScanPart<'_, Self::Plane>,
+        wants_argmax: bool,
+    );
+    /// The `f32` probability the tiled gather moves into its lane column.
+    fn to_f32(self) -> f32;
+    /// Widens one probability for the f64 class-probability accumulation.
+    fn widen(self) -> f64;
+}
+
+/// The `f32` dequantization of one quantized wire value — identical to
+/// [`ProbPayload::decode_values_into_f32`]'s formula, which is what makes
+/// the direct-from-`u16` path produce bit-identical floats to scanning a
+/// materialised `f32` plane.
+#[inline]
+fn dequant_u16(q: u16) -> f32 {
+    const SCALE: f32 = 1.0 / 65535.0;
+    f32::from(q) * SCALE
+}
+
+impl ProbValue for f64 {
+    type Plane = f64;
+
+    #[inline]
+    fn planes<'a>(
+        planes: &'a mut MetricPlanes<f64>,
+        _planes32: &'a mut MetricPlanes<f32>,
+    ) -> &'a mut MetricPlanes<f64> {
+        planes
+    }
+
+    #[inline]
+    fn scan_band(
+        values: &[f64],
+        channels: usize,
+        part: &mut ScanPart<'_, f64>,
+        wants_argmax: bool,
+    ) {
+        let start = part.offset;
+        for i in 0..part.entropy.len() {
+            let dist = &values[(start + i) * channels..(start + i + 1) * channels];
+            let scan = DistributionScan::of(dist);
+            part.entropy[i] = scan.entropy(channels);
+            part.margin[i] = scan.margin();
+            part.variation[i] = scan.variation_ratio();
+            part.top1[i] = scan.top1;
+            if wants_argmax {
+                part.argmax[i] = scan.argmax as u16;
+            }
+        }
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        // The f64 path never runs the tiled layout (its scan is pinned to
+        // the historical pixel-major loop); honest narrowing regardless.
+        self as f32
+    }
+
+    #[inline]
+    fn widen(self) -> f64 {
+        self
+    }
+}
+
+impl ProbValue for f32 {
+    type Plane = f32;
+
+    #[inline]
+    fn planes<'a>(
+        _planes: &'a mut MetricPlanes<f64>,
+        planes32: &'a mut MetricPlanes<f32>,
+    ) -> &'a mut MetricPlanes<f32> {
+        planes32
+    }
+
+    #[inline]
+    fn scan_band(
+        values: &[f32],
+        channels: usize,
+        part: &mut ScanPart<'_, f32>,
+        wants_argmax: bool,
+    ) {
+        if part.mode == ScanMode::Tiled {
+            return scan_band_tiled(values, channels, part, wants_argmax);
+        }
+        let inv_ln_n = 1.0 / (channels as f32).ln();
+        let start = part.offset;
+        for i in 0..part.entropy.len() {
+            let dist = &values[(start + i) * channels..(start + i + 1) * channels];
+            let scan = DistributionScanF32::of(dist);
+            part.entropy[i] = (scan.raw_entropy * inv_ln_n).clamp(0.0, 1.0);
+            part.margin[i] = scan.margin();
+            part.variation[i] = scan.variation_ratio();
+            part.top1[i] = scan.top1;
+            if wants_argmax {
+                part.argmax[i] = scan.argmax as u16;
+            }
+        }
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn widen(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+/// Raw quantized wire values *in place*: the f32 fast path straight over the
+/// payload's little-endian byte pairs (see [`ProbPayload::quantized_pairs`]),
+/// dequantizing in-register with the formula of
+/// [`ProbPayload::decode_values_into_f32`] (`q * (1/65535)` in `f32`). Every
+/// float this implementation produces — scan planes and fold widening alike
+/// — is bit-identical to first materialising the `f32` plane and scanning
+/// that (pinned by `quantized_direct_path_matches_f32_plane_bit_exactly`).
+impl ProbValue for [u8; 2] {
+    type Plane = f32;
+
+    #[inline]
+    fn planes<'a>(
+        _planes: &'a mut MetricPlanes<f64>,
+        planes32: &'a mut MetricPlanes<f32>,
+    ) -> &'a mut MetricPlanes<f32> {
+        planes32
+    }
+
+    #[inline]
+    fn scan_band(
+        values: &[[u8; 2]],
+        channels: usize,
+        part: &mut ScanPart<'_, f32>,
+        wants_argmax: bool,
+    ) {
+        if part.mode == ScanMode::Tiled {
+            return scan_band_tiled(values, channels, part, wants_argmax);
+        }
+        let inv_ln_n = 1.0 / (channels as f32).ln();
+        let start = part.offset;
+        let ScanPart {
+            entropy,
+            margin,
+            variation,
+            top1,
+            argmax,
+            tile,
+            ..
+        } = part;
+        // The tile doubles as the per-pixel dequantization staging slot —
+        // pixel-major keeps only one channel vector live at a time.
+        if tile.len() < channels {
+            tile.resize(channels, 0.0);
+        }
+        for i in 0..entropy.len() {
+            let dist = &values[(start + i) * channels..(start + i + 1) * channels];
+            for (d, &pair) in tile[..channels].iter_mut().zip(dist) {
+                *d = pair.to_f32();
+            }
+            let scan = DistributionScanF32::of(&tile[..channels]);
+            entropy[i] = (scan.raw_entropy * inv_ln_n).clamp(0.0, 1.0);
+            margin[i] = scan.margin();
+            variation[i] = scan.variation_ratio();
+            top1[i] = scan.top1;
+            if wants_argmax {
+                argmax[i] = scan.argmax as u16;
+            }
+        }
+    }
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        dequant_u16(u16::from_le_bytes(self))
+    }
+
+    #[inline]
+    fn widen(self) -> f64 {
+        f64::from(self.to_f32())
+    }
+}
+
+/// The tiled fast-path scan: transpose [`TILE_LANES`] pixels into a
+/// channel-major `f32` tile, then run the shared lane compute
+/// ([`scan_tile_lanes`]) — every compute loop runs over contiguous
+/// same-length lanes with no cross-lane dependency, the shape
+/// auto-vectorisers are built for.
+///
+/// Generic over the source value: the gather converts each value with
+/// [`ProbValue::to_f32`] as it moves it into its lane column (the identity
+/// for `f32` planes; the in-register dequantization for wire byte pairs),
+/// so the tile handed to the compute is bit-identical whichever source fed
+/// it. Produces exactly the same floats as the pixel-major f32 scan: per
+/// lane it performs the identical operation sequence along the channel
+/// axis, only interleaved across lanes (pinned by
+/// `f32_scan_layouts_agree_bit_exactly`).
+fn scan_band_tiled<V: ProbValue>(
+    values: &[V],
+    channels: usize,
+    part: &mut ScanPart<'_, V::Plane>,
+    wants_argmax: bool,
+) {
+    let inv_ln_n = 1.0 / (channels as f32).ln();
+    let ScanPart {
+        offset,
+        entropy,
+        margin,
+        variation,
+        top1,
+        argmax,
+        tile,
+        ..
+    } = part;
+    let offset = *offset;
+    if tile.len() < TILE_LANES * channels {
+        tile.resize(TILE_LANES * channels, 0.0);
+    }
+    let pixels = entropy.len();
+    let mut base = 0usize;
+    while base < pixels {
+        let lanes = TILE_LANES.min(pixels - base);
+        // Gather: one strided pass moving each pixel's contiguous channel
+        // vector into its lane column.
+        for lane in 0..lanes {
+            let dist = &values[(offset + base + lane) * channels..][..channels];
+            for (c, &p) in dist.iter().enumerate() {
+                tile[c * TILE_LANES + lane] = p.to_f32();
+            }
+        }
+        scan_tile_lanes(
+            tile,
+            channels,
+            lanes,
+            base,
+            inv_ln_n,
+            wants_argmax,
+            entropy,
+            margin,
+            variation,
+            top1,
+            argmax,
+        );
+        base += lanes;
+    }
+}
+
+/// One tile's lane compute: four fixed-width accumulator arrays updated
+/// channel row by channel row, then written back to the dispersion planes.
+/// Shared verbatim by the f32 and quantized tiled scans, which differ only
+/// in how they fill the tile.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn scan_tile_lanes<P: PlaneValue>(
+    tile: &[f32],
+    channels: usize,
+    lanes: usize,
+    base: usize,
+    inv_ln_n: f32,
+    wants_argmax: bool,
+    entropy_out: &mut [P],
+    margin_out: &mut [P],
+    variation_out: &mut [P],
+    top1_out: &mut [P],
+    argmax_out: &mut [u16],
+) {
+    let mut first = [f32::NEG_INFINITY; TILE_LANES];
+    let mut second = [f32::NEG_INFINITY; TILE_LANES];
+    let mut entropy = [0.0f32; TILE_LANES];
+    let mut argmax = [0u16; TILE_LANES];
+    for c in 0..channels {
+        let row = &tile[c * TILE_LANES..c * TILE_LANES + lanes];
+        for (lane, &p) in row.iter().enumerate() {
+            entropy[lane] -= p * fast_ln_positive_f32(p);
+            let prev = first[lane];
+            first[lane] = prev.max(p);
+            second[lane] = second[lane].max(p.min(prev));
+            if p > prev {
+                argmax[lane] = c as u16;
+            }
+        }
+    }
+    if channels == 1 {
+        // Single-channel distributions define top2 as zero, matching
+        // [`DistributionScan`].
+        second[..lanes].fill(0.0);
+    }
+    for lane in 0..lanes {
+        let i = base + lane;
+        entropy_out[i] = P::from_scan_f32((entropy[lane] * inv_ln_n).clamp(0.0, 1.0));
+        margin_out[i] = P::from_scan_f32((1.0 - (first[lane] - second[lane])).clamp(0.0, 1.0));
+        variation_out[i] = P::from_scan_f32((1.0 - first[lane]).clamp(0.0, 1.0));
+        top1_out[i] = P::from_scan_f32(first[lane]);
+        if wants_argmax {
+            argmax_out[i] = argmax[lane];
+        }
+    }
+}
+
 /// Row ranges of the horizontal band split: `bands` contiguous chunks of
 /// `ceil(height / bands)` rows (the last band may be short).
 fn band_rows(height: usize, bands: usize, band: usize) -> std::ops::Range<usize> {
@@ -452,39 +1152,42 @@ fn band_rows(height: usize, bands: usize, band: usize) -> std::ops::Range<usize>
 }
 
 /// The extraction kernel: fused scan → labelling → banded fold → epilogue.
-fn run_kernel<'s>(
-    prediction: &ProbMap,
+fn run_kernel<'s, V: ProbValue>(
+    frame: FrameView<'_, V>,
     ids: IdsSource<'s>,
     ground_truth: Option<&LabelMap>,
     config: &MetricsConfig,
-    scratch: &'s mut ExtractionScratch,
+    scratch: &'s mut KernelScratch,
     band_count: usize,
+    mode: ScanMode,
 ) -> (&'s ComponentLabels, Vec<SegmentRecord>) {
-    let (width, height) = prediction.shape();
+    let FrameView { width, height, .. } = frame;
     let pixels = width * height;
-    let num_channels = prediction.num_classes();
-    let ExtractionScratch {
+    let num_channels = frame.channels;
+    let KernelScratch {
         argmax,
-        entropy,
-        margin,
-        variation,
-        top1,
+        planes,
+        planes32,
         labeler,
         gt_labeler,
         bands,
+        tiles,
         merged_runs,
     } = scratch;
 
     // --- fused scan: one walk of every pixel's channel axis ---------------
-    // Grow-only planes: the scan overwrites every index below `pixels`, so
-    // tails left over from larger frames are never read and per-frame
-    // re-zeroing (pure write bandwidth) is skipped.
-    if entropy.len() < pixels {
-        entropy.resize(pixels, 0.0);
-        margin.resize(pixels, 0.0);
-        variation.resize(pixels, 0.0);
-        top1.resize(pixels, 0.0);
-    }
+    // The value type picks its plane precision (f64 exact, f32 fast path);
+    // growth is grow-only, see [`MetricPlanes::ensure`].
+    let MetricPlanes {
+        entropy,
+        margin,
+        variation,
+        top1,
+    } = {
+        let planes = V::planes(planes, planes32);
+        planes.ensure(pixels);
+        planes
+    };
     let wants_argmax = matches!(ids, IdsSource::Fused);
     if wants_argmax {
         // The scan writes every pixel of the plane, so only a shape change
@@ -498,17 +1201,11 @@ fn run_kernel<'s>(
         // Split the planes into per-band row chunks so the scan can run on
         // scoped worker threads; per-pixel outputs are independent, so the
         // values are identical for every band count.
-        struct ScanPart<'p> {
-            /// Flat pixel index of the band's first pixel.
-            offset: usize,
-            entropy: &'p mut [f64],
-            margin: &'p mut [f64],
-            variation: &'p mut [f64],
-            top1: &'p mut [f64],
-            argmax: &'p mut [u16],
+        let values = frame.values;
+        if tiles.len() < band_count {
+            tiles.resize(band_count, Vec::new());
         }
-        let values = prediction.values();
-        let mut parts: Vec<ScanPart<'_>> = {
+        let mut parts: Vec<ScanPart<'_, V::Plane>> = {
             let mut rest_e = &mut entropy[..pixels];
             let mut rest_m = &mut margin[..pixels];
             let mut rest_v = &mut variation[..pixels];
@@ -518,7 +1215,7 @@ fn run_kernel<'s>(
                 _ => &mut [],
             };
             let mut parts = Vec::with_capacity(band_count);
-            for band in 0..band_count {
+            for (band, tile) in tiles[..band_count].iter_mut().enumerate() {
                 let rows = band_rows(height, band_count, band);
                 let len = rows.len() * width;
                 let (e, te) = rest_e.split_at_mut(len);
@@ -533,28 +1230,19 @@ fn run_kernel<'s>(
                 rest_a = ta;
                 parts.push(ScanPart {
                     offset: rows.start * width,
+                    mode,
                     entropy: e,
                     margin: m,
                     variation: v,
                     top1: t,
                     argmax: a,
+                    tile,
                 });
             }
             parts
         };
-        let scan_band = |part: &mut ScanPart<'_>| {
-            let start = part.offset;
-            for i in 0..part.entropy.len() {
-                let dist = &values[(start + i) * num_channels..(start + i + 1) * num_channels];
-                let scan = DistributionScan::of(dist);
-                part.entropy[i] = scan.entropy(num_channels);
-                part.margin[i] = scan.margin();
-                part.variation[i] = scan.variation_ratio();
-                part.top1[i] = scan.top1;
-                if wants_argmax {
-                    part.argmax[i] = scan.argmax as u16;
-                }
-            }
+        let scan_band = |part: &mut ScanPart<'_, V::Plane>| {
+            V::scan_band(values, num_channels, part, wants_argmax)
         };
         if parts.len() == 1 {
             scan_band(&mut parts[0]);
@@ -604,7 +1292,7 @@ fn run_kernel<'s>(
                 height,
                 labels,
                 regions,
-                prediction.values(),
+                frame.values,
                 num_channels,
                 entropy,
                 margin,
@@ -766,41 +1454,53 @@ fn run_kernel<'s>(
 /// the same row-major order, so a single band reproduces it bit-exactly;
 /// per-band partials merge in band order.
 #[allow(clippy::too_many_arguments)]
-fn fold_band(
+fn fold_band<V: ProbValue>(
     state: &mut BandState,
     rows: std::ops::Range<usize>,
     width: usize,
     height: usize,
     labels: &[usize],
     regions: &[metaseg_imgproc::Region],
-    values: &[f64],
+    values: &[V],
     num_channels: usize,
-    entropy: &[f64],
-    margin: &[f64],
-    variation: &[f64],
-    top1: &[f64],
+    entropy: &[V::Plane],
+    margin: &[V::Plane],
+    variation: &[V::Plane],
+    top1: &[V::Plane],
     gt_ids: Option<&[u16]>,
     gt_labels: Option<&[usize]>,
 ) {
     let void_id = SemanticClass::Void.id();
     for y in rows {
-        let row = &labels[y * width..(y + 1) * width];
-        let above = (y > 0).then(|| &labels[(y - 1) * width..y * width]);
-        let below = (y + 1 < height).then(|| &labels[(y + 1) * width..(y + 2) * width]);
-        for x in 0..width {
-            let segment = row[x];
-            let i = y * width + x;
+        // Per-row slices: the inner loop then walks same-length rows and
+        // channel chunks instead of recomputing flat indices into the full
+        // planes, which drops most per-pixel bounds checks.
+        let start = y * width;
+        let row = &labels[start..start + width];
+        let above = (y > 0).then(|| &labels[start - width..start]);
+        let below = (y + 1 < height).then(|| &labels[start + width..start + 2 * width]);
+        let entropy_row = &entropy[start..start + width];
+        let margin_row = &margin[start..start + width];
+        let variation_row = &variation[start..start + width];
+        let top1_row = &top1[start..start + width];
+        let value_rows = &values[start * num_channels..(start + width) * num_channels];
+        let gt_id_row = gt_ids.map(|g| &g[start..start + width]);
+        let gt_label_row = gt_labels.map(|g| &g[start..start + width]);
+        for (x, (&segment, dist)) in row
+            .iter()
+            .zip(value_rows.chunks_exact(num_channels))
+            .enumerate()
+        {
             let acc = &mut state.accs[segment];
 
             // One cheap per-channel add; dispersion values come from the
             // fused scan's planes — the channel axis is never re-scanned.
-            let dist = &values[i * num_channels..(i + 1) * num_channels];
             let prob_row =
                 &mut state.class_probs[segment * num_channels..(segment + 1) * num_channels];
             for (into, &p) in prob_row.iter_mut().zip(dist) {
-                *into += p;
+                *into += p.widen();
             }
-            acc.sum_top1 += top1[i];
+            acc.sum_top1 += top1_row[x].to_f64();
 
             // Inner-boundary membership, decided on the spot: a pixel is
             // boundary iff a 4-neighbour is outside the image or outside the
@@ -809,29 +1509,29 @@ fn fold_band(
                 || row[x - 1] != segment
                 || x + 1 == width
                 || row[x + 1] != segment
-                || above.map_or(true, |r| r[x] != segment)
-                || below.map_or(true, |r| r[x] != segment);
+                || above.is_none_or(|r| r[x] != segment)
+                || below.is_none_or(|r| r[x] != segment);
             let zone = if is_boundary {
                 acc.boundary_len += 1;
                 &mut acc.sum_boundary
             } else {
                 &mut acc.sum_interior
             };
-            zone[0] += entropy[i];
-            zone[1] += margin[i];
-            zone[2] += variation[i];
+            zone[0] += entropy_row[x].to_f64();
+            zone[1] += margin_row[x].to_f64();
+            zone[2] += variation_row[x].to_f64();
 
             // Ground-truth overlap counting for the IoU target, as
             // run-length entries (consecutive pixels usually share both the
             // predicted and the ground-truth segment).
-            if let (Some(gt_ids), Some(gt_labels)) = (gt_ids, gt_labels) {
-                let gt_class = gt_ids[i];
+            if let (Some(gt_id_row), Some(gt_label_row)) = (gt_id_row, gt_label_row) {
+                let gt_class = gt_id_row[x];
                 if gt_class != void_id {
                     acc.non_void += 1;
                 }
                 if gt_class == regions[segment].class_id {
                     let pred = segment as u32;
-                    let gt = gt_labels[i] as u32;
+                    let gt = gt_label_row[x] as u32;
                     match state.overlaps.last_mut() {
                         Some(run) if run.pred == pred && run.gt == gt => run.count += 1,
                         _ => state.overlaps.push(OverlapRun { pred, gt, count: 1 }),
@@ -1079,6 +1779,203 @@ mod tests {
             stats_after_first_pass,
             "steady-state frames must not allocate scratch"
         );
+    }
+
+    /// The two f32 scan layouts perform the identical per-lane operation
+    /// sequence, so they must agree on every float of every record — the
+    /// layout choice is purely a throughput question.
+    #[test]
+    fn f32_scan_layouts_agree_bit_exactly() {
+        use metaseg_data::{ProbEncoding, ProbPayload};
+        let frames = simulated_frames(2, 404, NetworkProfile::weak());
+        let config = MetricsConfig::default();
+        let mut scratch = ExtractionScratch::new();
+        for frame in &frames {
+            for encoding in [ProbEncoding::U16, ProbEncoding::F32, ProbEncoding::F64] {
+                let payload = ProbPayload::encode(&frame.prediction, encoding);
+                let pixel_major = extract_frame_payload_layout(
+                    &payload,
+                    frame.ground_truth.as_ref(),
+                    &config,
+                    &mut scratch,
+                    Some(F32ScanLayout::PixelMajor),
+                )
+                .unwrap()
+                .1;
+                let tiled = extract_frame_payload_layout(
+                    &payload,
+                    frame.ground_truth.as_ref(),
+                    &config,
+                    &mut scratch,
+                    Some(F32ScanLayout::Tiled),
+                )
+                .unwrap()
+                .1;
+                assert_eq!(pixel_major, tiled, "{encoding:?} layouts diverge");
+            }
+        }
+    }
+
+    /// The f32 fast path stays within the documented tolerance of the exact
+    /// f64 path on seeded scenes: every metric within 1e-4 (absolute or
+    /// relative, whichever is larger), geometry and IoU targets exact.
+    #[test]
+    fn f32_fast_path_tracks_the_f64_path_within_tolerance() {
+        use metaseg_data::{ProbEncoding, ProbPayload};
+        let frames = simulated_frames(3, 505, NetworkProfile::weak());
+        let config = MetricsConfig::default();
+        let mut scratch = ExtractionScratch::new();
+        for frame in &frames {
+            let payload = ProbPayload::encode(&frame.prediction, ProbEncoding::F64);
+            let exact = frame_metrics_payload(
+                &payload,
+                frame.ground_truth.as_ref(),
+                &config,
+                &mut scratch,
+                DispersionPrecision::F64,
+            )
+            .unwrap();
+            let fast = frame_metrics_payload(
+                &payload,
+                frame.ground_truth.as_ref(),
+                &config,
+                &mut scratch,
+                DispersionPrecision::F32,
+            )
+            .unwrap();
+            assert_eq!(fast.len(), exact.len());
+            for (f, e) in fast.iter().zip(&exact) {
+                assert_eq!(f.region_id, e.region_id);
+                assert_eq!(f.class, e.class);
+                assert_eq!(f.area, e.area);
+                assert_eq!(f.boundary_length, e.boundary_length);
+                assert_eq!(f.iou, e.iou, "IoU is integer arithmetic on argmax");
+                let error = max_relative_error(&f.metrics, &e.metrics);
+                assert!(error <= 1e-4, "f32 deviation {error} exceeds 1e-4");
+            }
+        }
+    }
+
+    /// The quantized in-place fast path is bit-identical to dequantizing
+    /// the wire values into an `f32` plane first and scanning that, in both
+    /// layouts: same dequantization formula per value, the staging plane
+    /// just never exists.
+    #[test]
+    fn quantized_direct_path_matches_f32_plane_bit_exactly() {
+        use metaseg_data::{ProbEncoding, ProbPayload};
+        let frames = simulated_frames(2, 907, NetworkProfile::weak());
+        let config = MetricsConfig::default();
+        let mut scratch = ExtractionScratch::new();
+        for frame in &frames {
+            let quantized = ProbPayload::encode(&frame.prediction, ProbEncoding::U16);
+            // An f32-encoded payload of the dequantized wire values: its
+            // ingest plane holds exactly the floats the direct path
+            // produces in-register.
+            let mut dequantized = Vec::new();
+            quantized.decode_values_into_f32(&mut dequantized).unwrap();
+            let plane = ProbPayload {
+                width: quantized.width,
+                height: quantized.height,
+                channels: quantized.channels,
+                encoding: ProbEncoding::F32,
+                bytes: dequantized.iter().flat_map(|v| v.to_le_bytes()).collect(),
+            };
+            for layout in [F32ScanLayout::PixelMajor, F32ScanLayout::Tiled] {
+                let direct = extract_frame_payload_layout(
+                    &quantized,
+                    frame.ground_truth.as_ref(),
+                    &config,
+                    &mut scratch,
+                    Some(layout),
+                )
+                .unwrap()
+                .1;
+                let via_plane = extract_frame_payload_layout(
+                    &plane,
+                    frame.ground_truth.as_ref(),
+                    &config,
+                    &mut scratch,
+                    Some(layout),
+                )
+                .unwrap()
+                .1;
+                assert_eq!(direct, via_plane, "{layout:?} routes diverge");
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// Direct-to-scratch payload ingestion at f64 precision is
+        /// bit-identical to decode-via-`ProbMap` + [`frame_metrics_scratch`]
+        /// for every wire encoding — the zero-copy path changes nothing but
+        /// the allocation profile.
+        #[test]
+        fn prop_payload_ingest_matches_decode_via_probmap_bit_exactly(
+            seed in 0u64..300,
+            tag in 0u8..3
+        ) {
+            use metaseg_data::{ProbEncoding, ProbPayload};
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+            let scene = Scene::generate(&SceneConfig::small(), &mut rng);
+            let gt = scene.render();
+            let probs = NetworkSim::new(NetworkProfile::weak()).predict(&gt, &mut rng);
+            let config = MetricsConfig::default();
+            let encoding = ProbEncoding::from_tag(tag).unwrap();
+            let payload = ProbPayload::encode(&probs, encoding);
+
+            let mut scratch = ExtractionScratch::new();
+            let direct = frame_metrics_payload(
+                &payload, Some(&gt), &config, &mut scratch, DispersionPrecision::F64,
+            ).unwrap();
+            let via_map = frame_metrics_scratch(
+                &payload.decode().unwrap(), Some(&gt), &config, &mut scratch,
+            );
+            prop_assert_eq!(direct, via_map);
+        }
+    }
+
+    #[test]
+    fn payload_entry_points_surface_codec_errors() {
+        use metaseg_data::{ProbEncoding, ProbPayload};
+        let frames = simulated_frames(1, 11, NetworkProfile::weak());
+        let mut payload = ProbPayload::encode(&frames[0].prediction, ProbEncoding::U16);
+        payload.bytes.pop();
+        let mut scratch = ExtractionScratch::new();
+        for precision in [DispersionPrecision::F64, DispersionPrecision::F32] {
+            assert!(frame_metrics_payload(
+                &payload,
+                None,
+                &MetricsConfig::default(),
+                &mut scratch,
+                precision,
+            )
+            .is_err());
+        }
+        // The scratch stays usable after a rejected payload.
+        let records = frame_metrics_scratch(
+            &frames[0].prediction,
+            None,
+            &MetricsConfig::default(),
+            &mut scratch,
+        );
+        assert_eq!(
+            records,
+            frame_metrics(&frames[0].prediction, None, &MetricsConfig::default())
+        );
+    }
+
+    #[test]
+    fn dispersion_precision_spellings_roundtrip() {
+        for precision in [DispersionPrecision::F64, DispersionPrecision::F32] {
+            assert_eq!(
+                DispersionPrecision::from_name(precision.as_str()),
+                Some(precision)
+            );
+            assert_eq!(precision.to_string(), precision.as_str());
+        }
+        assert_eq!(DispersionPrecision::from_name("f16"), None);
+        assert_eq!(DispersionPrecision::default(), DispersionPrecision::F64);
     }
 
     #[test]

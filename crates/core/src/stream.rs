@@ -32,9 +32,11 @@
 
 use crate::error::MetaSegError;
 use crate::metrics::{MetricsConfig, SegmentRecord, METRIC_COUNT};
-use crate::pipeline::{extract_frame, ExtractionScratch, ScratchStats};
+use crate::pipeline::{
+    extract_frame, extract_frame_payload, DispersionPrecision, ExtractionScratch, ScratchStats,
+};
 use crate::timedyn::TimeDynConfig;
-use metaseg_data::{Frame, LabelMap, SemanticClass};
+use metaseg_data::{DataError, Frame, LabelMap, ProbPayload, SemanticClass};
 use metaseg_learners::MetaPredictor;
 use metaseg_sim::FrameSource;
 use metaseg_tracking::{IncrementalTracker, TrackerConfig};
@@ -415,6 +417,29 @@ impl MetaSegStream {
         self.ingest(frame_tracks, &records)
     }
 
+    /// Consumes the next frame directly from its wire payload, without ever
+    /// materialising a [`metaseg_data::ProbMap`]: the payload bytes are
+    /// dequantized straight into the session's [`ExtractionScratch`] plane
+    /// and the fused kernel runs over that plane.
+    ///
+    /// With [`DispersionPrecision::F64`] the verdicts are bit-identical to
+    /// decoding the payload and calling [`MetaSegStream::push_frame`] (pinned
+    /// by test); [`DispersionPrecision::F32`] trades ~1e-4 relative metric
+    /// accuracy for a vectorisable dispersion scan. Fails only when the
+    /// payload itself is malformed — the engine state is untouched in that
+    /// case, so a stream can skip torn frames and continue.
+    pub fn push_payload(
+        &mut self,
+        payload: &ProbPayload,
+        precision: DispersionPrecision,
+    ) -> Result<FrameVerdicts, DataError> {
+        let metrics_config = self.config.metrics;
+        let (components, records) =
+            extract_frame_payload(payload, None, &metrics_config, &mut self.scratch, precision)?;
+        let frame_tracks = self.tracker.observe_segments(components);
+        Ok(self.ingest(frame_tracks, &records))
+    }
+
     /// Streaming entry point for callers that already extracted this frame's
     /// records (e.g. a frame-parallel pre-extraction stage feeding several
     /// engines): runs tracking, window update and inference only.
@@ -544,7 +569,7 @@ fn validated_series_length(
             config.metrics.connectivity, config.tracker.connectivity
         )));
     }
-    if feature_dim == 0 || feature_dim % METRIC_COUNT != 0 {
+    if feature_dim == 0 || !feature_dim.is_multiple_of(METRIC_COUNT) {
         return Err(MetaSegError::InvalidConfig(format!(
             "predictor feature dimension {feature_dim} is not a multiple of the \
              per-frame metric count {METRIC_COUNT}"
@@ -754,6 +779,66 @@ mod tests {
                 .iter()
                 .map(|f| f.verdicts.len())
                 .sum::<usize>()
+        );
+    }
+
+    /// Wire payloads pushed straight into the engine at f64 precision are
+    /// bit-identical to decoding them first: the zero-copy path cannot change
+    /// a verdict. The f32 fast path on the same stream keeps the verdict
+    /// *structure* (same segments, same tracks) and probabilities in range,
+    /// and a torn payload is rejected without disturbing the session.
+    #[test]
+    fn payload_pushes_match_decoded_frame_pushes() {
+        use metaseg_data::{ProbEncoding, ProbPayload};
+        let predictor = fitted_predictor(2);
+        let frames: Vec<Frame> = {
+            let mut rng = StdRng::seed_from_u64(47);
+            let sim = NetworkSim::new(NetworkProfile::weak());
+            VideoStream::open(&VideoConfig::small(), sim, 0, &mut rng).collect()
+        };
+        let mut decoded = MetaSegStream::new(StreamConfig::default(), predictor.clone()).unwrap();
+        let mut direct = MetaSegStream::new(StreamConfig::default(), predictor.clone()).unwrap();
+        let mut fast = MetaSegStream::new(StreamConfig::default(), predictor).unwrap();
+        for (index, frame) in frames.iter().enumerate() {
+            let payload = ProbPayload::encode(&frame.prediction, ProbEncoding::U16);
+            // F64 over the identical u16 wire bytes: decode-then-push and
+            // push-payload see the same dequantized plane, bit for bit.
+            let decoded_frame = Frame::unlabeled(frame.id, payload.decode().unwrap());
+            let via_decode = decoded.push_frame(&decoded_frame);
+            let via_payload = direct
+                .push_payload(&payload, DispersionPrecision::F64)
+                .unwrap();
+            assert_eq!(via_decode, via_payload, "frame {index}");
+
+            let verdicts = fast
+                .push_payload(&payload, DispersionPrecision::F32)
+                .unwrap();
+            assert_eq!(verdicts.verdicts.len(), via_decode.verdicts.len());
+            for (f32_verdict, f64_verdict) in verdicts.verdicts.iter().zip(&via_decode.verdicts) {
+                assert_eq!(f32_verdict.track_id, f64_verdict.track_id);
+                assert_eq!(f32_verdict.region_id, f64_verdict.region_id);
+                assert_eq!(f32_verdict.class, f64_verdict.class);
+                assert_eq!(f32_verdict.area, f64_verdict.area);
+                assert!((0.0..=1.0).contains(&f32_verdict.tp_probability));
+                assert!((0.0..=1.0).contains(&f32_verdict.predicted_iou));
+            }
+        }
+        assert_eq!(direct.frames_seen(), frames.len());
+
+        // A torn payload is an error, not a panic, and leaves the session
+        // consistent: the next well-formed frame still matches the control.
+        let mut torn = ProbPayload::encode(&frames[0].prediction, ProbEncoding::U16);
+        torn.bytes.pop();
+        assert!(direct
+            .push_payload(&torn, DispersionPrecision::F64)
+            .is_err());
+        let payload = ProbPayload::encode(&frames[0].prediction, ProbEncoding::U16);
+        let decoded_frame = Frame::unlabeled(frames[0].id, payload.decode().unwrap());
+        assert_eq!(
+            direct
+                .push_payload(&payload, DispersionPrecision::F64)
+                .unwrap(),
+            decoded.push_frame(&decoded_frame)
         );
     }
 

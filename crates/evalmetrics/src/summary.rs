@@ -168,7 +168,7 @@ mod tests {
 
         #[test]
         fn prop_constant_sample_has_zero_std(value in 0.0f64..1.0, n in 2usize..20) {
-            let stats = RunStatistics::from_values(std::iter::repeat(value).take(n));
+            let stats = RunStatistics::from_values(std::iter::repeat_n(value, n));
             prop_assert!(stats.std_dev() < 1e-12);
             prop_assert!((stats.mean() - value).abs() < 1e-12);
         }

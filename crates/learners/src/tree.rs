@@ -206,7 +206,7 @@ fn grow(
             let left_sse = left_sq - left_sum * left_sum / left_n;
             let right_sse = right_sq - right_sum * right_sum / right_n;
             let child_sse = left_sse + right_sse;
-            if best.map_or(true, |(_, _, b)| child_sse < b) {
+            if best.is_none_or(|(_, _, b)| child_sse < b) {
                 let threshold = (left_value + right_value) / 2.0;
                 best = Some((feature, threshold, child_sse));
             }

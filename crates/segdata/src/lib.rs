@@ -36,4 +36,6 @@ pub use dataset::{Dataset, Sequence, SplitRatios};
 pub use error::DataError;
 pub use frame::{Frame, FrameId};
 pub use labelmap::LabelMap;
-pub use probmap::{DistributionScan, ProbEncoding, ProbMap, ProbPayload};
+pub use probmap::{
+    fast_ln_positive_f32, DistributionScan, DistributionScanF32, ProbEncoding, ProbMap, ProbPayload,
+};

@@ -114,6 +114,109 @@ impl DistributionScan {
     }
 }
 
+/// Fast natural logarithm for non-negative finite `f32` inputs.
+///
+/// Splits the float into exponent and mantissa by bit manipulation, folds
+/// mantissas above `√2` down one octave, and evaluates the odd atanh series
+/// `ln m = 2 atanh((m-1)/(m+1))` truncated after the `z⁷` term; absolute
+/// error stays below `~1e-6` over the unit interval (dominated by the
+/// `exponent · ln 2` rounding at tiny inputs), and the entropy term
+/// `p · ln p` the dispersion scan derives from it stays within `~1e-7` of
+/// libm. `+0.0` maps to a large
+/// *finite* negative value (`≈ -88`), so `p * fast_ln_positive_f32(p)`
+/// vanishes at `p = 0` without a branch — the property the branch-free f32
+/// dispersion scan relies on. Negative, infinite or NaN inputs yield
+/// unspecified finite-or-NaN garbage; callers clamp derived measures.
+#[inline]
+pub fn fast_ln_positive_f32(x: f32) -> f32 {
+    let bits = x.to_bits();
+    let mut exponent = ((bits >> 23) as i32) - 127;
+    let mut mantissa = f32::from_bits((bits & 0x007f_ffff) | 0x3f80_0000);
+    // Fold m ∈ (√2, 2) to m/2 so the series argument z = (m-1)/(m+1) stays
+    // within |z| ≤ 0.172 (truncation error ≤ 2/9 · z⁹ ≈ 3e-8).
+    if mantissa > std::f32::consts::SQRT_2 {
+        mantissa *= 0.5;
+        exponent += 1;
+    }
+    let z = (mantissa - 1.0) / (mantissa + 1.0);
+    let z2 = z * z;
+    let series = z * (2.0 + z2 * (2.0 / 3.0 + z2 * (2.0 / 5.0 + z2 * (2.0 / 7.0))));
+    exponent as f32 * std::f32::consts::LN_2 + series
+}
+
+/// Single-precision counterpart of [`DistributionScan`] — the opt-in f32
+/// dispersion fast path.
+///
+/// Unlike the f64 scan, whose entropy memo and comparison chain exist for
+/// bit-exact compatibility with the historical kernel, this scan is written
+/// branch-free so the compiler can vectorise it: the entropy term uses
+/// [`fast_ln_positive_f32`] unconditionally (zero probabilities contribute
+/// `-0.0`), and the top-2 search is a pair of min/max updates. Results track
+/// the f64 scan within the documented `~1e-5` absolute error of the fast
+/// logarithm; tie-breaking ("first maximum wins") is identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionScanF32 {
+    /// Channel of the largest probability; ties resolve to the lowest
+    /// channel index (the first maximum encountered wins).
+    pub argmax: usize,
+    /// Largest probability.
+    pub top1: f32,
+    /// Second largest probability (`0.0` for single-channel distributions).
+    pub top2: f32,
+    /// Un-normalised entropy `Σ -p ln p`, summed in channel order with the
+    /// fast logarithm.
+    pub raw_entropy: f32,
+}
+
+impl DistributionScanF32 {
+    /// Scans a probability vector once, branch-free.
+    #[inline]
+    pub fn of(dist: &[f32]) -> Self {
+        let mut argmax = 0usize;
+        let mut first = f32::NEG_INFINITY;
+        let mut second = f32::NEG_INFINITY;
+        let mut raw_entropy = 0.0f32;
+        for (channel, &p) in dist.iter().enumerate() {
+            // fast_ln(0) is finite, so the p = 0 term is -0.0 — no branch.
+            raw_entropy -= p * fast_ln_positive_f32(p);
+            let prev = first;
+            first = prev.max(p);
+            second = second.max(p.min(prev));
+            if p > prev {
+                argmax = channel;
+            }
+        }
+        if dist.len() == 1 {
+            second = 0.0;
+        }
+        Self {
+            argmax,
+            top1: first,
+            top2: second,
+            raw_entropy,
+        }
+    }
+
+    /// Normalised Shannon entropy `E_z ∈ [0, 1]` for a `num_classes`-way
+    /// distribution.
+    #[inline]
+    pub fn entropy(&self, num_classes: usize) -> f32 {
+        (self.raw_entropy / (num_classes as f32).ln()).clamp(0.0, 1.0)
+    }
+
+    /// Probability margin `D_z = 1 - (p_(1) - p_(2)) ∈ [0, 1]`.
+    #[inline]
+    pub fn margin(&self) -> f32 {
+        (1.0 - (self.top1 - self.top2)).clamp(0.0, 1.0)
+    }
+
+    /// Variation ratio `V_z = 1 - p_(1) ∈ [0, 1]`.
+    #[inline]
+    pub fn variation_ratio(&self) -> f32 {
+        (1.0 - self.top1).clamp(0.0, 1.0)
+    }
+}
+
 /// A dense per-pixel softmax field `f_z(y | x, w)`.
 ///
 /// For every pixel `z` the map stores one probability per *evaluated*
@@ -524,6 +627,127 @@ impl ProbPayload {
             &self.bytes,
         )
     }
+
+    /// Validates the declared shape against the byte length, returning the
+    /// number of probability values the payload holds.
+    ///
+    /// # Errors
+    ///
+    /// The same typed errors as [`ProbPayload::decode`].
+    pub fn checked_value_count(&self) -> Result<usize, DataError> {
+        let expected = self
+            .encoding
+            .payload_len(self.width, self.height, self.channels)
+            .ok_or(DataError::InvalidPayloadShape {
+                width: self.width,
+                height: self.height,
+                channels: self.channels,
+            })?;
+        if self.bytes.len() != expected {
+            return Err(DataError::PayloadSizeMismatch {
+                expected,
+                found: self.bytes.len(),
+            });
+        }
+        Ok(expected / self.encoding.bytes_per_value())
+    }
+
+    /// Dequantizes the payload straight into a reusable `f64` buffer
+    /// (cleared first), without materialising a [`ProbMap`] — the zero-copy
+    /// ingest path of the extraction kernel. The decoded values are
+    /// *bit-identical* to [`ProbPayload::decode`]'s backing buffer: both
+    /// routes share one decode loop per encoding.
+    ///
+    /// # Errors
+    ///
+    /// The same typed errors as [`ProbPayload::decode`].
+    pub fn decode_values_into(&self, out: &mut Vec<f64>) -> Result<(), DataError> {
+        let count = self.checked_value_count()?;
+        out.clear();
+        out.reserve(count);
+        decode_values_f64(self.encoding, &self.bytes, out);
+        Ok(())
+    }
+
+    /// Borrows a `U16` payload's quantized values *in place*, as the
+    /// little-endian byte pairs of the wire buffer — no decode pass, no
+    /// copy, no allocation. The caller dequantizes lazily at the point of
+    /// use (the kernel's quantized fast path does it in-register during its
+    /// tile gather). Returns `None` for float encodings, which have no
+    /// quantized form; callers fall back to
+    /// [`ProbPayload::decode_values_into_f32`].
+    ///
+    /// # Errors
+    ///
+    /// The same typed errors as [`ProbPayload::decode`].
+    pub fn quantized_pairs(&self) -> Result<Option<&[[u8; 2]]>, DataError> {
+        let count = self.checked_value_count()?;
+        if self.encoding != ProbEncoding::U16 {
+            return Ok(None);
+        }
+        let (pairs, rest) = self.bytes.as_chunks::<2>();
+        debug_assert!(rest.is_empty() && pairs.len() == count);
+        Ok(Some(pairs))
+    }
+
+    /// Dequantizes the payload into a reusable `f32` buffer (cleared first)
+    /// — the single-precision fast-path variant of
+    /// [`ProbPayload::decode_values_into`]. `u16` values dequantize by
+    /// multiplication with `1/65535` (one ulp-level difference from the f64
+    /// route's division), `f32` payloads copy bit-exactly, and `f64` values
+    /// round to nearest.
+    ///
+    /// # Errors
+    ///
+    /// The same typed errors as [`ProbPayload::decode`].
+    pub fn decode_values_into_f32(&self, out: &mut Vec<f32>) -> Result<(), DataError> {
+        let count = self.checked_value_count()?;
+        out.clear();
+        out.reserve(count);
+        match self.encoding {
+            ProbEncoding::F64 => out.extend(self.bytes.chunks_exact(8).map(|c| {
+                f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")) as f32
+            })),
+            ProbEncoding::F32 => {
+                out.extend(self.bytes.chunks_exact(4).map(|c| {
+                    f32::from_le_bytes(c.try_into().expect("chunks_exact yields 4 bytes"))
+                }))
+            }
+            ProbEncoding::U16 => {
+                const SCALE: f32 = 1.0 / 65535.0;
+                out.extend(self.bytes.chunks_exact(2).map(|c| {
+                    f32::from(u16::from_le_bytes(
+                        c.try_into().expect("chunks_exact yields 2 bytes"),
+                    )) * SCALE
+                }))
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The one decode loop per encoding: both [`ProbMap::from_payload_bytes`]
+/// and [`ProbPayload::decode_values_into`] append through here, so the
+/// direct-to-scratch ingest path is bit-identical to decode-via-`ProbMap` by
+/// construction. `bytes` must already be length-validated.
+fn decode_values_f64(encoding: ProbEncoding, bytes: &[u8], out: &mut Vec<f64>) {
+    match encoding {
+        ProbEncoding::F64 => out.extend(
+            bytes
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes"))),
+        ),
+        ProbEncoding::F32 => out.extend(bytes.chunks_exact(4).map(|c| {
+            f64::from(f32::from_le_bytes(
+                c.try_into().expect("chunks_exact yields 4 bytes"),
+            ))
+        })),
+        ProbEncoding::U16 => out.extend(bytes.chunks_exact(2).map(|c| {
+            f64::from(u16::from_le_bytes(
+                c.try_into().expect("chunks_exact yields 2 bytes"),
+            )) / f64::from(u16::MAX)
+        })),
+    }
 }
 
 impl ProbMap {
@@ -596,28 +820,8 @@ impl ProbMap {
                 found: bytes.len(),
             });
         }
-        let data: Vec<f64> = match encoding {
-            ProbEncoding::F64 => bytes
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes")))
-                .collect(),
-            ProbEncoding::F32 => bytes
-                .chunks_exact(4)
-                .map(|c| {
-                    f64::from(f32::from_le_bytes(
-                        c.try_into().expect("chunks_exact yields 4 bytes"),
-                    ))
-                })
-                .collect(),
-            ProbEncoding::U16 => bytes
-                .chunks_exact(2)
-                .map(|c| {
-                    f64::from(u16::from_le_bytes(
-                        c.try_into().expect("chunks_exact yields 2 bytes"),
-                    )) / f64::from(u16::MAX)
-                })
-                .collect(),
-        };
+        let mut data = Vec::with_capacity(expected / encoding.bytes_per_value());
+        decode_values_f64(encoding, bytes, &mut data);
         Ok(Self {
             width,
             height,
@@ -910,6 +1114,146 @@ mod tests {
                 found: 16
             })
         ));
+    }
+
+    #[test]
+    fn fast_ln_is_accurate_on_the_probability_range() {
+        // The fast logarithm must track libm on the probability range the
+        // dispersion scan feeds it: the raw value within 2e-6 (the
+        // exponent·ln2 rounding dominates at tiny inputs), and the entropy
+        // term p·ln p — what the scan actually accumulates — within 2e-7.
+        let mut worst_ln = 0.0f32;
+        let mut worst_term = 0.0f32;
+        for i in 1..=100_000u32 {
+            let x = i as f32 / 100_000.0;
+            worst_ln = worst_ln.max((fast_ln_positive_f32(x) - x.ln()).abs());
+            worst_term = worst_term.max((x * fast_ln_positive_f32(x) - x * x.ln()).abs());
+        }
+        assert!(worst_ln <= 2e-6, "fast ln error {worst_ln} exceeds 2e-6");
+        assert!(
+            worst_term <= 2e-7,
+            "entropy term error {worst_term} exceeds 2e-7"
+        );
+        // Zero maps to a finite negative value so p·ln(p) vanishes at 0.
+        let at_zero = fast_ln_positive_f32(0.0);
+        assert!(at_zero.is_finite() && at_zero < -80.0);
+        assert_eq!(0.0f32 * at_zero, -0.0);
+    }
+
+    #[test]
+    fn f32_scan_tracks_the_f64_scan() {
+        let dists: [&[f64]; 5] = [
+            &[0.25, 0.5, 0.25],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[0.2, 0.2, 0.2, 0.2, 0.2],
+            &[0.05, 0.6, 0.3, 0.05],
+        ];
+        for dist in dists {
+            let exact = DistributionScan::of(dist);
+            let narrowed: Vec<f32> = dist.iter().map(|&p| p as f32).collect();
+            let fast = DistributionScanF32::of(&narrowed);
+            assert_eq!(fast.argmax, exact.argmax);
+            let n = dist.len();
+            assert!((f64::from(fast.entropy(n)) - exact.entropy(n)).abs() <= 1e-5);
+            assert!((f64::from(fast.margin()) - exact.margin()).abs() <= 1e-5);
+            assert!((f64::from(fast.variation_ratio()) - exact.variation_ratio()).abs() <= 1e-5);
+            assert!((f64::from(fast.top1) - exact.top1).abs() <= 1e-6);
+        }
+    }
+
+    #[test]
+    fn f32_scan_tie_breaking_matches_the_f64_scan() {
+        // First maximum wins, exactly like the f64 scan.
+        let scan = DistributionScanF32::of(&[0.1, 0.4, 0.4, 0.1]);
+        assert_eq!(scan.argmax, 1);
+        assert_eq!((scan.top1, scan.top2), (0.4, 0.4));
+        // Single-channel distributions define top2 as zero.
+        let single = DistributionScanF32::of(&[1.0]);
+        assert_eq!((single.argmax, single.top1, single.top2), (0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn decode_values_into_is_bit_identical_to_decode() {
+        let map = arbitrary_map(3, 2, 4, &[0.25, 1.0 / 3.0, std::f64::consts::PI, 0.75, 0.0]);
+        let mut out = vec![1.0; 3]; // stale content must be cleared
+        for encoding in [ProbEncoding::F64, ProbEncoding::F32, ProbEncoding::U16] {
+            let payload = ProbPayload::encode(&map, encoding);
+            assert_eq!(payload.checked_value_count().unwrap(), 3 * 2 * 4);
+            payload.decode_values_into(&mut out).unwrap();
+            assert_eq!(out.as_slice(), payload.decode().unwrap().values());
+        }
+    }
+
+    #[test]
+    fn decode_values_into_rejects_malformed_payloads() {
+        let mut payload = ProbPayload::encode(&ProbMap::uniform(2, 2, 3), ProbEncoding::U16);
+        payload.bytes.pop();
+        let mut f64_out = Vec::new();
+        let mut f32_out = Vec::new();
+        assert!(matches!(
+            payload.decode_values_into(&mut f64_out),
+            Err(DataError::PayloadSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            payload.decode_values_into_f32(&mut f32_out),
+            Err(DataError::PayloadSizeMismatch { .. })
+        ));
+        assert!(matches!(
+            payload.quantized_pairs(),
+            Err(DataError::PayloadSizeMismatch { .. })
+        ));
+        payload.width = 0;
+        assert!(matches!(
+            payload.decode_values_into(&mut f64_out),
+            Err(DataError::InvalidPayloadShape { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_pairs_borrows_quantized_values_only() {
+        let map = ProbMap::uniform(3, 2, 4);
+        let quantized = ProbPayload::encode(&map, ProbEncoding::U16);
+        let pairs = quantized.quantized_pairs().unwrap().expect("u16 payload");
+        assert_eq!(pairs.len(), 3 * 2 * 4);
+        // Round-tripping each raw value through the shared f64 decode
+        // formula reproduces the decoded plane bit for bit.
+        let decoded = quantized.decode().unwrap();
+        for (&pair, &v) in pairs.iter().zip(decoded.values()) {
+            assert_eq!(f64::from(u16::from_le_bytes(pair)) / f64::from(u16::MAX), v);
+        }
+        // Float encodings have no quantized form.
+        for encoding in [ProbEncoding::F64, ProbEncoding::F32] {
+            let float_payload = ProbPayload::encode(&map, encoding);
+            assert!(float_payload.quantized_pairs().unwrap().is_none());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_values_into_matches_decode(
+            dims in (1usize..5, 1usize..4, 1usize..6),
+            values in proptest::collection::vec(0.0f64..=1.0, 24),
+            tag in 0u8..3
+        ) {
+            let (width, height, channels) = dims;
+            let encoding = ProbEncoding::from_tag(tag).unwrap();
+            let payload = ProbPayload::encode(
+                &arbitrary_map(width, height, channels, &values),
+                encoding,
+            );
+            let via_map = payload.decode().unwrap();
+            let mut direct = Vec::new();
+            payload.decode_values_into(&mut direct).unwrap();
+            prop_assert_eq!(direct.as_slice(), via_map.values());
+            // The f32 route tracks the f64 route within quantization noise.
+            let mut narrow = Vec::new();
+            payload.decode_values_into_f32(&mut narrow).unwrap();
+            prop_assert_eq!(narrow.len(), direct.len());
+            for (&n, &d) in narrow.iter().zip(&direct) {
+                prop_assert!((f64::from(n) - d).abs() <= 1e-6);
+            }
+        }
     }
 
     #[test]

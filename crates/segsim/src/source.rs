@@ -145,6 +145,32 @@ where
     pub fn decode_error(&self) -> Option<&DataError> {
         self.error.as_ref()
     }
+
+    /// Produces the next payload *without decoding it* — the zero-copy
+    /// variant of [`FrameSource::next_frame`] for consumers that ingest wire
+    /// bytes directly (e.g. `metaseg::stream::MetaSegStream::push_payload`,
+    /// which dequantizes into its extraction scratch). The payload's shape
+    /// is validated so a torn byte stream still ends the stream with the
+    /// same typed, queryable error as the decoding path — but its values
+    /// are not touched, so pulling a payload costs no per-frame allocation
+    /// beyond what the underlying iterator already holds.
+    pub fn next_payload(&mut self) -> Option<(FrameId, ProbPayload)> {
+        if self.error.is_some() {
+            return None;
+        }
+        let payload = self.inner.next()?;
+        match payload.checked_value_count() {
+            Ok(_) => {
+                let id = FrameId::new(self.sequence, self.next_index);
+                self.next_index += 1;
+                Some((id, payload))
+            }
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
 }
 
 impl<I: Iterator<Item = ProbPayload>> FrameSource for EncodedFrameSource<I> {
@@ -256,7 +282,7 @@ impl Iterator for VideoStream {
         let ground_truth = self.scene.render_at(t as f64);
         let prediction = self.sim.predict(&ground_truth, &mut self.rng);
         let id = FrameId::new(self.sequence, t);
-        Some(if t % self.label_stride == 0 {
+        Some(if t.is_multiple_of(self.label_stride) {
             Frame::labeled(id, ground_truth, prediction)
                 .expect("scene and prediction share the same shape")
         } else {
@@ -387,6 +413,29 @@ mod tests {
         // resurrected out of order).
         assert!(source.next_frame().is_none());
         assert_eq!(source.position(), 1);
+    }
+
+    #[test]
+    fn next_payload_walks_the_same_stream_without_decoding() {
+        use metaseg_data::ProbEncoding;
+
+        let good = ProbPayload::encode(&ProbMap::uniform(2, 2, 3), ProbEncoding::U16);
+        let mut torn = good.clone();
+        torn.bytes.pop();
+        let mut source = EncodedFrameSource::new(4, vec![good.clone(), good.clone(), torn]);
+        let (id, payload) = source.next_payload().expect("first payload is intact");
+        assert_eq!(id, FrameId::new(4, 0));
+        // The bytes come through untouched — decoding is the caller's call.
+        assert_eq!(payload, good);
+        assert_eq!(source.next_payload().unwrap().0, FrameId::new(4, 1));
+        // A torn payload ends the payload stream with the same typed error
+        // as the decoding path.
+        assert!(source.next_payload().is_none());
+        assert!(matches!(
+            source.decode_error(),
+            Some(metaseg_data::DataError::PayloadSizeMismatch { .. })
+        ));
+        assert_eq!(source.position(), 2);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use crate::protocol::{ErrorCode, FrameFormat, ProtocolError, Request, Response};
 use crate::wire::encode_binary_frame;
 use metaseg::stream::{SegmentVerdict, SessionStats};
+use metaseg::DispersionPrecision;
 use metaseg_data::ProbMap;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -107,8 +108,27 @@ impl ServeClient {
     /// Fails on transport errors or a typed server rejection; the format in
     /// effect is unchanged on failure.
     pub fn negotiate(&mut self, format: FrameFormat) -> Result<(), ClientError> {
-        self.expect(&Request::Negotiate { format }, |r| match r {
-            Response::Negotiated { format } => Ok(format),
+        self.negotiate_with_dispersion(format, DispersionPrecision::F64)
+    }
+
+    /// Like [`ServeClient::negotiate`], but additionally asks the server to
+    /// run its dispersion scan at the given precision for this connection's
+    /// frames. [`DispersionPrecision::F32`] is the vectorised fast path
+    /// (metrics within ~1e-4 relative of the exact f64 scan);
+    /// [`DispersionPrecision::F64`] is the exact default and keeps the
+    /// negotiation line byte-identical to what pre-fast-path clients send.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a typed server rejection; the format in
+    /// effect is unchanged on failure.
+    pub fn negotiate_with_dispersion(
+        &mut self,
+        format: FrameFormat,
+        dispersion: DispersionPrecision,
+    ) -> Result<(), ClientError> {
+        self.expect(&Request::Negotiate { format, dispersion }, |r| match r {
+            Response::Negotiated { format, .. } => Ok(format),
             other => Err(other),
         })
         .map(|confirmed| {

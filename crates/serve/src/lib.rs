@@ -56,15 +56,32 @@
 //! connection:
 //!
 //! ```
+//! use metaseg::DispersionPrecision;
 //! use metaseg_serve::{FrameFormat, Request, Response};
 //! use metaseg_data::ProbEncoding;
 //!
-//! let negotiate = Request::Negotiate { format: FrameFormat::Binary(ProbEncoding::F64) };
+//! let negotiate = Request::Negotiate {
+//!     format: FrameFormat::Binary(ProbEncoding::F64),
+//!     dispersion: DispersionPrecision::F64,
+//! };
 //! assert_eq!(negotiate.encode(), r#"{"op":"negotiate","frames":"binary-f64"}"#);
 //! let reply = Response::decode(r#"{"ok":"negotiated","frames":"binary-f64"}"#).unwrap();
 //! assert_eq!(
 //!     reply,
-//!     Response::Negotiated { format: FrameFormat::Binary(ProbEncoding::F64) }
+//!     Response::Negotiated {
+//!         format: FrameFormat::Binary(ProbEncoding::F64),
+//!         dispersion: DispersionPrecision::F64,
+//!     }
+//! );
+//!
+//! // Opting into the f32 dispersion fast path adds one key to the line.
+//! let fast = Request::Negotiate {
+//!     format: FrameFormat::Binary(ProbEncoding::U16),
+//!     dispersion: DispersionPrecision::F32,
+//! };
+//! assert_eq!(
+//!     fast.encode(),
+//!     r#"{"op":"negotiate","frames":"binary-u16","dispersion":"f32"}"#
 //! );
 //! ```
 //!
@@ -340,7 +357,8 @@ mod tests {
             writer,
             "{}",
             Request::Negotiate {
-                format: FrameFormat::Binary(ProbEncoding::F64)
+                format: FrameFormat::Binary(ProbEncoding::F64),
+                dispersion: metaseg::DispersionPrecision::F64
             }
             .encode()
         )
@@ -348,7 +366,8 @@ mod tests {
         assert!(matches!(
             read_reply(&mut reader),
             Response::Negotiated {
-                format: FrameFormat::Binary(ProbEncoding::F64)
+                format: FrameFormat::Binary(ProbEncoding::F64),
+                ..
             }
         ));
         writeln!(

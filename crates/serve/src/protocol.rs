@@ -23,6 +23,7 @@
 //! connection — one garbled camera payload must not kill a session.
 
 use metaseg::stream::{SegmentVerdict, SessionStats};
+use metaseg::DispersionPrecision;
 use metaseg_data::{ProbEncoding, ProbMap};
 use serde::{Deserialize, DeserializeError, Serialize, Value};
 use std::fmt;
@@ -118,6 +119,11 @@ pub enum Request {
     Negotiate {
         /// The format the client wants to submit frames in.
         format: FrameFormat,
+        /// The dispersion-scan precision the client asks the server to run.
+        /// Encoded on the wire only when it deviates from the
+        /// [`DispersionPrecision::F64`] default, so negotiation lines from
+        /// older clients (and to older servers) are unchanged.
+        dispersion: DispersionPrecision,
     },
 }
 
@@ -160,6 +166,10 @@ pub enum Response {
     Negotiated {
         /// The format now in effect for this connection.
         format: FrameFormat,
+        /// The dispersion precision now in effect for this connection
+        /// (omitted on the wire when it is the [`DispersionPrecision::F64`]
+        /// default).
+        dispersion: DispersionPrecision,
     },
     /// A typed error. The connection stays usable afterwards.
     Error {
@@ -269,6 +279,21 @@ fn u64_field(value: &Value, key: &str) -> Result<u64, ProtocolError> {
         .ok_or_else(|| ProtocolError::new(format!("field `{key}` must be a non-negative integer")))
 }
 
+/// Optional `"dispersion"` field of negotiation messages: an absent key is
+/// the f64 default, so pre-fast-path peers interoperate unchanged.
+fn dispersion_field(value: &Value) -> Result<DispersionPrecision, ProtocolError> {
+    match value.get("dispersion") {
+        None => Ok(DispersionPrecision::F64),
+        Some(field) => {
+            let text = field
+                .as_str()
+                .ok_or_else(|| ProtocolError::new("field `dispersion` must be a string"))?;
+            DispersionPrecision::from_name(text)
+                .ok_or_else(|| ProtocolError::new(format!("unknown dispersion precision `{text}`")))
+        }
+    }
+}
+
 fn string_field(value: &Value, key: &str) -> Result<String, ProtocolError> {
     Ok(required(value, key)?
         .as_str()
@@ -307,10 +332,16 @@ impl Request {
                 ("session", session.serialize()),
             ]),
             Request::Ping => object(vec![("op", Value::String("ping".into()))]),
-            Request::Negotiate { format } => object(vec![
-                ("op", Value::String("negotiate".into())),
-                ("frames", Value::String(format.as_str().into())),
-            ]),
+            Request::Negotiate { format, dispersion } => {
+                let mut entries = vec![
+                    ("op", Value::String("negotiate".into())),
+                    ("frames", Value::String(format.as_str().into())),
+                ];
+                if *dispersion != DispersionPrecision::F64 {
+                    entries.push(("dispersion", Value::String(dispersion.as_str().into())));
+                }
+                object(entries)
+            }
         };
         serde_json::to_string(&value).expect("document model serialization is infallible")
     }
@@ -346,7 +377,10 @@ impl Request {
                 let text = string_field(&value, "frames")?;
                 let format = FrameFormat::from_str_opt(&text)
                     .ok_or_else(|| ProtocolError::new(format!("unknown frame format `{text}`")))?;
-                Ok(Request::Negotiate { format })
+                Ok(Request::Negotiate {
+                    format,
+                    dispersion: dispersion_field(&value)?,
+                })
             }
             other => Err(ProtocolError::new(format!("unknown op `{other}`"))),
         }
@@ -386,10 +420,16 @@ impl Response {
                 ("stats", stats.serialize()),
             ]),
             Response::Pong => object(vec![("ok", Value::String("pong".into()))]),
-            Response::Negotiated { format } => object(vec![
-                ("ok", Value::String("negotiated".into())),
-                ("frames", Value::String(format.as_str().into())),
-            ]),
+            Response::Negotiated { format, dispersion } => {
+                let mut entries = vec![
+                    ("ok", Value::String("negotiated".into())),
+                    ("frames", Value::String(format.as_str().into())),
+                ];
+                if *dispersion != DispersionPrecision::F64 {
+                    entries.push(("dispersion", Value::String(dispersion.as_str().into())));
+                }
+                object(entries)
+            }
             Response::Error { code, message } => object(vec![
                 ("err", Value::String(code.as_str().into())),
                 ("message", message.serialize()),
@@ -442,7 +482,10 @@ impl Response {
                 let text = string_field(&value, "frames")?;
                 let format = FrameFormat::from_str_opt(&text)
                     .ok_or_else(|| ProtocolError::new(format!("unknown frame format `{text}`")))?;
-                Ok(Response::Negotiated { format })
+                Ok(Response::Negotiated {
+                    format,
+                    dispersion: dispersion_field(&value)?,
+                })
             }
             other => Err(ProtocolError::new(format!("unknown response `{other}`"))),
         }
@@ -478,9 +521,15 @@ mod tests {
             Request::Ping,
             Request::Negotiate {
                 format: FrameFormat::Binary(metaseg_data::ProbEncoding::F64),
+                dispersion: DispersionPrecision::F64,
             },
             Request::Negotiate {
                 format: FrameFormat::Json,
+                dispersion: DispersionPrecision::F64,
+            },
+            Request::Negotiate {
+                format: FrameFormat::Binary(metaseg_data::ProbEncoding::U16),
+                dispersion: DispersionPrecision::F32,
             },
         ];
         for request in requests {
@@ -488,6 +537,27 @@ mod tests {
             assert!(!line.contains('\n'), "one message per line: {line}");
             assert_eq!(Request::decode(&line).unwrap(), request);
         }
+    }
+
+    /// The f64 default travels as an *absent* key, so negotiation lines are
+    /// byte-compatible with peers that predate the dispersion fast path.
+    #[test]
+    fn default_dispersion_is_absent_from_the_wire() {
+        let request = Request::Negotiate {
+            format: FrameFormat::Json,
+            dispersion: DispersionPrecision::F64,
+        };
+        assert!(!request.encode().contains("dispersion"));
+        let response = Response::Negotiated {
+            format: FrameFormat::Json,
+            dispersion: DispersionPrecision::F64,
+        };
+        assert!(!response.encode().contains("dispersion"));
+        let fast = Request::Negotiate {
+            format: FrameFormat::Json,
+            dispersion: DispersionPrecision::F32,
+        };
+        assert!(fast.encode().contains("\"dispersion\":\"f32\""));
     }
 
     #[test]
@@ -531,6 +601,11 @@ mod tests {
             Response::Pong,
             Response::Negotiated {
                 format: FrameFormat::Binary(metaseg_data::ProbEncoding::U16),
+                dispersion: DispersionPrecision::F64,
+            },
+            Response::Negotiated {
+                format: FrameFormat::Binary(metaseg_data::ProbEncoding::U16),
+                dispersion: DispersionPrecision::F32,
             },
             Response::Error {
                 code: ErrorCode::Backpressure,
@@ -583,6 +658,8 @@ mod tests {
             "{\"op\":\"frame\",\"session\":1}",
             "{\"op\":\"negotiate\"}",
             "{\"op\":\"negotiate\",\"frames\":\"binary-f16\"}",
+            "{\"op\":\"negotiate\",\"frames\":\"binary-u16\",\"dispersion\":\"f16\"}",
+            "{\"op\":\"negotiate\",\"frames\":\"binary-u16\",\"dispersion\":7}",
         ] {
             assert!(Request::decode(bad).is_err(), "accepted {bad:?}");
         }

@@ -19,8 +19,11 @@
 //!   **cross-session micro-batches**: a worker pops one job, opportunistically
 //!   drains up to `batch_max - 1` more that are already queued, groups them
 //!   by session, and fans the groups out across the rayon pool, pushing each
-//!   group through [`MetaSegStream::push_frames`] — the in-order batch entry
-//!   point of the engine, pinned to equal repeated `push_frame`.
+//!   group's frames in arrival order through the session engine — decoded
+//!   JSON frames via [`MetaSegStream::push_frame`], binary wire payloads via
+//!   [`MetaSegStream::push_payload`], which dequantizes the checksum-verified
+//!   bytes straight into the engine's extraction scratch (no intermediate
+//!   `ProbMap` on the binary path).
 //!   Frames of one session stay strictly ordered; frames of distinct
 //!   sessions run in parallel, keeping cores saturated under many-camera
 //!   load even with few pool workers. Batching never changes a verdict —
@@ -38,7 +41,8 @@ use crate::protocol::{ErrorCode, FrameFormat, Request, Response};
 use crate::registry::ModelRegistry;
 use crate::wire::{self, BinaryFrameHeader, WireError, BINARY_FRAME_MAGIC, BINARY_HEADER_LEN};
 use metaseg::stream::MetaSegStream;
-use metaseg_data::{Frame, FrameId, ProbMap};
+use metaseg::DispersionPrecision;
+use metaseg_data::{Frame, FrameId, ProbMap, ProbPayload};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -165,6 +169,19 @@ struct Connection {
     sessions: HashMap<u64, Arc<Mutex<Session>>>,
     /// Whether binary frame submissions have been negotiated.
     binary_frames: bool,
+    /// Negotiated dispersion-scan precision for this connection's frames.
+    dispersion: DispersionPrecision,
+}
+
+/// How a queued frame travels to the worker that will serve it.
+enum JobPayload {
+    /// A softmax field decoded at the connection thread (the JSON path —
+    /// the document decoder produces an owned [`ProbMap`] anyway).
+    Decoded(ProbMap),
+    /// Checksum-verified wire bytes, untouched since the socket read. The
+    /// worker dequantizes them directly into the session engine's extraction
+    /// scratch — no intermediate `ProbMap` is ever materialised.
+    Encoded(ProbPayload),
 }
 
 /// A queued inference job: one frame of one session plus the reply channel
@@ -172,7 +189,8 @@ struct Connection {
 struct Job {
     session_id: u64,
     session: Arc<Mutex<Session>>,
-    probs: ProbMap,
+    payload: JobPayload,
+    dispersion: DispersionPrecision,
     reply: Sender<Response>,
 }
 
@@ -453,8 +471,8 @@ fn read_line_polled(
 
 /// Outcome of reading one binary frame off the stream.
 enum BinaryRead {
-    /// A well-formed frame of an open session: submit it.
-    Frame { session: u64, probs: ProbMap },
+    /// A checksum-verified frame of an open session: submit its raw payload.
+    Frame { session: u64, payload: ProbPayload },
     /// A frame that was skipped or failed decoding: answer the typed
     /// response, keep the connection.
     Reject(Response),
@@ -518,10 +536,13 @@ fn read_binary_message(
             if read_exact_polled(reader, &mut payload, shared).is_none() {
                 return BinaryRead::Drop(None);
             }
-            match header.decode_payload(&payload) {
-                Ok(probs) => BinaryRead::Frame {
+            // Zero-copy ingest: verify the checksum, then hand the wire
+            // bytes to the worker unchanged — dequantization happens in the
+            // worker, straight into the session's extraction scratch.
+            match header.verified_payload(payload) {
+                Ok(payload) => BinaryRead::Frame {
                     session: header.session,
-                    probs,
+                    payload,
                 },
                 Err(e) => BinaryRead::Reject(bad_request(e)),
             }
@@ -556,6 +577,7 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<
     let mut connection = Connection {
         sessions: HashMap::new(),
         binary_frames: false,
+        dispersion: DispersionPrecision::F64,
     };
     let mut line_bytes = Vec::new();
 
@@ -565,10 +587,16 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<
         };
         let (response, close_after_reply) = if first_byte == BINARY_FRAME_MAGIC {
             match read_binary_message(&mut reader, &connection, shared) {
-                BinaryRead::Frame { session, probs } => {
+                BinaryRead::Frame { session, payload } => {
                     shared.binary_frames.fetch_add(1, Ordering::Relaxed);
                     (
-                        submit_frame(session, probs, &connection, shared, job_tx),
+                        submit_frame(
+                            session,
+                            JobPayload::Encoded(payload),
+                            &connection,
+                            shared,
+                            job_tx,
+                        ),
                         false,
                     )
                 }
@@ -612,13 +640,16 @@ fn handle_request(
 ) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Negotiate { format } => {
+        Request::Negotiate { format, dispersion } => {
             // Binary framing is a per-connection capability switch; control
             // operations and responses stay JSON lines either way. The
             // payload encoding of each binary frame is self-describing, so
-            // the server only needs to remember "binary allowed".
+            // the server only needs to remember "binary allowed". The
+            // dispersion precision applies to every frame submitted after
+            // this confirmation, whatever its format.
             connection.binary_frames = matches!(format, FrameFormat::Binary(_));
-            Response::Negotiated { format }
+            connection.dispersion = dispersion;
+            Response::Negotiated { format, dispersion }
         }
         Request::Open { model, camera } => {
             if shared.shutting_down.load(Ordering::SeqCst) {
@@ -642,9 +673,13 @@ fn handle_request(
                 series_length,
             }
         }
-        Request::Frame { session, probs } => {
-            submit_frame(session, probs, connection, shared, job_tx)
-        }
+        Request::Frame { session, probs } => submit_frame(
+            session,
+            JobPayload::Decoded(probs),
+            connection,
+            shared,
+            job_tx,
+        ),
         Request::Stats { session } => match connection.sessions.get(&session).cloned() {
             Some(state) => match state.lock() {
                 Ok(guard) => Response::Stats {
@@ -674,11 +709,11 @@ fn handle_request(
     }
 }
 
-/// Submits one decoded frame to the worker pool and waits for its verdicts —
+/// Submits one frame payload to the worker pool and waits for its verdicts —
 /// the shared tail of the JSON and binary submission paths.
 fn submit_frame(
     session: u64,
-    probs: ProbMap,
+    payload: JobPayload,
     connection: &Connection,
     shared: &Arc<Shared>,
     job_tx: &SyncSender<Job>,
@@ -690,19 +725,22 @@ fn submit_frame(
         return unknown_session_error(session);
     };
     // Decoded payloads cross a trust boundary: an inconsistent shape would
-    // panic deep inside metric extraction. (The binary decoder validates
-    // this by construction; the JSON decoder does not.)
-    if !probs.shape_consistent() {
-        return Response::Error {
-            code: ErrorCode::BadRequest,
-            message: "frame payload has an inconsistent shape".to_string(),
-        };
+    // panic deep inside metric extraction. (The binary path validates shape
+    // against byte count before the job is built.)
+    if let JobPayload::Decoded(probs) = &payload {
+        if !probs.shape_consistent() {
+            return Response::Error {
+                code: ErrorCode::BadRequest,
+                message: "frame payload has an inconsistent shape".to_string(),
+            };
+        }
     }
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         session_id: session,
         session: Arc::clone(state),
-        probs,
+        payload,
+        dispersion: connection.dispersion,
         reply: reply_tx,
     };
     // Count the job before handing it over: the worker decrements after
@@ -753,23 +791,29 @@ fn unknown_session_error(session: u64) -> Response {
 struct SessionBatch {
     session_id: u64,
     session: Arc<Mutex<Session>>,
-    jobs: Vec<(ProbMap, Sender<Response>)>,
+    jobs: Vec<(JobPayload, DispersionPrecision, Sender<Response>)>,
 }
 
 /// Processes one session group: lock once, push the frames in order through
-/// the engine's batch entry point, reply per frame.
+/// the engine, reply per frame.
+///
+/// Decoded frames go through [`MetaSegStream::push_frame`]; encoded wire
+/// payloads go through [`MetaSegStream::push_payload`], which dequantizes
+/// the bytes directly into the session's extraction scratch (pinned
+/// bit-identical at f64 precision by the engine's own tests, so the two
+/// paths can never disagree on a verdict).
 fn process_session_batch(batch: SessionBatch, shared: &Shared) {
     let SessionBatch {
         session_id,
         session,
         jobs,
     } = batch;
-    let processed = jobs.len();
+    let batched = jobs.len();
     let Ok(mut session) = session.lock() else {
         // A previous frame of this session panicked mid-inference: the
         // engine state is unknown, so refuse to serve it rather than risk
         // silently-wrong verdicts.
-        for (_, reply) in jobs {
+        for (_, _, reply) in jobs {
             let _ = reply.send(session_poisoned_error(session_id));
         }
         return;
@@ -779,32 +823,52 @@ fn process_session_batch(batch: SessionBatch, shared: &Shared) {
         // n frames sleeps n times the configured delay — identical to the
         // unbatched schedule; batching only parallelises across sessions.
         thread::sleep(Duration::from_millis(
-            shared.config.synthetic_delay_ms * processed as u64,
+            shared.config.synthetic_delay_ms * batched as u64,
         ));
     }
-    let base = session.engine.frames_seen();
-    let mut frames = Vec::with_capacity(processed);
-    let mut replies = Vec::with_capacity(processed);
-    for (offset, (probs, reply)) in jobs.into_iter().enumerate() {
-        frames.push(Frame::unlabeled(
-            FrameId::new(session_id as usize, base + offset),
-            probs,
-        ));
-        replies.push(reply);
+    let mut processed = 0usize;
+    let mut responses = Vec::with_capacity(batched);
+    for (payload, dispersion, reply) in jobs {
+        let response = match payload {
+            JobPayload::Decoded(probs) => {
+                let frame = Frame::unlabeled(
+                    FrameId::new(session_id as usize, session.engine.frames_seen()),
+                    probs,
+                );
+                let verdicts = session.engine.push_frame(&frame);
+                processed += 1;
+                Response::Verdicts {
+                    session: session_id,
+                    frame: verdicts.frame,
+                    verdicts: verdicts.verdicts,
+                }
+            }
+            JobPayload::Encoded(payload) => {
+                match session.engine.push_payload(&payload, dispersion) {
+                    Ok(verdicts) => {
+                        processed += 1;
+                        Response::Verdicts {
+                            session: session_id,
+                            frame: verdicts.frame,
+                            verdicts: verdicts.verdicts,
+                        }
+                    }
+                    // The engine state is untouched on a codec error; the
+                    // session keeps serving subsequent frames.
+                    Err(e) => bad_request(e),
+                }
+            }
+        };
+        responses.push((reply, response));
     }
-    let verdict_sets = session.engine.push_frames(&frames);
     drop(session);
     shared
         .frames_processed
         .fetch_add(processed, Ordering::Relaxed);
-    for (reply, verdicts) in replies.into_iter().zip(verdict_sets) {
+    for (reply, response) in responses {
         // The connection may have gone away mid-flight; dropping the
         // verdicts is then the right thing.
-        let _ = reply.send(Response::Verdicts {
-            session: session_id,
-            frame: verdicts.frame,
-            verdicts: verdicts.verdicts,
-        });
+        let _ = reply.send(response);
     }
 }
 
@@ -846,11 +910,11 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
                 .iter_mut()
                 .find(|group| group.session_id == job.session_id)
             {
-                Some(group) => group.jobs.push((job.probs, job.reply)),
+                Some(group) => group.jobs.push((job.payload, job.dispersion, job.reply)),
                 None => groups.push(SessionBatch {
                     session_id: job.session_id,
                     session: job.session,
-                    jobs: vec![(job.probs, job.reply)],
+                    jobs: vec![(job.payload, job.dispersion, job.reply)],
                 }),
             }
         }

@@ -57,7 +57,7 @@
 //! assert_eq!((session, decoded), (7, probs));
 //! ```
 
-use metaseg_data::{DataError, ProbEncoding, ProbMap};
+use metaseg_data::{DataError, ProbEncoding, ProbMap, ProbPayload};
 use std::fmt;
 
 /// First byte of every binary frame. JSON lines from this protocol always
@@ -348,20 +348,38 @@ impl BinaryFrameHeader {
     /// payload of a different length than declared fails the size check of
     /// the inner decode.
     pub fn decode_payload(&self, payload: &[u8]) -> Result<ProbMap, WireError> {
-        let computed = crc32(payload);
+        Ok(self.verified_payload(payload.to_vec())?.decode()?)
+    }
+
+    /// Verifies a received payload's checksum and wraps it as a
+    /// [`ProbPayload`] *without decoding a single value* — the zero-copy
+    /// ingest path: the bytes move from the socket buffer into the payload
+    /// unchanged, and dequantization happens later, directly into the
+    /// extraction scratch of whichever worker picks the frame up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::ChecksumMismatch`] when the bytes do not match
+    /// the declared CRC-32, and the typed shape/size error when the header's
+    /// shape disagrees with the byte count. On error the payload bytes are
+    /// dropped; the connection stays usable.
+    pub fn verified_payload(&self, payload: Vec<u8>) -> Result<ProbPayload, WireError> {
+        let computed = crc32(&payload);
         if computed != self.checksum {
             return Err(WireError::ChecksumMismatch {
                 declared: self.checksum,
                 computed,
             });
         }
-        Ok(ProbMap::from_payload_bytes(
-            self.width as usize,
-            self.height as usize,
-            self.channels as usize,
-            self.encoding,
-            payload,
-        )?)
+        let payload = ProbPayload {
+            width: self.width as usize,
+            height: self.height as usize,
+            channels: self.channels as usize,
+            encoding: self.encoding,
+            bytes: payload,
+        };
+        payload.checked_value_count()?;
+        Ok(payload)
     }
 
     /// Renders the 36-byte fixed header.

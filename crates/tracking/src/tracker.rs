@@ -279,7 +279,7 @@ impl IncrementalTracker {
                     })
                     .collect();
                 let overlap = metaseg_imgproc::iou(&shifted, &pixels);
-                if overlap >= self.config.min_overlap && best.map_or(true, |(_, b)| overlap > b) {
+                if overlap >= self.config.min_overlap && best.is_none_or(|(_, b)| overlap > b) {
                     best = Some((track_idx, overlap));
                 }
             }
@@ -576,7 +576,7 @@ mod tests {
                         })
                         .collect();
                     let overlap = metaseg_imgproc::iou(&shifted, &pixels);
-                    if overlap >= config.min_overlap && best.map_or(true, |(_, b)| overlap > b) {
+                    if overlap >= config.min_overlap && best.is_none_or(|(_, b)| overlap > b) {
                         best = Some((track_idx, overlap));
                     }
                 }

@@ -204,6 +204,44 @@ fn lossy_binary_encodings_serve_within_tolerance() {
 }
 
 #[test]
+fn f32_dispersion_fast_path_serves_within_tolerance_of_the_f64_default() {
+    // A connection that negotiates the f32 dispersion fast path gets the
+    // vectorised scan server-side. The scan is documented as ~1e-4-relative
+    // on the metrics, so verdicts need not be bit-identical to the f64
+    // reference — but the segment structure must match frame for frame and
+    // the scores must stay probabilities.
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let frames = camera_frames(0);
+    let reference = in_process_verdicts(&frames);
+
+    let mut client = ServeClient::connect(addr).expect("connect succeeds");
+    client
+        .negotiate_with_dispersion(
+            FrameFormat::Binary(ProbEncoding::F64),
+            metaseg_suite::metaseg::DispersionPrecision::F32,
+        )
+        .unwrap();
+    let (session, _) = client.open("default", "cam-f32").unwrap();
+    for (probs, reference_frame) in frames.iter().zip(&reference) {
+        let (frame, verdicts) = client.submit(session, probs).unwrap();
+        assert_eq!(frame, reference_frame.frame);
+        assert_eq!(verdicts.len(), reference_frame.verdicts.len());
+        for (served, exact) in verdicts.iter().zip(&reference_frame.verdicts) {
+            assert_eq!(served.track_id, exact.track_id);
+            assert_eq!(served.region_id, exact.region_id);
+            assert_eq!(served.class, exact.class);
+            assert_eq!(served.area, exact.area);
+            assert!((0.0..=1.0).contains(&served.tp_probability));
+            assert!((0.0..=1.0).contains(&served.predicted_iou));
+        }
+    }
+    let stats = client.close(session).unwrap();
+    assert_eq!(stats.frames, frames.len());
+    handle.shutdown();
+}
+
+#[test]
 fn backpressure_is_a_typed_error_and_the_connection_survives() {
     // One worker with an artificial 400 ms inference delay and a queue of
     // depth one: the third concurrent submission must be rejected.
