@@ -1,0 +1,180 @@
+//! Regenerates `BENCH_scenarios.json`: the adverse-condition scenario sweep.
+//!
+//! Runs the per-regime evaluation of `metaseg_bench::scenario` — one row of
+//! meta-classification AUROC/AUPRC and Bayes-vs-ML missed-person counts per
+//! degradation regime — prints the table, writes the JSON artefact, then
+//! re-reads the written file and fails (non-zero exit) if any metric in it
+//! is non-finite. That re-read is the CI smoke invariant: no regime may
+//! drive the evaluation into NaN or infinity, and the check runs against
+//! the bytes on disk, not the in-memory rows.
+//!
+//! ```text
+//! cargo run --release -p metaseg-bench --bin scenario_sweep            # full suite
+//! cargo run --release -p metaseg-bench --bin scenario_sweep -- --smoke # CI: 2 regimes
+//! ```
+
+use metaseg_bench::scenario::{run_sweep, SweepConfig};
+use metaseg_eval::RegimeSummary;
+use metaseg_sim::{RegimeKind, ScenarioSuite};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Parsed command line.
+struct Options {
+    smoke: bool,
+    out: PathBuf,
+    frames: Option<usize>,
+    seed: Option<u64>,
+    regimes: Option<Vec<RegimeKind>>,
+}
+
+impl Options {
+    fn parse() -> Self {
+        let mut options = Options {
+            smoke: false,
+            out: PathBuf::from("BENCH_scenarios.json"),
+            frames: None,
+            seed: None,
+            regimes: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--smoke" => options.smoke = true,
+                "--out" => {
+                    options.out = PathBuf::from(args.next().unwrap_or_else(|| {
+                        panic!("--out expects a path");
+                    }));
+                }
+                "--frames" => {
+                    options.frames = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--frames expects a number")),
+                    );
+                }
+                "--seed" => {
+                    options.seed = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| panic!("--seed expects a number")),
+                    );
+                }
+                "--regimes" => {
+                    let list = args.next().unwrap_or_default();
+                    let kinds: Vec<RegimeKind> = list
+                        .split(',')
+                        .map(|name| {
+                            RegimeKind::from_name(name.trim()).unwrap_or_else(|| {
+                                panic!("unknown regime `{name}`; valid: {:?}", regime_names())
+                            })
+                        })
+                        .collect();
+                    options.regimes = Some(kinds);
+                }
+                other => panic!("unknown flag `{other}`"),
+            }
+        }
+        options
+    }
+}
+
+fn regime_names() -> Vec<&'static str> {
+    RegimeKind::all().iter().map(|k| k.name()).collect()
+}
+
+/// The on-disk shape of `BENCH_scenarios.json`.
+#[derive(Debug, Serialize, Deserialize)]
+struct SweepArtifact {
+    /// Sweep sizing, for reproducibility.
+    frames: usize,
+    width: usize,
+    height: usize,
+    seed: u64,
+    train_fraction: f64,
+    /// One row per regime, in sweep order.
+    regimes: Vec<RegimeSummary>,
+}
+
+fn main() {
+    let options = Options::parse();
+    let mut config = if options.smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::full()
+    };
+    if let Some(frames) = options.frames {
+        config.frames = frames.max(4);
+    }
+    if let Some(seed) = options.seed {
+        config.seed = seed;
+    }
+    let suite = match &options.regimes {
+        Some(kinds) => ScenarioSuite::with_regimes(config.seed, kinds.clone()),
+        None if options.smoke => ScenarioSuite::smoke(config.seed),
+        None => ScenarioSuite::standard(config.seed),
+    };
+
+    println!(
+        "scenario_sweep: {} regimes x {} frames ({}x{}, seed {})",
+        suite.regimes().len(),
+        config.frames,
+        config.width,
+        config.height,
+        config.seed
+    );
+    let rows = run_sweep(&suite, &config);
+    println!(
+        "{:<18} {:>6} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+        "regime", "frames", "segs", "pos%", "AUROC", "AUPRC", "missed B/ML", "rescued"
+    );
+    for row in &rows {
+        println!(
+            "{:<18} {:>6} {:>8} {:>7.1}% {:>8.4} {:>8.4} {:>6}/{:<4} {:>7}",
+            row.regime,
+            row.frames,
+            row.segments,
+            row.positive_fraction * 100.0,
+            row.auroc,
+            row.auprc,
+            row.missed_segments_bayes,
+            row.missed_segments_ml,
+            row.rescued_segments(),
+        );
+    }
+
+    let artifact = SweepArtifact {
+        frames: config.frames,
+        width: config.width,
+        height: config.height,
+        seed: config.seed,
+        train_fraction: config.train_fraction,
+        regimes: rows,
+    };
+    let json = serde_json::to_string_pretty(&artifact).expect("sweep rows serialise");
+    std::fs::write(&options.out, format!("{json}\n")).expect("artifact path is writable");
+    println!("wrote {}", options.out.display());
+
+    // The finiteness gate, evaluated against the written bytes.
+    let written = std::fs::read_to_string(&options.out).expect("artifact re-reads");
+    let parsed: SweepArtifact = serde_json::from_str(&written).expect("artifact re-parses");
+    let broken: Vec<&RegimeSummary> = parsed.regimes.iter().filter(|r| !r.is_finite()).collect();
+    if !broken.is_empty() {
+        for row in &broken {
+            eprintln!("non-finite metrics in regime `{}`: {row:?}", row.regime);
+        }
+        std::process::exit(1);
+    }
+    if parsed.regimes.len() != suite.regimes().len() {
+        eprintln!(
+            "artifact holds {} regimes, expected {}",
+            parsed.regimes.len(),
+            suite.regimes().len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "scenario_sweep: OK ({} regimes, all metrics finite)",
+        parsed.regimes.len()
+    );
+}

@@ -12,7 +12,12 @@
 //! micro-batch cap, and `--compare` runs the same scenario twice — JSON
 //! without batching, then the selected binary mode with batching — and
 //! prints a one-line frames/s comparison (optionally enforced with
-//! `--require-speedup`):
+//! `--require-speedup`). `--regime <name>` degrades every camera feed
+//! through an adverse [`metaseg_sim::ScenarioSuite`] regime (fog, dropout,
+//! occlusion, …) before it crosses the wire — the stress mode CI uses to
+//! prove the service survives sensor faults; it requires a binary wire
+//! (JSON cannot carry the NaN stripes dropout produces) and excludes
+//! `--compare`:
 //!
 //! ```text
 //! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
@@ -24,7 +29,9 @@ use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
 use metaseg_serve::{
     ErrorCode, FrameFormat, ModelRegistry, ServeClient, Server, ServerConfig, ServerStats,
 };
-use metaseg_sim::{NetworkProfile, NetworkSim, ProbEncoding, VideoStream};
+use metaseg_sim::{
+    FrameSource, NetworkProfile, NetworkSim, ProbEncoding, RegimeKind, RegimeSource, VideoStream,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use std::sync::Arc;
 use std::thread;
@@ -46,6 +53,7 @@ struct Options {
     batch: usize,
     compare: bool,
     require_speedup: Option<f64>,
+    regime: Option<RegimeKind>,
 }
 
 impl Options {
@@ -60,6 +68,7 @@ impl Options {
             batch: 8,
             compare: false,
             require_speedup: None,
+            regime: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -82,6 +91,13 @@ impl Options {
                     });
                 }
                 "--compare" => options.compare = true,
+                "--regime" => {
+                    let name = args.next().unwrap_or_default();
+                    options.regime = Some(RegimeKind::from_name(&name).unwrap_or_else(|| {
+                        let valid: Vec<_> = RegimeKind::all().iter().map(|k| k.name()).collect();
+                        panic!("--regime expects one of {valid:?}, got `{name}`")
+                    }));
+                }
                 "--require-speedup" => {
                     let value = args
                         .next()
@@ -133,15 +149,25 @@ fn run_scenario(
     let cameras: Vec<_> = (0..options.cameras)
         .map(|camera| {
             let frames = options.frames;
+            let regime = options.regime;
             thread::spawn(move || -> (Vec<Duration>, usize, usize) {
                 let mut rng = StdRng::seed_from_u64(7100 + camera as u64);
                 let sim = NetworkSim::new(NetworkProfile::weak());
-                let source = VideoStream::open_endless(
+                let stream = VideoStream::open_endless(
                     &video_config(1, FRAME_WIDTH, FRAME_HEIGHT),
                     sim,
                     camera,
                     &mut rng,
                 );
+                // The endless camera keeps a jitter regime from starving the
+                // loadtest: the degraded source is pulled until exactly
+                // `frames` frames crossed the wire.
+                let mut source: Box<dyn FrameSource> = match regime {
+                    Some(kind) => {
+                        Box::new(RegimeSource::new(kind.build(7300 + camera as u64), stream))
+                    }
+                    None => Box::new(stream),
+                };
                 let mut client = ServeClient::connect(addr).expect("connect succeeds");
                 if wire != FrameFormat::Json {
                     client.negotiate(wire).expect("negotiate succeeds");
@@ -152,7 +178,11 @@ fn run_scenario(
                 let mut latencies = Vec::with_capacity(frames);
                 let mut verdicts = 0usize;
                 let mut retries = 0usize;
-                for frame in source.take(frames).map(|f| f.prediction) {
+                while latencies.len() < frames {
+                    let frame = source
+                        .next_frame()
+                        .expect("an endless camera never runs dry")
+                        .prediction;
                     loop {
                         let submitted = Instant::now();
                         match client.submit(session, &frame) {
@@ -254,6 +284,23 @@ fn run_scenario(
 
 fn main() {
     let options = Options::parse();
+    if let Some(kind) = options.regime {
+        assert!(
+            options.wire != FrameFormat::Json,
+            "--regime requires a binary wire: JSON cannot represent the NaN \
+             stripes a `{}` camera may produce",
+            kind.name()
+        );
+        assert!(
+            !options.compare,
+            "--regime excludes --compare (the JSON baseline leg cannot carry \
+             degraded frames)"
+        );
+        println!(
+            "serve_loadtest: degrading every camera through `{}`",
+            kind.name()
+        );
+    }
 
     // Fit one small model to serve every camera, shared across runs so a
     // comparison measures the wire + scheduler, not the fixture.

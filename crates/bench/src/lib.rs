@@ -18,6 +18,8 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod scenario;
+
 pub mod serve_fixture {
     //! Shared fixture for the serving surfaces (`serve_loadtest`,
     //! `examples/serve_demo.rs`, `tests/serve.rs`): one place that fits the

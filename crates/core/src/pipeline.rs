@@ -850,6 +850,8 @@ trait ProbValue: Copy + Send + Sync {
     /// The `f32` probability the tiled gather moves into its lane column.
     fn to_f32(self) -> f32;
     /// Widens one probability for the f64 class-probability accumulation.
+    /// Non-finite values widen to `0.0` — a NaN stripe from a dropped-out
+    /// sensor must not poison the segment class-probability means.
     fn widen(self) -> f64;
 }
 
@@ -904,7 +906,11 @@ impl ProbValue for f64 {
 
     #[inline]
     fn widen(self) -> f64 {
-        self
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
     }
 }
 
@@ -951,7 +957,11 @@ impl ProbValue for f32 {
 
     #[inline]
     fn widen(self) -> f64 {
-        f64::from(self)
+        if self.is_finite() {
+            f64::from(self)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -1116,6 +1126,11 @@ fn scan_tile_lanes<P: PlaneValue>(
     for c in 0..channels {
         let row = &tile[c * TILE_LANES..c * TILE_LANES + lanes];
         for (lane, &p) in row.iter().enumerate() {
+            // The same compare-and-select dropout sanitiser as
+            // `DistributionScanF32::of`, applied at the same point of the
+            // operation sequence — what keeps the tiled layout bit-identical
+            // to the pixel-major scan on NaN-striped dropout frames too.
+            let p = if p.is_finite() { p } else { 0.0 };
             entropy[lane] -= p * fast_ln_positive_f32(p);
             let prev = first[lane];
             first[lane] = prev.max(p);
@@ -1628,7 +1643,7 @@ mod tests {
     use metaseg_data::FrameId;
     use metaseg_sim::{NetworkProfile, NetworkSim, Scene, SceneConfig};
     use proptest::prelude::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn simulated_frames(count: usize, seed: u64, profile: NetworkProfile) -> Vec<Frame> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -2080,6 +2095,193 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// A dense random softmax field of an arbitrary (possibly awkward)
+    /// shape — strictly positive and normalised per pixel.
+    fn random_probmap(width: usize, height: usize, channels: usize, seed: u64) -> ProbMap {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut map = ProbMap::uniform(width, height, channels);
+        let mut dist = vec![0.0f64; channels];
+        for y in 0..height {
+            for x in 0..width {
+                let mut sum = 0.0;
+                for p in &mut dist {
+                    *p = rng.gen::<f64>() + 1e-3;
+                    sum += *p;
+                }
+                for p in &mut dist {
+                    *p /= sum;
+                }
+                map.set_distribution_unchecked(x, y, &dist);
+            }
+        }
+        map
+    }
+
+    /// Sensor-dropout regression: NaN (and all-zero) stripes are *defined
+    /// degradation* — a dropout pixel reads as entropy `0`, margin `1`,
+    /// variation ratio `1`, argmax channel `0` — and no NaN ever reaches a
+    /// segment record, on the f64 scan, the zero-copy payload ingest, and
+    /// both f32 scan layouts (which stay bit-identical to each other).
+    #[test]
+    fn nan_dropout_stripes_degrade_without_poisoning_records() {
+        use metaseg_data::{ProbEncoding, ProbMap, ProbPayload};
+        let config = MetricsConfig::default();
+        let mut scratch = ExtractionScratch::new();
+
+        // A fully dropped-out frame: one segment of channel 0 with the
+        // pinned degraded measures.
+        let channels = 8;
+        let dead = {
+            let mut map = ProbMap::uniform(24, 16, channels);
+            let nan = vec![f64::NAN; channels];
+            for y in 0..16 {
+                for x in 0..24 {
+                    map.set_distribution_unchecked(x, y, &nan);
+                }
+            }
+            map
+        };
+        let records = frame_metrics(&dead, None, &config);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].class.id(), 0);
+        // Metric layout: [entropy, margin, variation ratio] x [mean,
+        // boundary, interior].
+        assert_eq!(records[0].metrics[0], 0.0, "dropout entropy");
+        assert_eq!(records[0].metrics[3], 1.0, "dropout margin");
+        assert_eq!(records[0].metrics[6], 1.0, "dropout variation ratio");
+
+        // A realistic frame with NaN stripes and one all-zero stripe.
+        let frames = simulated_frames(1, 4242, NetworkProfile::weak());
+        let gt = frames[0].ground_truth.as_ref();
+        let mut probs = frames[0].prediction.clone();
+        let channels = probs.num_classes();
+        let nan = vec![f64::NAN; channels];
+        let zero = vec![0.0f64; channels];
+        for y in [3usize, 4, 9] {
+            for x in 0..probs.width() {
+                probs.set_distribution_unchecked(x, y, &nan);
+            }
+        }
+        for x in 0..probs.width() {
+            probs.set_distribution_unchecked(x, 7, &zero);
+        }
+
+        let f64_records = frame_metrics(&probs, gt, &config);
+        assert!(!f64_records.is_empty());
+        for record in &f64_records {
+            assert!(
+                record.metrics.iter().all(|m| m.is_finite()),
+                "NaN leaked into a record: {record:?}"
+            );
+        }
+        // Zero-copy f64 payload ingest sees the same bytes, bit-exactly.
+        let payload = ProbPayload::encode(&probs, ProbEncoding::F64);
+        let ingested = frame_metrics_payload(
+            &payload,
+            gt,
+            &config,
+            &mut scratch,
+            DispersionPrecision::F64,
+        )
+        .unwrap();
+        assert_eq!(ingested, f64_records);
+
+        // The two f32 layouts agree bit-for-bit even on dropout stripes —
+        // the sanitiser sits at the same point of both scan orders.
+        let payload32 = ProbPayload::encode(&probs, ProbEncoding::F32);
+        let pixel_major = extract_frame_payload_layout(
+            &payload32,
+            gt,
+            &config,
+            &mut scratch,
+            Some(F32ScanLayout::PixelMajor),
+        )
+        .unwrap()
+        .1;
+        let tiled = extract_frame_payload_layout(
+            &payload32,
+            gt,
+            &config,
+            &mut scratch,
+            Some(F32ScanLayout::Tiled),
+        )
+        .unwrap()
+        .1;
+        assert_eq!(pixel_major, tiled);
+        for record in &tiled {
+            assert!(record.metrics.iter().all(|m| m.is_finite()));
+        }
+    }
+
+    /// The f32 tiled scan agrees with the f64 reference within `1e-4`
+    /// relative error at awkward shapes: pixel counts that are not a
+    /// multiple of [`TILE_LANES`], frames one pixel wide and one row tall,
+    /// and a frame exactly one tile long.
+    #[test]
+    fn f32_tiled_scan_matches_f64_at_awkward_shapes() {
+        use metaseg_data::{ProbEncoding, ProbPayload};
+        let config = MetricsConfig::default();
+        let mut scratch = ExtractionScratch::new();
+        let shapes = [
+            (1usize, 37usize), // one pixel wide
+            (41, 1),           // one row, partial tile
+            (TILE_LANES, 1),   // exactly one tile
+            (TILE_LANES + 1, 1),
+            (19, 23), // prime sides, 437 px = 1 tile + 181 lanes
+            (3, 5),   // tiny frame, far below one tile
+        ];
+        for (i, &(width, height)) in shapes.iter().enumerate() {
+            let probs = random_probmap(width, height, 12, 8800 + i as u64);
+            let payload = ProbPayload::encode(&probs, ProbEncoding::F32);
+            let tiled = extract_frame_payload_layout(
+                &payload,
+                None,
+                &config,
+                &mut scratch,
+                Some(F32ScanLayout::Tiled),
+            )
+            .unwrap()
+            .1;
+            let reference = frame_metrics(&probs, None, &config);
+            assert_eq!(tiled.len(), reference.len(), "{width}x{height}");
+            for (t, r) in tiled.iter().zip(&reference) {
+                assert_eq!(t.region_id, r.region_id);
+                assert_eq!(t.class, r.class);
+                assert_eq!(t.area, r.area);
+                assert_eq!(t.boundary_length, r.boundary_length);
+                let error = max_relative_error(&t.metrics, &r.metrics);
+                assert!(
+                    error <= 1e-4,
+                    "{width}x{height}: f32 tiled deviates {error} from f64"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// [`auto_band_count`] invariants: at least one band, never more
+        /// than [`MAX_BANDS`], the worker-thread count or the row count,
+        /// exactly one band below the serial threshold, and monotone
+        /// (non-decreasing) in the pixel count.
+        #[test]
+        fn prop_auto_band_count_bounds(
+            pixels in 0usize..32_000_000,
+            rows in 1usize..4096,
+        ) {
+            let bands = auto_band_count(pixels, rows);
+            prop_assert!(bands >= 1);
+            prop_assert!(bands <= MAX_BANDS);
+            prop_assert!(bands <= worker_threads().max(1));
+            prop_assert!(bands <= rows);
+            if pixels < MIN_BAND_PIXELS {
+                prop_assert_eq!(bands, 1, "below the serial threshold");
+            }
+            let more = auto_band_count(pixels.saturating_add(MIN_BAND_PIXELS), rows);
+            prop_assert!(more >= bands, "band count must be monotone in pixels");
         }
     }
 }

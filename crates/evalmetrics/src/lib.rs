@@ -28,10 +28,12 @@
 
 mod cdf;
 mod classification;
+mod regime;
 mod regression;
 mod summary;
 
 pub use cdf::EmpiricalCdf;
 pub use classification::{accuracy, auroc, average_precision, ConfusionCounts};
+pub use regime::RegimeSummary;
 pub use regression::{mean_absolute_error, pearson_correlation, r_squared, residual_sigma};
 pub use summary::RunStatistics;

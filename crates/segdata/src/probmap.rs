@@ -41,6 +41,13 @@ impl DistributionScan {
     /// channel order over entries `> 0` (an entry of exactly `1.0`
     /// contributes `-0.0`, which never changes the sum and is skipped), and
     /// the top-2 search keeps the first maximum, matching `argmax`.
+    ///
+    /// Non-finite channel values (the NaN stripes a dropped-out sensor
+    /// produces) are treated as probability `0.0`, so a dropout pixel
+    /// degrades to the defined all-zero-stripe measures — entropy `0`,
+    /// margin `1`, variation ratio `1`, argmax channel `0` — instead of
+    /// propagating NaN into segment means. Well-formed inputs take the
+    /// identity branch of the sanitiser, keeping the scan bit-identical.
     #[inline]
     pub fn of(dist: &[f64]) -> Self {
         let mut argmax = 0usize;
@@ -56,6 +63,10 @@ impl DistributionScan {
         let mut memo_bits = [u64::MAX; 2];
         let mut memo_term = [0.0f64; 2];
         for (channel, &p) in dist.iter().enumerate() {
+            // Compare-and-select, not a branch: NaN/±∞ become 0.0 so a
+            // dropout stripe cannot leave ±∞ sentinels in the top-2 search
+            // or a NaN term in the entropy sum.
+            let p = if p.is_finite() { p } else { 0.0 };
             if p > 0.0 && p != 1.0 {
                 let bits = p.to_bits();
                 let term = if memo_bits[0] == bits {
@@ -170,6 +181,11 @@ pub struct DistributionScanF32 {
 
 impl DistributionScanF32 {
     /// Scans a probability vector once, branch-free.
+    ///
+    /// Non-finite channel values degrade to probability `0.0`, mirroring
+    /// [`DistributionScan::of`]: a dropout pixel yields the defined
+    /// all-zero-stripe measures rather than a NaN that would poison every
+    /// segment mean it is folded into.
     #[inline]
     pub fn of(dist: &[f32]) -> Self {
         let mut argmax = 0usize;
@@ -177,6 +193,9 @@ impl DistributionScanF32 {
         let mut second = f32::NEG_INFINITY;
         let mut raw_entropy = 0.0f32;
         for (channel, &p) in dist.iter().enumerate() {
+            // Compare-and-select dropout sanitiser; identity on well-formed
+            // input, so the scan stays vectorisable and bit-stable.
+            let p = if p.is_finite() { p } else { 0.0 };
             // fast_ln(0) is finite, so the p = 0 term is -0.0 — no branch.
             raw_entropy -= p * fast_ln_positive_f32(p);
             let prev = first;

@@ -18,7 +18,11 @@
 //!   the stand-in for the KITTI experiments of Section III,
 //! * [`FrameSource`] / [`VideoStream`] — the pull-based streaming surface:
 //!   any `Iterator<Item = Frame>` is a source, and `VideoStream` renders +
-//!   infers frames lazily so online consumers never hold a whole clip.
+//!   infers frames lazily so online consumers never hold a whole clip,
+//! * [`ScenarioSuite`] / [`Regime`] — composable adverse-condition
+//!   degradations (fog, occlusion bursts, NaN/zero sensor dropout, class
+//!   imbalance, frame jitter/duplication, mid-stream resolution switches)
+//!   layered over any frame source with seeded determinism.
 //!
 //! The simulator is deliberately *not* a neural network: MetaSeg only ever
 //! consumes the softmax field and the ground truth, so any generator that
@@ -41,12 +45,17 @@
 #![warn(missing_docs)]
 
 mod network;
+mod scenario;
 mod scene;
 mod source;
 mod video;
 
 pub use metaseg_data::{LabelMap, ProbEncoding, ProbMap, ProbPayload};
 pub use network::{NetworkProfile, NetworkSim};
+pub use scenario::{
+    Benign, ClassImbalance, DropoutFill, Fog, FrameJitter, OcclusionBursts, Regime, RegimeKind,
+    RegimeSource, ResolutionSwitch, ScenarioSuite, SensorDropout,
+};
 pub use scene::{Scene, SceneConfig, SceneObject, ShapeKind};
 pub use source::{DecodedFrameSource, EncodedFrameSource, FrameSource, VideoStream};
 pub use video::{VideoConfig, VideoScenario};

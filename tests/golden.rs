@@ -24,8 +24,10 @@
 use metaseg_bench::serve_fixture;
 use metaseg_suite::metaseg::pipeline::frame_metrics;
 use metaseg_suite::metaseg::stream::MetaSegStream;
-use metaseg_suite::metaseg_data::Frame;
-use metaseg_suite::metaseg_sim::{NetworkProfile, NetworkSim, VideoStream};
+use metaseg_suite::metaseg_data::{Frame, ProbEncoding, ProbPayload};
+use metaseg_suite::metaseg_sim::{
+    FrameSource, NetworkProfile, NetworkSim, RegimeKind, ScenarioSuite, VideoStream,
+};
 use rand::{rngs::StdRng, SeedableRng};
 use serde::{Serialize, Value};
 use std::path::PathBuf;
@@ -33,29 +35,47 @@ use std::path::PathBuf;
 /// Frames of the golden clip.
 const GOLDEN_FRAMES: usize = 6;
 
-/// Where the checked-in oracle lives.
-fn fixture_path() -> PathBuf {
+/// Where a checked-in oracle lives.
+fn fixture_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("expected.jsonl")
+        .join(name)
 }
 
-/// Renders the golden corpus: the fixed-seed scenario, streamed through a
-/// fixed-seed fitted predictor, as one JSON line per frame.
-fn render_golden_corpus() -> Vec<String> {
-    // Everything seeded: the training corpus, the fitted predictor and the
-    // evaluation clip are all pure functions of these constants.
+/// The fixed-seed golden clip, before any degradation.
+fn golden_frames() -> Vec<Frame> {
+    let video = serve_fixture::video_config(8, 32, 16);
+    let mut rng = StdRng::seed_from_u64(5100);
+    let sim = NetworkSim::new(NetworkProfile::weak());
+    VideoStream::open(&video, sim, 0, &mut rng)
+        .take(GOLDEN_FRAMES)
+        .collect()
+}
+
+/// The adverse golden clip: the same fixed-seed frames degraded through fog
+/// nested in sensor dropout (regimes compose by nesting), so the oracle pins
+/// the NaN-stripe handling of the extraction kernel alongside the benign
+/// behaviour.
+fn adverse_frames() -> Vec<Frame> {
+    let suite = ScenarioSuite::smoke(5150);
+    let fogged = suite.degrade(RegimeKind::Fog, golden_frames().into_iter());
+    let mut source = suite.degrade(RegimeKind::Dropout, fogged);
+    let mut frames = Vec::new();
+    while let Some(frame) = source.next_frame() {
+        frames.push(frame);
+    }
+    frames
+}
+
+/// Streams `frames` through a fixed-seed fitted predictor, rendering one
+/// JSON line per frame. Everything seeded: the training corpus, the fitted
+/// predictor and the clip are all pure functions of their seed constants.
+fn corpus_lines(frames: &[Frame]) -> Vec<String> {
     let video = serve_fixture::video_config(8, 32, 16);
     let (stream_config, predictor) = serve_fixture::fit_predictor(&video, 2, 5000);
     let mut engine =
         MetaSegStream::new(stream_config, predictor).expect("golden model fits its config");
-
-    let mut rng = StdRng::seed_from_u64(5100);
-    let sim = NetworkSim::new(NetworkProfile::weak());
-    let frames: Vec<Frame> = VideoStream::open(&video, sim, 0, &mut rng)
-        .take(GOLDEN_FRAMES)
-        .collect();
 
     frames
         .iter()
@@ -75,16 +95,17 @@ fn render_golden_corpus() -> Vec<String> {
         .collect()
 }
 
-#[test]
-fn golden_corpus_metrics_and_verdicts_match_the_checked_in_oracle() {
-    let actual = render_golden_corpus();
-    assert_eq!(actual.len(), GOLDEN_FRAMES);
-    assert!(
-        actual.iter().any(|line| line.contains("tp_probability")),
-        "the golden clip must produce at least one verdict"
-    );
+/// Renders the golden corpus: the fixed-seed scenario, streamed through a
+/// fixed-seed fitted predictor, as one JSON line per frame.
+fn render_golden_corpus() -> Vec<String> {
+    corpus_lines(&golden_frames())
+}
 
-    let path = fixture_path();
+/// Compares `actual` against the checked-in oracle at `name`, or rewrites
+/// the oracle when `METASEG_UPDATE_GOLDEN` is set (covering every fixture
+/// in one updater run).
+fn check_or_update(name: &str, actual: &[String]) {
+    let path = fixture_path(name);
     if std::env::var("METASEG_UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0") {
         std::fs::create_dir_all(path.parent().expect("fixture path has a parent"))
             .expect("fixture directory is creatable");
@@ -104,12 +125,12 @@ fn golden_corpus_metrics_and_verdicts_match_the_checked_in_oracle() {
     assert_eq!(
         expected.len(),
         actual.len(),
-        "golden fixture has {} frames, the scenario produced {} — if this \
-         change is intended, regenerate with METASEG_UPDATE_GOLDEN=1",
+        "golden fixture {name} has {} frames, the scenario produced {} — if \
+         this change is intended, regenerate with METASEG_UPDATE_GOLDEN=1",
         expected.len(),
         actual.len()
     );
-    for (index, (expected_line, actual_line)) in expected.iter().zip(&actual).enumerate() {
+    for (index, (expected_line, actual_line)) in expected.iter().zip(actual).enumerate() {
         if expected_line != actual_line {
             // Locate the first divergent byte so the failure is readable
             // even though each line holds hundreds of floats.
@@ -124,7 +145,8 @@ fn golden_corpus_metrics_and_verdicts_match_the_checked_in_oracle() {
                 line[start..end].to_string()
             };
             panic!(
-                "golden mismatch at frame {index}, byte {split}:\n  expected …{}…\n  \
+                "golden mismatch in {name} at frame {index}, byte {split}:\n  \
+                 expected …{}…\n  \
                  actual   …{}…\nif this change is intended, regenerate the fixture with \
                  METASEG_UPDATE_GOLDEN=1 cargo test --test golden and review its diff",
                 context(expected_line),
@@ -135,9 +157,68 @@ fn golden_corpus_metrics_and_verdicts_match_the_checked_in_oracle() {
 }
 
 #[test]
+fn golden_corpus_metrics_and_verdicts_match_the_checked_in_oracle() {
+    let actual = render_golden_corpus();
+    assert_eq!(actual.len(), GOLDEN_FRAMES);
+    assert!(
+        actual.iter().any(|line| line.contains("tp_probability")),
+        "the golden clip must produce at least one verdict"
+    );
+    check_or_update("expected.jsonl", &actual);
+}
+
+#[test]
+fn adverse_golden_corpus_matches_the_checked_in_oracle() {
+    // The adverse oracle pins what the kernel computes on fog-flattened,
+    // NaN-striped frames: a regression in the dropout sanitiser (or in a
+    // regime's seeded determinism) shows up as a one-line fixture diff.
+    let actual = corpus_lines(&adverse_frames());
+    assert!(!actual.is_empty());
+    assert!(
+        actual
+            .iter()
+            .all(|line| !line.contains("NaN") && !line.contains("null,")),
+        "degraded frames must never put a non-finite metric in a record"
+    );
+    check_or_update("expected_adverse.jsonl", &actual);
+}
+
+#[test]
+fn benign_regime_is_the_identity_on_the_golden_clip() {
+    // The sweep's baseline row is only a baseline if `benign` changes
+    // nothing: the degraded clip must be bit-identical to the raw one
+    // (compared through the lossless byte encoding, since `Frame`'s
+    // `PartialEq` is NaN-hostile in general).
+    let raw = golden_frames();
+    let suite = ScenarioSuite::smoke(5150);
+    let mut source = suite.degrade(RegimeKind::Benign, raw.clone().into_iter());
+    let mut benign = Vec::new();
+    while let Some(frame) = source.next_frame() {
+        benign.push(frame);
+    }
+    let key = |frames: &[Frame]| -> Vec<(_, _, ProbPayload)> {
+        frames
+            .iter()
+            .map(|f| {
+                (
+                    f.id,
+                    f.ground_truth.clone(),
+                    ProbPayload::encode(&f.prediction, ProbEncoding::F64),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(key(&benign), key(&raw));
+}
+
+#[test]
 fn golden_corpus_rendering_is_deterministic() {
     // The oracle is only an oracle if re-rendering it is a pure function;
     // a hidden source of nondeterminism (thread ordering, uninitialised
     // state, time) would otherwise masquerade as a regression.
     assert_eq!(render_golden_corpus(), render_golden_corpus());
+    assert_eq!(
+        corpus_lines(&adverse_frames()),
+        corpus_lines(&adverse_frames())
+    );
 }
