@@ -30,7 +30,12 @@
 //! frame (see [`interleaved_speedup`]) so machine-speed drift on shared
 //! runners cancels out of the comparison.
 //! `--threads N` pins the rayon pool (set *before* the first kernel call)
-//! so the banded path exercises bands > 1 even in single-core CI:
+//! so the banded path exercises bands > 1 even in single-core CI.
+//! `--corpus <path>` profiles the same variants over a recorded frame
+//! corpus (`corpus_record`) instead of freshly simulated scenes — the
+//! recorded payloads drive the fused kernels verbatim — and writes
+//! `BENCH_extraction_corpus.json` (distinct `bench` discriminator) unless
+//! `--output` overrides it:
 //!
 //! ```text
 //! cargo run --release -p metaseg-bench --bin extraction_profile -- \
@@ -101,8 +106,11 @@ struct Options {
     /// Rayon pool size override (`RAYON_NUM_THREADS`), applied before the
     /// first kernel call so the band heuristic sees it.
     threads: Option<usize>,
-    /// Output path (defaults to `<repo root>/BENCH_extraction.json`).
-    output: PathBuf,
+    /// Recorded corpus to profile instead of freshly simulated scenes.
+    corpus: Option<PathBuf>,
+    /// Output path (defaults to `<repo root>/BENCH_extraction.json`, or
+    /// `<repo root>/BENCH_extraction_corpus.json` under `--corpus`).
+    output: Option<PathBuf>,
 }
 
 impl Options {
@@ -111,9 +119,8 @@ impl Options {
             frames: 120,
             require_speedup: None,
             threads: None,
-            output: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("BENCH_extraction.json"),
+            corpus: None,
+            output: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -140,13 +147,32 @@ impl Options {
                     );
                 }
                 "--output" => {
-                    options.output = PathBuf::from(args.next().expect("--output expects a path"));
+                    options.output =
+                        Some(PathBuf::from(args.next().expect("--output expects a path")));
+                }
+                "--corpus" => {
+                    options.corpus =
+                        Some(PathBuf::from(args.next().expect("--corpus expects a path")));
                 }
                 other => panic!("unknown flag `{other}`"),
             }
         }
         options.frames = options.frames.max(8);
         options
+    }
+
+    /// Resolved artefact path: explicit `--output`, else the repo-root
+    /// default for the active mode.
+    fn output_path(&self) -> PathBuf {
+        self.output.clone().unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(if self.corpus.is_some() {
+                    "BENCH_extraction_corpus.json"
+                } else {
+                    "BENCH_extraction.json"
+                })
+        })
     }
 }
 
@@ -524,12 +550,210 @@ fn profile_scene(name: &str, scene: &SceneConfig, options: &Options) -> SceneRep
     report
 }
 
+/// The on-disk report of a `--corpus` run: same per-variant measurements,
+/// but over replayed recorded payloads rather than freshly simulated scenes,
+/// and a distinct `bench` discriminator so consumers never confuse the two
+/// artefacts.
+#[derive(Debug, Clone, Serialize)]
+struct CorpusProfileReport {
+    bench: String,
+    corpus: String,
+    width: usize,
+    height: usize,
+    channels: usize,
+    /// Frames the corpus holds (before the modal-shape filter).
+    corpus_frames: usize,
+    /// Distinct frames profiled (modal shape only).
+    distinct_frames: usize,
+    measured_frames: usize,
+    threads: usize,
+    serial: VariantReport,
+    banded: VariantReport,
+    fused_f64: VariantReport,
+    fused_f32: VariantReport,
+    fused_f32_tiled: VariantReport,
+    speedup_fused_vs_serial: f64,
+}
+
+/// Profiles every kernel variant over a recorded corpus: the recorded
+/// payloads drive the fused payload kernels verbatim (whatever encoding was
+/// recorded), their decoded forms — ground truth attached where the
+/// recording carried it — drive the decoded kernels. Frames that differ
+/// from the corpus's modal shape are dropped (and reported), since the
+/// variants share per-shape scratch planes.
+fn profile_corpus(options: &Options) -> CorpusProfileReport {
+    let path = options.corpus.as_ref().expect("caller checked --corpus");
+    let corpus =
+        metaseg_bench::corpus::load_corpus(path).unwrap_or_else(|e| panic!("--corpus: {e}"));
+    let all: Vec<_> = corpus
+        .sequences
+        .into_iter()
+        .flat_map(|(_, frames)| frames)
+        .collect();
+    let corpus_frames = all.len();
+    // Modal shape: the variants reuse one scratch, so profile the dominant
+    // geometry and report anything dropped.
+    let shape_of = |p: &metaseg_data::ProbPayload| (p.width, p.height, p.channels);
+    let mut shapes: Vec<((usize, usize, usize), usize)> = Vec::new();
+    for frame in &all {
+        let shape = shape_of(&frame.payload);
+        match shapes.iter_mut().find(|(s, _)| *s == shape) {
+            Some((_, count)) => *count += 1,
+            None => shapes.push((shape, 1)),
+        }
+    }
+    let (modal, _) = *shapes
+        .iter()
+        .max_by_key(|(_, count)| *count)
+        .expect("load_corpus rejects empty corpora");
+    let (width, height, channels) = modal;
+    let kept: Vec<_> = all
+        .into_iter()
+        .filter(|f| shape_of(&f.payload) == modal)
+        .collect();
+    if kept.len() < corpus_frames {
+        println!(
+            "extraction_profile: dropped {} frames off the modal {}x{}x{} shape",
+            corpus_frames - kept.len(),
+            width,
+            height,
+            channels
+        );
+    }
+    let payloads: Vec<ProbPayload> = kept.iter().map(|f| f.payload.clone()).collect();
+    let frames: Vec<Frame> = kept
+        .iter()
+        .map(|f| f.to_frame().expect("recorded frames decode"))
+        .collect();
+    let distinct = frames.len();
+    let measured = options.frames;
+    let config = MetricsConfig::default();
+    let auto_bands = metaseg::pipeline::auto_band_count(width * height, height);
+
+    let mut scratch = ExtractionScratch::new();
+    for i in 0..distinct {
+        black_box(frame_metrics_banded(
+            &frames[i].prediction,
+            frames[i].ground_truth.as_ref(),
+            &config,
+            &mut scratch,
+            1,
+        ));
+    }
+    let stats_before = scratch.stats();
+    let numbers = measure(distinct, measured, |i| {
+        frame_metrics_banded(
+            &frames[i].prediction,
+            frames[i].ground_truth.as_ref(),
+            &config,
+            &mut scratch,
+            1,
+        )
+    });
+    let serial = variant(
+        numbers,
+        Some(scratch_growth(stats_before, scratch.stats())),
+        1,
+    );
+
+    let mut scratch = ExtractionScratch::new();
+    for i in 0..distinct {
+        black_box(frame_metrics_scratch(
+            &frames[i].prediction,
+            frames[i].ground_truth.as_ref(),
+            &config,
+            &mut scratch,
+        ));
+    }
+    let stats_before = scratch.stats();
+    let numbers = measure(distinct, measured, |i| {
+        frame_metrics_scratch(
+            &frames[i].prediction,
+            frames[i].ground_truth.as_ref(),
+            &config,
+            &mut scratch,
+        )
+    });
+    let banded = variant(
+        numbers,
+        Some(scratch_growth(stats_before, scratch.stats())),
+        auto_bands,
+    );
+
+    let fused_f64 = measure_payload(&payloads, measured, &config, None, auto_bands);
+    let fused_f32 = measure_payload(
+        &payloads,
+        measured,
+        &config,
+        Some(F32ScanLayout::PixelMajor),
+        auto_bands,
+    );
+    let fused_f32_tiled = measure_payload(
+        &payloads,
+        measured,
+        &config,
+        Some(F32ScanLayout::Tiled),
+        auto_bands,
+    );
+
+    let report = CorpusProfileReport {
+        bench: "extraction_profile_corpus".to_string(),
+        corpus: path.display().to_string(),
+        width,
+        height,
+        channels,
+        corpus_frames,
+        distinct_frames: distinct,
+        measured_frames: measured,
+        threads: metaseg::worker_threads(),
+        speedup_fused_vs_serial: interleaved_speedup(&frames, &payloads, measured, &config),
+        serial,
+        banded,
+        fused_f64,
+        fused_f32,
+        fused_f32_tiled,
+    };
+    println!(
+        "corpus ({}x{}, {} frames): serial {:.1} frames/s, banded x{} {:.1}, \
+         fused-f64 {:.1}, fused-f32 {:.1}, fused-f32-tiled {:.1} — fused/serial {:.2}x",
+        report.width,
+        report.height,
+        report.distinct_frames,
+        report.serial.frames_per_s,
+        report.banded.bands,
+        report.banded.frames_per_s,
+        report.fused_f64.frames_per_s,
+        report.fused_f32.frames_per_s,
+        report.fused_f32_tiled.frames_per_s,
+        report.speedup_fused_vs_serial,
+    );
+    report
+}
+
 fn main() {
     let options = Options::parse();
     if let Some(threads) = options.threads {
         // Must land before the first rayon (and thus first kernel) call:
         // both the global pool and the cached band heuristic read it once.
         std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+    }
+
+    if options.corpus.is_some() {
+        let report = profile_corpus(&options);
+        let output = options.output_path();
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&output, json + "\n").expect("write corpus profile report");
+        println!("wrote {}", output.display());
+        if let Some(required) = options.require_speedup {
+            assert!(
+                report.speedup_fused_vs_serial >= required,
+                "the fused payload fast path must sustain at least {required:.2}x the serial \
+                 f64 kernel's frames/s on the replayed corpus (measured {:.2}x)",
+                report.speedup_fused_vs_serial
+            );
+        }
+        println!("extraction_profile: OK (corpus)");
+        return;
     }
 
     let small = SceneConfig::small();
@@ -571,8 +795,9 @@ fn main() {
         large: large_report,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write(&options.output, json + "\n").expect("write BENCH_extraction.json");
-    println!("wrote {}", options.output.display());
+    let output = options.output_path();
+    std::fs::write(&output, json + "\n").expect("write BENCH_extraction.json");
+    println!("wrote {}", output.display());
 
     if let Some(required) = options.require_speedup {
         assert!(

@@ -17,7 +17,13 @@
 //! occlusion, …) before it crosses the wire — the stress mode CI uses to
 //! prove the service survives sensor faults; it requires a binary wire
 //! (JSON cannot carry the NaN stripes dropout produces) and excludes
-//! `--compare`:
+//! `--compare`. `--corpus <path>` replays a recorded frame corpus
+//! (`corpus_record`) instead of rendering live video — camera `c` drains
+//! recorded sequence `c % sequences` — and writes `BENCH_corpus.json`
+//! (override with `--out`), exiting non-zero unless every throughput and
+//! latency metric re-read from disk is finite and every submitted frame was
+//! processed; it likewise requires a binary wire and excludes `--compare`
+//! and `--regime` (record the degraded corpus instead):
 //!
 //! ```text
 //! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
@@ -25,7 +31,9 @@
 //!     --wire binary-f64 --batch 8 --compare
 //! ```
 
+use metaseg_bench::corpus::{load_corpus, CorpusReport, LatencySummary};
 use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
+use metaseg_data::ProbMap;
 use metaseg_serve::{
     ErrorCode, FrameFormat, ModelRegistry, ServeClient, Server, ServerConfig, ServerStats,
 };
@@ -33,6 +41,7 @@ use metaseg_sim::{
     FrameSource, NetworkProfile, NetworkSim, ProbEncoding, RegimeKind, RegimeSource, VideoStream,
 };
 use rand::{rngs::StdRng, SeedableRng};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -54,6 +63,8 @@ struct Options {
     compare: bool,
     require_speedup: Option<f64>,
     regime: Option<RegimeKind>,
+    corpus: Option<PathBuf>,
+    out: PathBuf,
 }
 
 impl Options {
@@ -69,6 +80,10 @@ impl Options {
             compare: false,
             require_speedup: None,
             regime: None,
+            corpus: None,
+            out: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_corpus.json"),
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -104,6 +119,18 @@ impl Options {
                         .and_then(|v| v.parse::<f64>().ok())
                         .unwrap_or_else(|| panic!("--require-speedup expects a ratio"));
                     options.require_speedup = Some(value);
+                }
+                "--corpus" => {
+                    options.corpus = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| panic!("--corpus expects a path")),
+                    ));
+                }
+                "--out" => {
+                    options.out = PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| panic!("--out expects a path")),
+                    );
                 }
                 other => panic!("unknown flag `{other}`"),
             }
@@ -282,8 +309,166 @@ fn run_scenario(
     }
 }
 
+/// Replays a recorded corpus through the server: camera `c` drains sequence
+/// `c % sequences` (cycling when it needs more frames than the recording
+/// holds), writes `BENCH_corpus.json` and gates it on finite metrics — the
+/// corpus-driven counterpart of [`run_scenario`], measuring the serve path
+/// on *identical, replayable* traffic instead of freshly rendered frames.
+fn run_corpus(options: &Options, registry: &Arc<ModelRegistry>) {
+    let corpus_path = options.corpus.as_ref().expect("caller checked --corpus");
+    let corpus = load_corpus(corpus_path).unwrap_or_else(|e| panic!("--corpus: {e}"));
+    let sequence_count = corpus.sequences.len();
+    let corpus_frames = corpus.total_frames();
+    // Decode once, up front: replay measures the wire + scheduler, not the
+    // container decoder.
+    let sequences: Arc<Vec<Vec<ProbMap>>> = Arc::new(
+        corpus
+            .sequences
+            .iter()
+            .map(|(_, frames)| {
+                frames
+                    .iter()
+                    .map(|f| f.payload.decode().expect("recorded payloads decode"))
+                    .collect()
+            })
+            .collect(),
+    );
+
+    let handle = Server::spawn(
+        "127.0.0.1:0",
+        Arc::clone(registry),
+        ServerConfig {
+            workers: options.workers,
+            queue_depth: options.queue_depth,
+            batch_max: options.batch,
+            synthetic_delay_ms: options.delay_ms,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind succeeds");
+    let addr = handle.local_addr();
+    println!(
+        "serve_loadtest: replaying {} ({sequence_count} sequences, {corpus_frames} frames) \
+         over {} cameras x {} frames against {addr} \
+         ({} workers, queue depth {}, batch {}, wire {})",
+        corpus_path.display(),
+        options.cameras,
+        options.frames,
+        options.workers,
+        options.queue_depth,
+        options.batch,
+        options.wire,
+    );
+
+    let started = Instant::now();
+    let cameras: Vec<_> = (0..options.cameras)
+        .map(|camera| {
+            let frames = options.frames;
+            let wire = options.wire;
+            let maps = Arc::clone(&sequences);
+            thread::spawn(move || -> (Vec<Duration>, usize, usize) {
+                let source = &maps[camera % maps.len()];
+                let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                if wire != FrameFormat::Json {
+                    client.negotiate(wire).expect("negotiate succeeds");
+                }
+                let (session, _) = client
+                    .open("default", &format!("replay-{camera}"))
+                    .expect("open succeeds");
+                let mut latencies = Vec::with_capacity(frames);
+                let mut verdicts = 0usize;
+                let mut retries = 0usize;
+                while latencies.len() < frames {
+                    let frame = &source[latencies.len() % source.len()];
+                    loop {
+                        let submitted = Instant::now();
+                        match client.submit(session, frame) {
+                            Ok((_, frame_verdicts)) => {
+                                latencies.push(submitted.elapsed());
+                                verdicts += frame_verdicts.len();
+                                break;
+                            }
+                            Err(e) if e.server_code() == Some(ErrorCode::Backpressure) => {
+                                retries += 1;
+                                thread::sleep(Duration::from_millis(5));
+                            }
+                            Err(e) => panic!("replay camera {camera} failed: {e}"),
+                        }
+                    }
+                }
+                client.close(session).expect("close succeeds");
+                (latencies, verdicts, retries)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut verdicts = 0usize;
+    let mut retries = 0usize;
+    for camera in cameras {
+        let (camera_latencies, camera_verdicts, camera_retries) =
+            camera.join().expect("replay camera thread never panics");
+        latencies.extend(camera_latencies);
+        verdicts += camera_verdicts;
+        retries += camera_retries;
+    }
+    let elapsed = started.elapsed();
+    let stats = handle.shutdown();
+
+    latencies.sort();
+    let frames_per_s = latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let report = CorpusReport {
+        bench: "serve_loadtest_corpus".to_string(),
+        corpus: corpus_path.display().to_string(),
+        sequences: sequence_count,
+        corpus_frames,
+        cameras: options.cameras,
+        frames_per_camera: options.frames,
+        frames_per_s,
+        latency: LatencySummary::from_sorted(&latencies),
+        verdicts,
+        server_frames_processed: stats.frames_processed,
+    };
+    println!(
+        "replayed {} frames, {verdicts} verdicts in {:.2} s ({frames_per_s:.1} frames/s, \
+         {retries} backpressure retries)",
+        latencies.len(),
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "latency p50 {:.2} ms | p90 {:.2} ms | p99 {:.2} ms | max {:.2} ms",
+        report.latency.p50_ms, report.latency.p90_ms, report.latency.p99_ms, report.latency.max_ms,
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("corpus report serialises");
+    std::fs::write(&options.out, format!("{json}\n")).expect("artifact path is writable");
+    println!("wrote {}", options.out.display());
+
+    // The finiteness gate, evaluated against the written bytes (the same
+    // re-read-and-exit-nonzero invariant as `scenario_sweep`).
+    let written = std::fs::read_to_string(&options.out).expect("artifact re-reads");
+    let parsed: CorpusReport = serde_json::from_str(&written).expect("artifact re-parses");
+    if !parsed.is_finite() {
+        eprintln!("non-finite or inconsistent corpus replay metrics: {parsed:?}");
+        std::process::exit(1);
+    }
+    println!("serve_loadtest: OK (corpus replay, all metrics finite)");
+}
+
 fn main() {
     let options = Options::parse();
+    if options.corpus.is_some() {
+        assert!(
+            options.wire != FrameFormat::Json,
+            "--corpus requires a binary wire: a recorded corpus may carry the \
+             NaN stripes JSON cannot represent"
+        );
+        assert!(
+            !options.compare && options.regime.is_none(),
+            "--corpus replays recorded traffic verbatim; it excludes --compare \
+             and --regime (record a degraded corpus with `corpus_record --regime` instead)"
+        );
+    }
     if let Some(kind) = options.regime {
         assert!(
             options.wire != FrameFormat::Json,
@@ -310,6 +495,11 @@ fn main() {
     registry
         .insert("default", stream_config, predictor)
         .expect("loadtest model is valid");
+
+    if options.corpus.is_some() {
+        run_corpus(&options, &registry);
+        return;
+    }
 
     if options.compare {
         // Same scenario twice: the JSON-lines baseline without batching,

@@ -18,6 +18,7 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod corpus;
 pub mod scenario;
 
 pub mod serve_fixture {

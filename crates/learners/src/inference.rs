@@ -17,6 +17,7 @@ use crate::linear::{LinearRegression, RidgeRegression};
 use crate::logistic::LogisticRegression;
 use crate::mlp::{MlpClassifier, MlpRegressor};
 use crate::traits::{BinaryClassifier, Regressor};
+use metaseg_data::container;
 use serde::{Deserialize, Serialize};
 
 /// A fitted meta-classification model of any supported family.
@@ -193,6 +194,48 @@ impl MetaPredictor {
     pub fn from_json(json: &str) -> Result<Self, LearnError> {
         serde_json::from_str(json).map_err(|e| LearnError::InvalidModel(e.to_string()))
     }
+
+    /// Serializes the handle as a binary checkpoint container
+    /// (`metaseg_data::container`, kind `Checkpoint`): the [`Self::to_json`]
+    /// document wrapped in a CRC-32-checksummed, optionally compressed chunk.
+    ///
+    /// The container carries exactly the JSON text, so the round-trip through
+    /// [`Self::from_container_bytes`] reproduces bit-identical predictions —
+    /// same guarantee as the JSON path, plus corruption detection.
+    pub fn to_container_bytes(&self) -> Vec<u8> {
+        container::write_checkpoint(&self.to_json(), true)
+            .expect("checkpoint documents are far below the container chunk cap")
+    }
+
+    /// Reconstructs a handle from a binary checkpoint container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidModel`] when the container is truncated,
+    /// corrupt (CRC mismatch), of the wrong kind or version, or when the
+    /// embedded JSON does not describe a predictor.
+    pub fn from_container_bytes(bytes: &[u8]) -> Result<Self, LearnError> {
+        let json = container::read_checkpoint(bytes)
+            .map_err(|e| LearnError::InvalidModel(format!("checkpoint container: {e}")))?;
+        Self::from_json(&json)
+    }
+
+    /// Reconstructs a handle from either checkpoint form, sniffing the magic:
+    /// binary containers route through [`Self::from_container_bytes`], any
+    /// other bytes are treated as UTF-8 JSON ([`Self::from_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnError::InvalidModel`] when the bytes decode as neither.
+    pub fn from_checkpoint_bytes(bytes: &[u8]) -> Result<Self, LearnError> {
+        if container::is_container(bytes) {
+            Self::from_container_bytes(bytes)
+        } else {
+            let json = std::str::from_utf8(bytes)
+                .map_err(|e| LearnError::InvalidModel(format!("checkpoint is not UTF-8: {e}")))?;
+            Self::from_json(json)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +321,53 @@ mod tests {
         }
         // Double round-trip is a fixed point.
         assert_eq!(restored.to_json(), predictor.to_json());
+    }
+
+    #[test]
+    fn container_checkpoint_roundtrip_is_bit_identical_to_the_json_path() {
+        let predictor = toy_predictor();
+        let bytes = predictor.to_container_bytes();
+        let from_container = MetaPredictor::from_container_bytes(&bytes).unwrap();
+        let from_json = MetaPredictor::from_json(&predictor.to_json()).unwrap();
+        assert_eq!(from_container, predictor);
+        assert_eq!(from_container, from_json);
+        for row in [[0.9, 0.1], [0.05, 0.95], [0.5, 0.5], [1.7, -0.3]] {
+            let (score, iou) = predictor.predict_one(&row);
+            assert_eq!(from_container.predict_one(&row), (score, iou));
+            assert_eq!(from_json.predict_one(&row), (score, iou));
+        }
+        // The container embeds exactly the JSON document.
+        assert_eq!(from_container.to_json(), predictor.to_json());
+    }
+
+    #[test]
+    fn checkpoint_sniffing_routes_both_formats() {
+        let predictor = toy_predictor();
+        let json = predictor.to_json();
+        let restored = MetaPredictor::from_checkpoint_bytes(json.as_bytes()).unwrap();
+        assert_eq!(restored, predictor);
+        let restored =
+            MetaPredictor::from_checkpoint_bytes(&predictor.to_container_bytes()).unwrap();
+        assert_eq!(restored, predictor);
+    }
+
+    #[test]
+    fn corrupt_container_checkpoints_are_rejected_not_panicked_on() {
+        let predictor = toy_predictor();
+        let bytes = predictor.to_container_bytes();
+        // Corrupt the chunk body: a typed error mentioning the container.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x20;
+        let err = MetaPredictor::from_container_bytes(&corrupt).unwrap_err();
+        match err {
+            LearnError::InvalidModel(msg) => assert!(msg.contains("checkpoint container")),
+            other => panic!("unexpected error: {other:?}"),
+        }
+        // Truncation at every boundary is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(MetaPredictor::from_checkpoint_bytes(&bytes[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! CRC-32 (IEEE 802.3) — the one checksum implementation of the workspace.
+//!
+//! Both the binary wire protocol (`metaseg_serve::wire`) and the chunked
+//! container format ([`crate::container`]) checksum their payloads with this
+//! function; it lives in the data crate so the two byte formats can never
+//! drift apart on polynomial, reflection or initial value.
+
+/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup table, built at
+/// compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte slice — the chunk/payload checksum shared by the
+/// wire protocol and the container format.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let bytes = vec![0xA5u8; 64];
+        let reference = crc32(&bytes);
+        for position in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[position] ^= 0x10;
+            assert_ne!(crc32(&corrupt), reference);
+        }
+    }
+}

@@ -25,6 +25,8 @@
 #![warn(missing_docs)]
 
 mod catalog;
+pub mod container;
+mod crc;
 mod dataset;
 mod error;
 mod frame;
@@ -32,6 +34,8 @@ mod labelmap;
 mod probmap;
 
 pub use catalog::{ClassCatalog, ClassInfo, SemanticClass};
+pub use container::{ContainerError, ContainerKind, CorpusFrame, CorpusReader, CorpusWriter};
+pub use crc::crc32;
 pub use dataset::{Dataset, Sequence, SplitRatios};
 pub use error::DataError;
 pub use frame::{Frame, FrameId};

@@ -1,0 +1,509 @@
+//! Adversarial and differential tests for the chunked container format.
+//!
+//! Three properties the rest of the workspace leans on are pinned here:
+//! decoding is *total* (no input — corrupt, truncated, version-skewed —
+//! panics or allocates from unvalidated lengths), every chunk's CRC-32
+//! detects single-byte corruption, and band-parallel decoding is
+//! bit-identical to serial decoding for every thread count, encoding and
+//! awkward shape.
+
+use metaseg_data::container::{
+    self, CHUNK_HEADER_LEN, CONTAINER_HEADER_LEN, GRID_DESC_LEN, MAX_TEXT_CHUNK_BYTES,
+};
+use metaseg_data::{
+    ContainerError, Frame, FrameId, LabelMap, ProbEncoding, ProbMap, ProbPayload, SemanticClass,
+};
+use proptest::prelude::*;
+
+/// A map of the given shape filled with arbitrary (not necessarily
+/// normalized) values — the container must not care about distribution
+/// validity, exactly like the payload codec.
+fn arbitrary_map(width: usize, height: usize, channels: usize, values: &[f64]) -> ProbMap {
+    let mut map = ProbMap::uniform(width, height, channels);
+    let mut cursor = values.iter().cycle();
+    for y in 0..height {
+        for x in 0..width {
+            let dist: Vec<f64> = (0..channels).map(|_| *cursor.next().unwrap()).collect();
+            map.set_distribution_unchecked(x, y, &dist);
+        }
+    }
+    map
+}
+
+fn sample_payload(
+    width: usize,
+    height: usize,
+    channels: usize,
+    encoding: ProbEncoding,
+) -> ProbPayload {
+    let map = arbitrary_map(
+        width,
+        height,
+        channels,
+        &[0.125, 0.5, 1.0 / 3.0, 0.0625, 1e-9, 0.75],
+    );
+    ProbPayload::encode(&map, encoding)
+}
+
+/// Byte ranges of every chunk's stored body inside a grid container,
+/// recovered by walking the layout (header, descriptor, then chunks).
+fn grid_chunk_bodies(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut bodies = Vec::new();
+    let mut pos = CONTAINER_HEADER_LEN + GRID_DESC_LEN;
+    while pos + CHUNK_HEADER_LEN <= bytes.len() {
+        let stored_len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        let body = pos + CHUNK_HEADER_LEN..pos + CHUNK_HEADER_LEN + stored_len;
+        assert!(body.end <= bytes.len(), "walker stays inside the container");
+        bodies.push(body);
+        pos += CHUNK_HEADER_LEN + stored_len;
+    }
+    bodies
+}
+
+#[test]
+fn grid_roundtrips_across_encodings_bands_and_compression() {
+    for encoding in [ProbEncoding::F64, ProbEncoding::F32, ProbEncoding::U16] {
+        for bands in [1usize, 2, 3, 5, 64] {
+            for compress in [false, true] {
+                let payload = sample_payload(7, 5, 3, encoding);
+                let bytes = container::write_grid(&payload, bands, compress).unwrap();
+                assert!(container::is_container(&bytes));
+                assert_eq!(
+                    container::read_grid(&bytes).unwrap(),
+                    payload,
+                    "encoding {} bands {bands} compress {compress}",
+                    encoding.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_band_decode_is_bit_identical_to_serial() {
+    // Awkward shapes on purpose: 1-px-wide, 1-row, and heights that do not
+    // divide by the band count; every thread count must agree bit for bit.
+    let shapes = [
+        (1usize, 64usize, 3usize),
+        (64, 1, 5),
+        (5, 7, 4),
+        (16, 13, 2),
+    ];
+    for (width, height, channels) in shapes {
+        for encoding in [ProbEncoding::F64, ProbEncoding::F32, ProbEncoding::U16] {
+            for bands in [1usize, 3, 7] {
+                for compress in [false, true] {
+                    let payload = sample_payload(width, height, channels, encoding);
+                    let bytes = container::write_grid(&payload, bands, compress).unwrap();
+                    let serial = container::read_grid_with_threads(&bytes, 1).unwrap();
+                    assert_eq!(serial, payload);
+                    for threads in [2usize, 3, 7] {
+                        let parallel = container::read_grid_with_threads(&bytes, threads).unwrap();
+                        assert_eq!(
+                            parallel.bytes,
+                            serial.bytes,
+                            "{width}x{height}x{channels} {} bands {bands} threads {threads}",
+                            encoding.name()
+                        );
+                        assert_eq!(parallel, serial);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_never_panics_and_always_errors() {
+    let payload = sample_payload(6, 4, 3, ProbEncoding::U16);
+    let bytes = container::write_grid(&payload, 3, true).unwrap();
+    for cut in 0..bytes.len() {
+        assert!(
+            container::read_grid(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes must not decode"
+        );
+    }
+    // Appending bytes is just as invalid as removing them.
+    let mut padded = bytes.clone();
+    padded.push(0);
+    assert!(matches!(
+        container::read_grid(&padded),
+        Err(ContainerError::TrailingBytes(1))
+    ));
+}
+
+#[test]
+fn unknown_version_and_kind_are_rejected_before_any_allocation() {
+    let payload = sample_payload(4, 4, 2, ProbEncoding::F32);
+    let bytes = container::write_grid(&payload, 2, false).unwrap();
+
+    let mut skewed = bytes.clone();
+    skewed[4] = 9;
+    assert_eq!(
+        container::read_grid(&skewed),
+        Err(ContainerError::UnsupportedVersion(9))
+    );
+
+    let mut unknown = bytes.clone();
+    unknown[5] = 200;
+    assert_eq!(
+        container::read_grid(&unknown),
+        Err(ContainerError::UnknownKind(200))
+    );
+
+    let mut wrong = bytes.clone();
+    wrong[5] = 1; // a checkpoint container handed to the grid reader
+    assert!(matches!(
+        container::read_grid(&wrong),
+        Err(ContainerError::WrongKind { .. })
+    ));
+
+    let mut flags = bytes;
+    flags[6] = 0b1000_0000;
+    assert!(matches!(
+        container::read_grid(&flags),
+        Err(ContainerError::UnknownFlags(_))
+    ));
+
+    // A descriptor declaring a petabyte field is capped before the payload
+    // buffer is sized, let alone allocated: only the tiny input slice is
+    // ever touched.
+    let mut huge =
+        container::write_grid(&sample_payload(2, 2, 1, ProbEncoding::F64), 1, false).unwrap();
+    huge[8..12].copy_from_slice(&2_000_000u32.to_le_bytes());
+    huge[12..16].copy_from_slice(&2_000_000u32.to_le_bytes());
+    assert!(matches!(
+        container::read_grid(&huge),
+        Err(ContainerError::ChunkTooLarge { .. })
+    ));
+
+    // A record chunk declaring a huge decompressed size is likewise capped
+    // before its buffer exists.
+    let mut record = container::write_records(["x"], true).unwrap();
+    let declared = (MAX_TEXT_CHUNK_BYTES + 1) as u32;
+    record[CONTAINER_HEADER_LEN + 4..CONTAINER_HEADER_LEN + 8]
+        .copy_from_slice(&declared.to_le_bytes());
+    assert!(matches!(
+        container::read_records(&record),
+        Err(ContainerError::ChunkTooLarge { .. })
+    ));
+}
+
+proptest! {
+    /// Flipping any single byte of any chunk body yields the typed CRC
+    /// error — corruption can never be mistaken for data.
+    #[test]
+    fn prop_chunk_body_corruption_yields_a_checksum_mismatch(
+        values in proptest::collection::vec(0.0f64..=1.0, 12),
+        bands in 1usize..5,
+        compress in any::<bool>(),
+        position in any::<u64>(),
+        flip in 1u8..=255
+    ) {
+        let map = arbitrary_map(5, 4, 3, &values);
+        let payload = ProbPayload::encode(&map, ProbEncoding::U16);
+        let bytes = container::write_grid(&payload, bands, compress).unwrap();
+        let bodies = grid_chunk_bodies(&bytes);
+        let total: usize = bodies.iter().map(|b| b.len()).sum();
+        prop_assume!(total > 0);
+        // Pick the corruption position uniformly over the body bytes.
+        let mut offset = (position % total as u64) as usize;
+        let target = bodies
+            .iter()
+            .find_map(|body| {
+                if offset < body.len() {
+                    Some(body.start + offset)
+                } else {
+                    offset -= body.len();
+                    None
+                }
+            })
+            .expect("offset lies inside some body");
+        let mut corrupt = bytes.clone();
+        corrupt[target] ^= flip;
+        prop_assert!(matches!(
+            container::read_grid(&corrupt),
+            Err(ContainerError::ChecksumMismatch { .. })
+        ));
+    }
+
+    /// Flipping any single byte anywhere — headers, descriptors, chunk
+    /// headers, bodies — never panics: the result is a typed error, or (for
+    /// the one semantically inert bit, the compression-allowed flag over an
+    /// all-raw container) the original payload.
+    #[test]
+    fn prop_any_single_byte_flip_is_total(
+        values in proptest::collection::vec(0.0f64..=1.0, 12),
+        bands in 1usize..4,
+        compress in any::<bool>(),
+        position in any::<u64>(),
+        flip in 1u8..=255,
+        threads in 1usize..4
+    ) {
+        let map = arbitrary_map(4, 3, 2, &values);
+        let payload = ProbPayload::encode(&map, ProbEncoding::F32);
+        let bytes = container::write_grid(&payload, bands, compress).unwrap();
+        let position = (position % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= flip;
+        match container::read_grid_with_threads(&corrupt, threads) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_eq!(decoded, payload),
+        }
+    }
+
+    /// Arbitrary byte soup (optionally with a forced-valid prefix) never
+    /// panics any reader.
+    #[test]
+    fn prop_arbitrary_bytes_never_panic_any_reader(
+        bytes in proptest::collection::vec(0u8..=255, 0..160),
+        force_magic in any::<bool>()
+    ) {
+        let mut bytes = bytes;
+        if force_magic && bytes.len() >= 6 {
+            bytes[..4].copy_from_slice(b"MSGC");
+            bytes[4] = 1;
+        }
+        let _ = container::read_grid(&bytes);
+        let _ = container::read_records(&bytes);
+        let _ = container::read_checkpoint(&bytes);
+        let _ = container::read_corpus(&bytes);
+    }
+
+    /// Grid containers round-trip arbitrary payloads across every encoding,
+    /// band count, compression setting and thread count.
+    #[test]
+    fn prop_grid_roundtrips(
+        dims in (1usize..6, 1usize..7, 1usize..4),
+        values in proptest::collection::vec(0.0f64..=1.0, 24),
+        tag in 0u8..3,
+        bands in 1usize..9,
+        compress in any::<bool>(),
+        threads in 1usize..5
+    ) {
+        let (width, height, channels) = dims;
+        let encoding = ProbEncoding::from_tag(tag).unwrap();
+        let payload = ProbPayload::encode(&arbitrary_map(width, height, channels, &values), encoding);
+        let bytes = container::write_grid(&payload, bands, compress).unwrap();
+        prop_assert_eq!(container::read_grid_with_threads(&bytes, threads).unwrap(), payload);
+    }
+}
+
+#[test]
+fn compression_shrinks_runs_and_survives_the_roundtrip() {
+    // A one-hot field is byte-run heavy: PackBits must actually shrink it.
+    let labels = LabelMap::filled(32, 16, SemanticClass::Road);
+    let map = ProbMap::one_hot(&labels, 19);
+    let payload = ProbPayload::encode(&map, ProbEncoding::U16);
+    let raw = container::write_grid(&payload, 4, false).unwrap();
+    let packed = container::write_grid(&payload, 4, true).unwrap();
+    assert!(
+        packed.len() * 4 < raw.len(),
+        "one-hot payload must compress at least 4x ({} vs {})",
+        packed.len(),
+        raw.len()
+    );
+    assert_eq!(container::read_grid(&packed).unwrap(), payload);
+    assert_eq!(container::read_grid(&raw).unwrap(), payload);
+}
+
+/// A labelled frame with structured ground truth and a NaN planted in the
+/// prediction: the F64 corpus must preserve the NaN bit pattern exactly.
+fn corpus_frames() -> Vec<Frame> {
+    let mut frames = Vec::new();
+    for index in 0..3 {
+        let labels = LabelMap::from_fn(6, 5, |x, y| {
+            if (x + y + index) % 2 == 0 {
+                SemanticClass::Road
+            } else {
+                SemanticClass::Car
+            }
+        });
+        let mut prediction = arbitrary_map(6, 5, 4, &[0.1, 0.2, 0.3, 0.4, 0.5]);
+        prediction.set_distribution_unchecked(1, 1, &[f64::NAN, 0.5, 0.25, 0.25]);
+        frames.push(Frame::labeled(FrameId::new(2, index), labels, prediction).unwrap());
+    }
+    frames.push(Frame::unlabeled(
+        FrameId::new(3, 0),
+        arbitrary_map(6, 5, 4, &[0.7, 0.1, 0.1, 0.1]),
+    ));
+    frames
+}
+
+#[test]
+fn frame_corpus_roundtrips_ids_ground_truth_and_nan_bits() {
+    let frames = corpus_frames();
+    for compress in [false, true] {
+        let bytes = container::write_corpus(&frames, ProbEncoding::F64, 2, compress).unwrap();
+        let replayed = container::read_corpus(&bytes).unwrap();
+        assert_eq!(replayed.len(), frames.len());
+        for (original, replay) in frames.iter().zip(&replayed) {
+            assert_eq!(replay.id, original.id);
+            assert_eq!(replay.ground_truth, original.ground_truth);
+            // Bit-exact through the lossless encoding, NaN included: the
+            // payload bytes are the `to_le_bytes` image of the field.
+            assert_eq!(
+                replay.payload,
+                ProbPayload::encode(&original.prediction, ProbEncoding::F64)
+            );
+            let frame = replay.to_frame().unwrap();
+            assert_eq!(frame.id, original.id);
+            assert_eq!(frame.ground_truth, original.ground_truth);
+            assert_eq!(
+                frame
+                    .prediction
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                original
+                    .prediction
+                    .values()
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+#[test]
+fn frame_corpus_end_of_stream_is_only_valid_at_frame_boundaries() {
+    let frames = corpus_frames();
+    let bytes = container::write_corpus(&frames, ProbEncoding::F32, 2, false).unwrap();
+
+    // Locate the frame boundaries by re-reading with a counting reader.
+    let mut boundaries = vec![CONTAINER_HEADER_LEN];
+    let mut pos = CONTAINER_HEADER_LEN;
+    while pos < bytes.len() {
+        // Each chunk: 16-byte header + stored bytes. Frames are delimited by
+        // TAG_FRAME chunks.
+        let tag = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let stored = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        if tag == container::TAG_FRAME && pos != CONTAINER_HEADER_LEN {
+            boundaries.push(pos);
+        }
+        pos += CHUNK_HEADER_LEN + stored;
+    }
+    boundaries.push(bytes.len());
+    assert_eq!(boundaries.len(), frames.len() + 1);
+
+    for cut in 0..=bytes.len() {
+        match container::read_corpus(&bytes[..cut]) {
+            Ok(replayed) => {
+                let frames_before_cut = boundaries
+                    .iter()
+                    .filter(|&&b| b <= cut)
+                    .count()
+                    .saturating_sub(1);
+                assert_eq!(
+                    boundaries[frames_before_cut], cut,
+                    "a successful read must end exactly on a frame boundary"
+                );
+                assert_eq!(replayed.len(), frames_before_cut);
+            }
+            Err(_) => {
+                assert!(
+                    !boundaries.contains(&cut) || cut < CONTAINER_HEADER_LEN,
+                    "a cut at frame boundary {cut} must replay cleanly"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frame_corpus_respects_the_frame_limit_before_allocating() {
+    let frames = corpus_frames();
+    let bytes = container::write_corpus(&frames, ProbEncoding::F64, 1, false).unwrap();
+    let mut reader = container::CorpusReader::open(bytes.as_slice())
+        .unwrap()
+        .with_frame_limit(64);
+    assert!(matches!(
+        reader.next_frame(),
+        Err(ContainerError::ChunkTooLarge { limit: 64, .. })
+    ));
+}
+
+proptest! {
+    /// Any truncation or single-byte corruption of a frame corpus is total:
+    /// a typed error or a clean prefix replay, never a panic.
+    #[test]
+    fn prop_frame_corpus_damage_is_total(
+        cut in any::<u64>(),
+        position in any::<u64>(),
+        flip in 1u8..=255,
+        compress in any::<bool>()
+    ) {
+        let frames = corpus_frames();
+        let bytes = container::write_corpus(&frames, ProbEncoding::U16, 3, compress).unwrap();
+        let cut = (cut % (bytes.len() as u64 + 1)) as usize;
+        let _ = container::read_corpus(&bytes[..cut]);
+        let position = (position % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[position] ^= flip;
+        let _ = container::read_corpus(&corrupt);
+    }
+}
+
+#[test]
+fn checkpoint_and_record_containers_roundtrip_and_detect_corruption() {
+    let json = r#"{"scaler":{"mean":[0.1,0.2]},"classifier":"logistic"}"#;
+    for compress in [false, true] {
+        let bytes = container::write_checkpoint(json, compress).unwrap();
+        assert!(container::is_container(&bytes));
+        assert_eq!(container::read_checkpoint(&bytes).unwrap(), json);
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert!(matches!(
+            container::read_checkpoint(&corrupt),
+            Err(ContainerError::ChecksumMismatch { .. }
+                | ContainerError::Truncated { .. }
+                | ContainerError::InvalidCompression { .. })
+        ));
+    }
+
+    let records: Vec<String> = (0..5)
+        .map(|i| format!("{{\"frame\":{i},\"verdicts\":[{i}.5, {}]}}", i * 7))
+        .collect();
+    for compress in [false, true] {
+        let bytes = container::write_records(&records, compress).unwrap();
+        assert_eq!(container::read_records(&bytes).unwrap(), records);
+        for cut in 0..bytes.len() {
+            // Record corpora are fixed containers: any truncation that cuts
+            // a chunk errors; a cut at a chunk boundary yields a prefix.
+            if let Ok(prefix) = container::read_records(&bytes[..cut]) {
+                assert!(prefix.len() < records.len());
+            }
+        }
+    }
+    // Empty corpora are valid and empty.
+    let empty = container::write_records(Vec::<String>::new(), false).unwrap();
+    assert_eq!(
+        container::read_records(&empty).unwrap(),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn container_errors_render_useful_messages() {
+    let payload = sample_payload(3, 3, 2, ProbEncoding::F64);
+    let bytes = container::write_grid(&payload, 2, false).unwrap();
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 1;
+    let err = container::read_grid(&corrupt).unwrap_err();
+    let message = err.to_string();
+    assert!(
+        message.contains("checksum"),
+        "checksum failures must say so: {message}"
+    );
+    assert!(
+        container::read_grid(&bytes[..5])
+            .unwrap_err()
+            .to_string()
+            .contains("truncated"),
+        "truncation must say so"
+    );
+}

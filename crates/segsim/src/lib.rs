@@ -57,5 +57,7 @@ pub use scenario::{
     RegimeSource, ResolutionSwitch, ScenarioSuite, SensorDropout,
 };
 pub use scene::{Scene, SceneConfig, SceneObject, ShapeKind};
-pub use source::{DecodedFrameSource, EncodedFrameSource, FrameSource, VideoStream};
+pub use source::{
+    CorpusFrameSource, DecodedFrameSource, EncodedFrameSource, FrameSource, VideoStream,
+};
 pub use video::{VideoConfig, VideoScenario};

@@ -11,7 +11,7 @@
 use crate::network::NetworkSim;
 use crate::scene::Scene;
 use crate::video::VideoConfig;
-use metaseg_data::{DataError, Frame, FrameId, ProbMap, ProbPayload};
+use metaseg_data::{ContainerError, CorpusReader, DataError, Frame, FrameId, ProbMap, ProbPayload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -196,6 +196,76 @@ impl<I: Iterator<Item = ProbPayload>> FrameSource for EncodedFrameSource<I> {
         // A later payload may fail to decode, so only the upper bound of
         // the inner hint carries over.
         (0, self.inner.size_hint().1)
+    }
+}
+
+/// A [`FrameSource`] replaying a recorded frame corpus — the chunked
+/// container format of `metaseg_data::container` streamed frame by frame
+/// from any [`std::io::Read`] (a corpus file on disk, an in-memory capture).
+///
+/// This closes the record/replay loop: a live feed ([`VideoStream`], a wire
+/// capture) dumped through `metaseg_data::CorpusWriter` replays here with
+/// the *original* frame ids and ground truth intact, so loadtests and
+/// evaluation sweeps can re-run real traffic deterministically. Frames are
+/// decoded lazily, one per pull — memory stays bounded by a single frame
+/// regardless of corpus length.
+///
+/// Replay is total: the first torn or corrupt frame (truncation, CRC
+/// mismatch, shape skew) ends the stream, and the typed [`ContainerError`]
+/// is retrievable via [`CorpusFrameSource::read_error`] — never a panic.
+#[derive(Debug)]
+pub struct CorpusFrameSource<R: std::io::Read> {
+    reader: CorpusReader<R>,
+    error: Option<ContainerError>,
+}
+
+impl<R: std::io::Read> CorpusFrameSource<R> {
+    /// Opens a corpus over any byte source, validating the container header
+    /// eagerly so an outright-wrong file fails at open time, not mid-replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ContainerError`] when the header is truncated,
+    /// carries the wrong magic/kind, or declares an unsupported version.
+    pub fn open(source: R) -> Result<Self, ContainerError> {
+        Ok(Self {
+            reader: CorpusReader::open(source)?,
+            error: None,
+        })
+    }
+
+    /// Number of frames replayed so far.
+    pub fn frames_read(&self) -> usize {
+        self.reader.frames_read()
+    }
+
+    /// The container error that ended the replay, if any. `None` after a
+    /// clean end-of-corpus (or before the stream has ended).
+    pub fn read_error(&self) -> Option<&ContainerError> {
+        self.error.as_ref()
+    }
+}
+
+impl<R: std::io::Read> FrameSource for CorpusFrameSource<R> {
+    fn next_frame(&mut self) -> Option<Frame> {
+        if self.error.is_some() {
+            return None;
+        }
+        let corpus_frame = match self.reader.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return None,
+            Err(e) => {
+                self.error = Some(e);
+                return None;
+            }
+        };
+        match corpus_frame.to_frame() {
+            Ok(frame) => Some(frame),
+            Err(e) => {
+                self.error = Some(e.into());
+                None
+            }
+        }
     }
 }
 
@@ -392,6 +462,45 @@ mod tests {
         }
         assert!(encoded.decode_error().is_none());
         assert_eq!(encoded.position(), decoded.position());
+    }
+
+    #[test]
+    fn corpus_frame_source_replays_a_recorded_stream_bit_exactly() {
+        use metaseg_data::{container, CorpusWriter, ProbEncoding};
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        let frames: Vec<Frame> =
+            VideoStream::open(&VideoConfig::small(), sim, 4, &mut rng).collect();
+
+        // Record the live stream, ground truth and all, then replay it.
+        let mut writer = CorpusWriter::new(Vec::new(), true).unwrap();
+        for frame in &frames {
+            writer.write_frame(frame, ProbEncoding::F64, 2).unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+
+        let mut replay = CorpusFrameSource::open(bytes.as_slice()).unwrap();
+        for original in &frames {
+            let frame = replay.next_frame().unwrap();
+            assert_eq!(frame.id, original.id);
+            assert_eq!(frame.ground_truth, original.ground_truth);
+            // F64 is lossless: the replayed field is bit-identical.
+            assert_eq!(frame.prediction, original.prediction);
+        }
+        assert!(replay.next_frame().is_none());
+        assert!(replay.read_error().is_none());
+        assert_eq!(replay.frames_read(), frames.len());
+
+        // A torn corpus ends the replay with a typed error, not a panic.
+        let cut = bytes.len() - 3;
+        let mut torn = CorpusFrameSource::open(&bytes[..cut]).unwrap();
+        let replayed = std::iter::from_fn(|| torn.next_frame()).count();
+        assert!(replayed < frames.len());
+        assert!(matches!(
+            torn.read_error(),
+            Some(container::ContainerError::Truncated { .. })
+        ));
     }
 
     #[test]

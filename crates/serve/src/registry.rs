@@ -2,7 +2,8 @@
 //!
 //! A server process serves many tenants, each pinned to a model by name.
 //! [`ModelRegistry`] owns the fitted [`MetaPredictor`] handles (inserted
-//! in-process or loaded from their serialized JSON checkpoint form), caches
+//! in-process or loaded from a serialized checkpoint — binary container or
+//! JSON, sniffed by magic), caches
 //! them behind [`Arc`]s so concurrent sessions share one copy, and validates
 //! every handle against its [`StreamConfig`] **once at registration** — a
 //! session open can then never fail on a config/predictor mismatch.
@@ -113,6 +114,31 @@ impl ModelRegistry {
         self.insert(name, config, predictor)
     }
 
+    /// Loads a model from either checkpoint form — a binary checkpoint
+    /// container (`metaseg_data::container`) or UTF-8 JSON — sniffing the
+    /// container magic ([`MetaPredictor::from_checkpoint_bytes`]), and caches
+    /// it under `name` with the same already-registered short-circuit as
+    /// [`Self::load_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaSegError::Learn`] when the checkpoint is truncated,
+    /// corrupt or undecodable in both formats, and
+    /// [`MetaSegError::InvalidConfig`] when the decoded predictor does not
+    /// fit the configuration.
+    pub fn load_checkpoint(
+        &self,
+        name: &str,
+        config: StreamConfig,
+        checkpoint: &[u8],
+    ) -> Result<(), MetaSegError> {
+        if self.get(name).is_some() {
+            return Ok(());
+        }
+        let predictor = MetaPredictor::from_checkpoint_bytes(checkpoint)?;
+        self.insert(name, config, predictor)
+    }
+
     /// Looks up a model by name.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
         self.models
@@ -185,6 +211,34 @@ mod tests {
         };
         assert!(registry.insert("bad", narrow, predictor).is_err());
         assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn load_checkpoint_sniffs_containers_and_json() {
+        let registry = ModelRegistry::new();
+        let (config, predictor) = fitted_model(2);
+        // Binary container checkpoint.
+        let container = predictor.to_container_bytes();
+        registry.load_checkpoint("bin", config, &container).unwrap();
+        assert_eq!(registry.get("bin").unwrap().predictor(), &predictor);
+        // Plain JSON bytes route through the fallback path.
+        registry
+            .load_checkpoint("json", config, predictor.to_json().as_bytes())
+            .unwrap();
+        assert_eq!(
+            registry.get("json").unwrap().predictor(),
+            registry.get("bin").unwrap().predictor()
+        );
+        // A corrupt container is a typed error, not a panic.
+        let mut corrupt = container.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(registry.load_checkpoint("bad", config, &corrupt).is_err());
+        // Truncation never panics either.
+        assert!(registry
+            .load_checkpoint("bad", config, &container[..container.len() / 2])
+            .is_err());
+        assert_eq!(registry.len(), 2);
     }
 
     #[test]

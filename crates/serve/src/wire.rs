@@ -189,36 +189,14 @@ impl From<DataError> for WireError {
     }
 }
 
-/// CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) lookup table, built at
-/// compile time.
-const CRC32_TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
 /// CRC-32 (IEEE) of a byte slice — the payload checksum of the frame header.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
-    }
-    !crc
-}
+///
+/// Re-exported from `metaseg_data`: the wire protocol and the chunked
+/// container format (`metaseg_data::container`) share one CRC implementation
+/// so the two byte formats can never drift apart on polynomial, reflection
+/// or initial value. The framing stays byte-identical (the property tests
+/// below pin it, including the IEEE reference vector).
+pub use metaseg_data::crc32;
 
 /// The parsed fixed header of a binary frame.
 ///
