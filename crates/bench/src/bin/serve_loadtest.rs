@@ -23,15 +23,28 @@
 //! (override with `--out`), exiting non-zero unless every throughput and
 //! latency metric re-read from disk is finite and every submitted frame was
 //! processed; it likewise requires a binary wire and excludes `--compare`
-//! and `--regime` (record the degraded corpus instead):
+//! and `--regime` (record the degraded corpus instead).
+//!
+//! `--scale` is the fleet mode: `--cameras` sessions are multiplexed over
+//! `--conns` TCP connections (default `min(cameras, 64)`) against the
+//! sharded event-loop transport, optionally hot-swapping the model registry
+//! mid-run (`--hot-swap` — the run fails unless every session opened before
+//! the swap completes its full frame budget afterwards), asserting latency
+//! SLOs (`--slo-p50-ms` / `--slo-p90-ms` / `--slo-p99-ms`), and writing
+//! `BENCH_serve_scale.json` (override with `--out`) — re-read from disk and
+//! gated on finite percentiles, exact frame accounting and per-shard /
+//! aggregate consistency:
 //!
 //! ```text
 //! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
 //!     --cameras 4 --frames 30 --workers 4 --queue-depth 8 --delay-ms 0 \
 //!     --wire binary-f64 --batch 8 --compare
+//! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
+//!     --scale --cameras 1000 --frames 4 --hot-swap
 //! ```
 
 use metaseg_bench::corpus::{load_corpus, CorpusReport, LatencySummary};
+use metaseg_bench::scale::{HotSwapReport, ScaleReport, ScaleSlo};
 use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
 use metaseg_data::ProbMap;
 use metaseg_serve::{
@@ -42,6 +55,7 @@ use metaseg_sim::{
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -64,7 +78,11 @@ struct Options {
     require_speedup: Option<f64>,
     regime: Option<RegimeKind>,
     corpus: Option<PathBuf>,
-    out: PathBuf,
+    out: Option<PathBuf>,
+    scale: bool,
+    conns: Option<usize>,
+    hot_swap: bool,
+    slo: ScaleSlo,
 }
 
 impl Options {
@@ -81,9 +99,11 @@ impl Options {
             require_speedup: None,
             regime: None,
             corpus: None,
-            out: PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../..")
-                .join("BENCH_corpus.json"),
+            out: None,
+            scale: false,
+            conns: None,
+            hot_swap: false,
+            slo: ScaleSlo::default(),
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -127,15 +147,39 @@ impl Options {
                     ));
                 }
                 "--out" => {
-                    options.out = PathBuf::from(
+                    options.out = Some(PathBuf::from(
                         args.next()
                             .unwrap_or_else(|| panic!("--out expects a path")),
-                    );
+                    ));
+                }
+                "--scale" => options.scale = true,
+                "--conns" => options.conns = Some(take("--conns").max(1)),
+                "--hot-swap" => options.hot_swap = true,
+                "--slo-p50-ms" | "--slo-p90-ms" | "--slo-p99-ms" => {
+                    let limit = args
+                        .next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .unwrap_or_else(|| panic!("{flag} expects milliseconds"));
+                    match flag.as_str() {
+                        "--slo-p50-ms" => options.slo.p50_ms = Some(limit),
+                        "--slo-p90-ms" => options.slo.p90_ms = Some(limit),
+                        _ => options.slo.p99_ms = Some(limit),
+                    }
                 }
                 other => panic!("unknown flag `{other}`"),
             }
         }
         options
+    }
+
+    /// The artifact path: `--out` if given, else `default_name` at the
+    /// repository root.
+    fn artifact_path(&self, default_name: &str) -> PathBuf {
+        self.out.clone().unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(default_name)
+        })
     }
 }
 
@@ -280,11 +324,11 @@ fn run_scenario(
         sustained >= 2.min(options.cameras),
         "must sustain at least two concurrent sessions"
     );
-    // The gauge counts a submission momentarily before the bounded
-    // try_send resolves, so the hard bound is queue capacity plus one
-    // in-flight increment per concurrent camera.
+    // Depth accounting is exact: each shard admits a frame (and records the
+    // peak) under its queue lock, so the observed peak can never exceed the
+    // configured per-shard capacity — rejected submissions touch no gauge.
     assert!(
-        stats.peak_queue_depth <= options.queue_depth + options.cameras,
+        stats.peak_queue_depth <= options.queue_depth,
         "queue depth must stay bounded (peak {}, capacity {})",
         stats.peak_queue_depth,
         options.queue_depth
@@ -440,13 +484,14 @@ fn run_corpus(options: &Options, registry: &Arc<ModelRegistry>) {
         report.latency.p50_ms, report.latency.p90_ms, report.latency.p99_ms, report.latency.max_ms,
     );
 
+    let out = options.artifact_path("BENCH_corpus.json");
     let json = serde_json::to_string_pretty(&report).expect("corpus report serialises");
-    std::fs::write(&options.out, format!("{json}\n")).expect("artifact path is writable");
-    println!("wrote {}", options.out.display());
+    std::fs::write(&out, format!("{json}\n")).expect("artifact path is writable");
+    println!("wrote {}", out.display());
 
     // The finiteness gate, evaluated against the written bytes (the same
     // re-read-and-exit-nonzero invariant as `scenario_sweep`).
-    let written = std::fs::read_to_string(&options.out).expect("artifact re-reads");
+    let written = std::fs::read_to_string(&out).expect("artifact re-reads");
     let parsed: CorpusReport = serde_json::from_str(&written).expect("artifact re-parses");
     if !parsed.is_finite() {
         eprintln!("non-finite or inconsistent corpus replay metrics: {parsed:?}");
@@ -455,8 +500,273 @@ fn run_corpus(options: &Options, registry: &Arc<ModelRegistry>) {
     println!("serve_loadtest: OK (corpus replay, all metrics finite)");
 }
 
+/// The fleet-scale mode: `--cameras` sessions multiplexed over `--conns`
+/// TCP connections against the sharded event-loop transport — the session
+/// count stresses the shard queues and the per-connection response
+/// ordering, not the thread scheduler, which is exactly what the event loop
+/// buys. Optionally hot-swaps the model registry mid-run and asserts that
+/// zero sessions are dropped, then writes `BENCH_serve_scale.json` and
+/// gates it on finite percentiles, exact frame accounting, per-shard /
+/// aggregate consistency and the requested SLOs.
+fn run_scale(
+    options: &Options,
+    registry: &Arc<ModelRegistry>,
+    stream_config: metaseg::stream::StreamConfig,
+    predictor: &metaseg_learners::MetaPredictor,
+) {
+    let cameras = options.cameras;
+    let frames = options.frames;
+    let conns = options
+        .conns
+        .unwrap_or_else(|| cameras.min(64))
+        .min(cameras);
+    let wire = options.wire;
+
+    let handle = Server::spawn(
+        "127.0.0.1:0",
+        Arc::clone(registry),
+        ServerConfig {
+            workers: options.workers,
+            queue_depth: options.queue_depth,
+            batch_max: options.batch,
+            synthetic_delay_ms: options.delay_ms,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind succeeds");
+    let addr = handle.local_addr();
+    println!(
+        "serve_loadtest: scale mode — {cameras} sessions over {conns} connections x {frames} \
+         frames against {addr} ({} shards, queue depth {}, batch {}, wire {wire}{})",
+        options.workers,
+        options.queue_depth,
+        options.batch,
+        if options.hot_swap {
+            ", hot-swapping mid-run"
+        } else {
+            ""
+        },
+    );
+
+    // One shared frame pool: scale measures the transport and the shard
+    // scheduler, not per-camera scene rendering.
+    let pool: Arc<Vec<ProbMap>> = {
+        let mut rng = StdRng::seed_from_u64(7500);
+        let sim = NetworkSim::new(NetworkProfile::weak());
+        Arc::new(
+            VideoStream::open_endless(
+                &video_config(1, FRAME_WIDTH, FRAME_HEIGHT),
+                sim,
+                0,
+                &mut rng,
+            )
+            .take(frames.min(8))
+            .map(|f| f.prediction)
+            .collect(),
+        )
+    };
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let started = Instant::now();
+    let connections: Vec<_> = (0..conns)
+        .map(|conn_index| {
+            let pool = Arc::clone(&pool);
+            let completed = Arc::clone(&completed);
+            thread::spawn(move || -> (Vec<Duration>, usize, usize, usize) {
+                let mut client = ServeClient::connect(addr).expect("connect succeeds");
+                if wire != FrameFormat::Json {
+                    client.negotiate(wire).expect("negotiate succeeds");
+                }
+                // Strided assignment: connection c owns cameras c, c+conns, …
+                let sessions: Vec<u64> = (conn_index..cameras)
+                    .step_by(conns)
+                    .map(|camera| {
+                        client
+                            .open("default", &format!("cam-{camera}"))
+                            .expect("open succeeds")
+                            .0
+                    })
+                    .collect();
+                let mut latencies = Vec::with_capacity(sessions.len() * frames);
+                let mut verdicts = 0usize;
+                let mut retries = 0usize;
+                for round in 0..frames {
+                    for (slot, &session) in sessions.iter().enumerate() {
+                        let frame = &pool[(round + slot) % pool.len()];
+                        loop {
+                            let submitted = Instant::now();
+                            match client.submit(session, frame) {
+                                Ok((_, frame_verdicts)) => {
+                                    latencies.push(submitted.elapsed());
+                                    verdicts += frame_verdicts.len();
+                                    completed.fetch_add(1, Ordering::Relaxed);
+                                    break;
+                                }
+                                Err(e) if e.server_code() == Some(ErrorCode::Backpressure) => {
+                                    retries += 1;
+                                    thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(e) => panic!("scale session {session} failed: {e}"),
+                            }
+                        }
+                    }
+                }
+                let mut survived = 0usize;
+                for &session in &sessions {
+                    let stats = client.close(session).expect("close succeeds");
+                    assert_eq!(
+                        stats.frames, frames,
+                        "session {session} must have served its full frame budget"
+                    );
+                    survived += 1;
+                }
+                (latencies, verdicts, retries, survived)
+            })
+        })
+        .collect();
+
+    // The hot swap fires from outside the camera fleet, halfway through the
+    // submitted frame budget — the rolling-upgrade moment a real fleet hits:
+    // every session already open must keep serving its pinned engine.
+    let swapper = options.hot_swap.then(|| {
+        let registry = Arc::clone(registry);
+        let completed = Arc::clone(&completed);
+        let checkpoint = predictor.to_container_bytes();
+        let target = (cameras * frames) / 2;
+        thread::spawn(move || -> (u64, usize) {
+            while completed.load(Ordering::Relaxed) < target {
+                thread::sleep(Duration::from_millis(2));
+            }
+            let before = completed.load(Ordering::Relaxed);
+            let version = registry
+                .swap_checkpoint("default", stream_config, &checkpoint)
+                .expect("hot checkpoint reload succeeds");
+            (version, before)
+        })
+    });
+
+    let mut latencies = Vec::new();
+    let mut verdicts = 0usize;
+    let mut retries = 0usize;
+    let mut survived = 0usize;
+    for connection in connections {
+        let (conn_latencies, conn_verdicts, conn_retries, conn_survived) =
+            connection.join().expect("scale connection never panics");
+        latencies.extend(conn_latencies);
+        verdicts += conn_verdicts;
+        retries += conn_retries;
+        survived += conn_survived;
+    }
+    let elapsed = started.elapsed();
+    let hot_swap = swapper.map(|swapper| {
+        let (version_after, frames_before_swap) =
+            swapper.join().expect("hot-swap thread never panics");
+        HotSwapReport {
+            version_after,
+            frames_before_swap,
+            sessions_survived: survived,
+        }
+    });
+    let shards = handle.shard_stats();
+    let stats = handle.shutdown();
+
+    latencies.sort();
+    let frames_per_s = latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let report = ScaleReport {
+        bench: "serve_loadtest_scale".to_string(),
+        cameras,
+        connections: conns,
+        frames_per_camera: frames,
+        workers: options.workers,
+        frames_per_s,
+        latency: LatencySummary::from_sorted(&latencies),
+        verdicts,
+        retries,
+        server: stats,
+        shards,
+        slo: options.slo,
+        hot_swap,
+    };
+
+    println!(
+        "sustained {survived} sessions: {} frames, {verdicts} verdicts in {:.2} s \
+         ({frames_per_s:.1} frames/s, {retries} backpressure retries)",
+        latencies.len(),
+        elapsed.as_secs_f64(),
+    );
+    println!(
+        "latency p50 {:.2} ms | p90 {:.2} ms | p99 {:.2} ms | max {:.2} ms",
+        report.latency.p50_ms, report.latency.p90_ms, report.latency.p99_ms, report.latency.max_ms,
+    );
+    for shard in &report.shards {
+        println!(
+            "shard {}: {} frames, {} rejected, peak depth {} (bound {}), \
+             {} micro-batches (largest {})",
+            shard.shard,
+            shard.frames_processed,
+            shard.rejected,
+            shard.peak_queue_depth,
+            options.queue_depth,
+            shard.batches,
+            shard.peak_batch,
+        );
+    }
+    if let Some(swap) = &report.hot_swap {
+        println!(
+            "hot swap: model v{} installed after {} frames; {}/{cameras} pre-swap sessions \
+             completed their full budget",
+            swap.version_after, swap.frames_before_swap, swap.sessions_survived,
+        );
+    }
+
+    assert_eq!(
+        survived, cameras,
+        "every session must complete its full frame budget"
+    );
+    assert_eq!(
+        stats.frames_processed,
+        cameras * frames,
+        "every accepted frame must be processed exactly once"
+    );
+    for violation in options.slo.violations(&report.latency) {
+        eprintln!(
+            "SLO violation: {} = {:.2} ms exceeds the {:.2} ms limit",
+            violation.0, violation.1, violation.2
+        );
+    }
+
+    let out = options.artifact_path("BENCH_serve_scale.json");
+    let json = serde_json::to_string_pretty(&report).expect("scale report serialises");
+    std::fs::write(&out, format!("{json}\n")).expect("artifact path is writable");
+    println!("wrote {}", out.display());
+
+    // The CI gate, evaluated against the written bytes (the same
+    // re-read-and-exit-nonzero invariant as `BENCH_corpus.json`): finite
+    // percentiles, exact accounting, shard/aggregate consistency, SLOs met,
+    // zero dropped sessions.
+    let written = std::fs::read_to_string(&out).expect("artifact re-reads");
+    let parsed: ScaleReport = serde_json::from_str(&written).expect("artifact re-parses");
+    if !parsed.is_finite() {
+        eprintln!("non-finite or inconsistent scale metrics: {parsed:?}");
+        std::process::exit(1);
+    }
+    println!("serve_loadtest: OK (scale mode, all metrics finite)");
+}
+
 fn main() {
     let options = Options::parse();
+    if options.scale {
+        assert!(
+            !options.compare && options.regime.is_none() && options.corpus.is_none(),
+            "--scale drives synthetic fleet traffic; it excludes --compare, \
+             --regime and --corpus"
+        );
+    } else {
+        assert!(
+            options.conns.is_none() && !options.hot_swap && !options.slo.is_asserted(),
+            "--conns, --hot-swap and --slo-* are scale-mode flags; add --scale"
+        );
+    }
     if options.corpus.is_some() {
         assert!(
             options.wire != FrameFormat::Json,
@@ -493,9 +803,13 @@ fn main() {
         fit_predictor(&video_config(12, FRAME_WIDTH, FRAME_HEIGHT), 2, 7000);
     let registry = Arc::new(ModelRegistry::new());
     registry
-        .insert("default", stream_config, predictor)
+        .insert("default", stream_config, predictor.clone())
         .expect("loadtest model is valid");
 
+    if options.scale {
+        run_scale(&options, &registry, stream_config, &predictor);
+        return;
+    }
     if options.corpus.is_some() {
         run_corpus(&options, &registry);
         return;

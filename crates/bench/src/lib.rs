@@ -19,6 +19,7 @@
 use std::path::{Path, PathBuf};
 
 pub mod corpus;
+pub mod scale;
 pub mod scenario;
 
 pub mod serve_fixture {
@@ -104,7 +105,7 @@ pub fn scale() -> f64 {
         .unwrap_or(1.0)
 }
 
-/// Scales a count by [`scale`], keeping at least `minimum`.
+/// Scales a count by [`scale()`], keeping at least `minimum`.
 pub fn scaled(base: usize, minimum: usize) -> usize {
     ((base as f64 * scale()).round() as usize).max(minimum)
 }

@@ -1,20 +1,23 @@
 //! # metaseg-serve
 //!
-//! A thread-pool-based, multi-client inference service over the streaming
+//! An event-loop-based, multi-client inference service over the streaming
 //! MetaSeg engine: many camera feeds, many models, one process, memory
 //! bounded per session.
 //!
 //! The crate splits into:
 //!
 //! * [`ModelRegistry`] — named, cached, pre-validated [`MetaPredictor`]
-//!   handles (insert fitted handles in-process or load their JSON
-//!   checkpoints),
-//! * [`Server`] / [`ServerHandle`] — the TCP server: a non-blocking
-//!   acceptor, one thread per connection owning that connection's camera
-//!   sessions, and a bounded worker pool that drains **cross-session
-//!   micro-batches** (up to `batch_max` queued frames at a time, grouped by
-//!   session and fanned out across rayon) and rejects overload with a typed
-//!   `backpressure` error instead of blocking or buffering unboundedly,
+//!   handles (insert fitted handles in-process, load their JSON or container
+//!   checkpoints, and hot-swap new versions under live traffic),
+//! * [`Server`] / [`ServerHandle`] — the TCP server: one readiness-driven
+//!   event-loop thread multiplexing every connection over nonblocking
+//!   sockets (epoll via the vendored poller), plus **sharded** worker
+//!   threads — sessions are keyed onto shards by `session_id % workers`, so
+//!   per-session frame order is preserved by construction while distinct
+//!   sessions run in parallel. Each shard drains **micro-batches** (up to
+//!   `batch_max` queued jobs at a time) from its own bounded queue and
+//!   rejects overload with a typed `backpressure` error instead of blocking
+//!   or buffering unboundedly,
 //! * [`Request`] / [`Response`] — the JSON-lines wire protocol,
 //! * [`wire`] — the negotiated length-prefixed **binary frame fast path**
 //!   for submissions (raw little-endian `f64`/`f32`/quantized-`u16` softmax
@@ -108,12 +111,14 @@ mod client;
 mod protocol;
 mod registry;
 mod server;
+mod shard;
+mod transport;
 pub mod wire;
 
 pub use client::{ClientError, ServeClient};
 pub use protocol::{ErrorCode, FrameFormat, ProtocolError, Request, Response};
 pub use registry::{ModelEntry, ModelRegistry};
-pub use server::{Server, ServerConfig, ServerHandle, ServerStats};
+pub use server::{Server, ServerConfig, ServerHandle, ServerStats, ShardStats};
 pub use wire::WireError;
 
 #[cfg(test)]

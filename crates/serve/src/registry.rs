@@ -21,12 +21,22 @@ pub struct ModelEntry {
     name: String,
     config: StreamConfig,
     predictor: MetaPredictor,
+    version: u64,
 }
 
 impl ModelEntry {
     /// Registry name of the model.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Monotonic version of this entry under its name: `1` for the first
+    /// registration, bumped by every [`ModelRegistry::swap`] /
+    /// [`ModelRegistry::swap_checkpoint`] (and every replacing
+    /// [`ModelRegistry::insert`]). Sessions pin the entry they were opened
+    /// with, so a session's engine version never changes mid-stream.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Stream configuration sessions of this model run under.
@@ -76,19 +86,67 @@ impl ModelRegistry {
         config: StreamConfig,
         predictor: MetaPredictor,
     ) -> Result<(), MetaSegError> {
+        self.swap(name, config, predictor).map(|_| ())
+    }
+
+    /// Hot-swaps the model under `name`: validates the predictor, then
+    /// replaces the registered entry **unconditionally**, returning the new
+    /// version (`1` for a first registration, previous + 1 for a
+    /// replacement — read under the same write lock, so concurrent swaps
+    /// never produce duplicate versions).
+    ///
+    /// Sessions already open keep serving with the entry they pinned at
+    /// open — a swap never drops or alters a live session; only sessions
+    /// opened afterwards see the new version. That is exactly the rolling
+    /// model-upgrade semantics a camera fleet needs: drain old sessions at
+    /// their own pace while new ones come up on the new checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaSegError::InvalidConfig`] when the predictor does not
+    /// fit the configuration; the registered entry is left untouched.
+    pub fn swap(
+        &self,
+        name: &str,
+        config: StreamConfig,
+        predictor: MetaPredictor,
+    ) -> Result<u64, MetaSegError> {
         // Validation = constructing a throwaway engine; registration is cold
-        // path, sessions are hot path.
+        // path, sessions are hot path. Validate before taking the lock so a
+        // rejected swap never blocks readers.
         MetaSegStream::new(config, predictor.clone())?;
+        let mut models = self.models.write().unwrap_or_else(PoisonError::into_inner);
+        let version = models.get(name).map_or(1, |entry| entry.version + 1);
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             config,
             predictor,
+            version,
         });
-        self.models
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(name.to_string(), entry);
-        Ok(())
+        models.insert(name.to_string(), entry);
+        Ok(version)
+    }
+
+    /// Hot-reloads a checkpoint under `name`: decodes either checkpoint form
+    /// — binary container or UTF-8 JSON, sniffed by magic — and swaps it in
+    /// unconditionally (no already-registered short-circuit: reload means
+    /// *replace*). Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetaSegError::Learn`] when the checkpoint is truncated,
+    /// corrupt or undecodable in both formats, and
+    /// [`MetaSegError::InvalidConfig`] when the decoded predictor does not
+    /// fit the configuration; the registered entry is left untouched either
+    /// way.
+    pub fn swap_checkpoint(
+        &self,
+        name: &str,
+        config: StreamConfig,
+        checkpoint: &[u8],
+    ) -> Result<u64, MetaSegError> {
+        let predictor = MetaPredictor::from_checkpoint_bytes(checkpoint)?;
+        self.swap(name, config, predictor)
     }
 
     /// Loads a model from its serialized JSON checkpoint form
@@ -239,6 +297,59 @@ mod tests {
             .load_checkpoint("bad", config, &container[..container.len() / 2])
             .is_err());
         assert_eq!(registry.len(), 2);
+    }
+
+    #[test]
+    fn swap_bumps_versions_without_touching_pinned_entries() {
+        let registry = ModelRegistry::new();
+        let (config, predictor) = fitted_model(2);
+        registry
+            .insert("default", config, predictor.clone())
+            .unwrap();
+        let pinned = registry.get("default").unwrap();
+        assert_eq!(pinned.version(), 1);
+
+        // A hot swap replaces the entry unconditionally and bumps the
+        // version…
+        let (config_v2, predictor_v2) = fitted_model(3);
+        assert_eq!(
+            registry.swap("default", config_v2, predictor_v2).unwrap(),
+            2
+        );
+        let current = registry.get("default").unwrap();
+        assert_eq!(current.version(), 2);
+        assert_eq!(current.open_stream().series_length(), 3);
+        // …while the pinned handle (what a live session holds) is untouched.
+        assert_eq!(pinned.version(), 1);
+        assert_eq!(pinned.open_stream().series_length(), 2);
+
+        // Checkpoint reload is also a replace, not a cache hit — unlike
+        // `load_checkpoint`, which short-circuits on a registered name.
+        let checkpoint = predictor.to_container_bytes();
+        assert_eq!(
+            registry
+                .swap_checkpoint("default", config, &checkpoint)
+                .unwrap(),
+            3
+        );
+        assert_eq!(registry.get("default").unwrap().version(), 3);
+        registry
+            .load_checkpoint("default", config, b"garbage")
+            .unwrap();
+        assert_eq!(registry.get("default").unwrap().version(), 3);
+
+        // A rejected swap (predictor deeper than the window) leaves the
+        // registered entry untouched.
+        let narrow = StreamConfig {
+            window: 1,
+            ..config
+        };
+        assert!(registry.swap("default", narrow, predictor).is_err());
+        assert_eq!(registry.get("default").unwrap().version(), 3);
+
+        // First registration under a fresh name starts at version 1 again.
+        let (config_b, predictor_b) = fitted_model(2);
+        assert_eq!(registry.swap("other", config_b, predictor_b).unwrap(), 1);
     }
 
     #[test]

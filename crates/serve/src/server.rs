@@ -1,79 +1,70 @@
 //! The multi-camera TCP inference server.
 //!
-//! Architecture (one process, three thread roles):
+//! Architecture (one process, two thread roles):
 //!
-//! * **Acceptor** — accepts TCP connections in a non-blocking poll loop and
-//!   spawns one connection thread each. It never does inference and never
-//!   blocks on the worker queue, so accepting stays O(1) under load.
-//! * **Connection threads** — own their camera *sessions* (session id →
-//!   [`MetaSegStream`] engine), decode request messages, and submit frame
-//!   jobs to the worker pool, relaying the verdicts back in request order.
-//!   Each message is either a JSON line or (after [`Request::Negotiate`]) a
-//!   length-prefixed binary frame, routed by peeking one byte: JSON lines
-//!   always start with `{`, binary frames with the magic byte. A malformed
-//!   message is answered with a typed `bad-request` error; the connection
-//!   survives whenever the stream can be resynchronised (the binary header
-//!   carries the payload length, so even a frame that fails validation is
-//!   skipped cleanly).
-//! * **Worker pool** — `workers` threads draining a bounded job queue in
-//!   **cross-session micro-batches**: a worker pops one job, opportunistically
-//!   drains up to `batch_max - 1` more that are already queued, groups them
-//!   by session, and fans the groups out across the rayon pool, pushing each
-//!   group's frames in arrival order through the session engine — decoded
-//!   JSON frames via [`MetaSegStream::push_frame`], binary wire payloads via
-//!   [`MetaSegStream::push_payload`], which dequantizes the checksum-verified
-//!   bytes straight into the engine's extraction scratch (no intermediate
-//!   `ProbMap` on the binary path).
-//!   Frames of one session stay strictly ordered; frames of distinct
-//!   sessions run in parallel, keeping cores saturated under many-camera
-//!   load even with few pool workers. Batching never changes a verdict —
-//!   engines are per-session and process their frames in arrival order
-//!   exactly as in unbatched mode. When the queue is full the submitting
-//!   connection immediately answers `backpressure` instead of blocking or
+//! * **Event loop** — one transport thread owns the listener and every
+//!   client socket, nonblocking, multiplexed through the vendored poller
+//!   (epoll on Linux; see [`crate::transport`]). It accepts, parses — JSON
+//!   lines and negotiated binary frames, routed by the first byte — answers
+//!   inline operations, and turns frame / `stats` / `close` operations into
+//!   jobs on the owning session's shard. It never runs inference and never
+//!   blocks on a session lock, so accepting and parsing stay responsive
+//!   under thousands of connections, with no thread or `JoinHandle` per
+//!   connection to leak.
+//! * **Shard workers** — `workers` threads, one per shard. Sessions are
+//!   keyed onto shards by `session_id % workers`, so one session's frames
+//!   are processed by one worker in arrival order — per-session frame order
+//!   is preserved by construction — while distinct sessions spread across
+//!   shards and run in parallel, each shard draining **micro-batches** of up
+//!   to `batch_max` queued jobs and pushing them through the session engines:
+//!   decoded JSON frames via `MetaSegStream::push_frame`, binary wire
+//!   payloads via `MetaSegStream::push_payload`, which dequantizes the
+//!   checksum-verified bytes straight into the engine's extraction scratch.
+//!   Each shard's queue is bounded: when a session's shard is full the
+//!   submission immediately answers `backpressure` instead of blocking or
 //!   buffering unboundedly — the overload signal a fleet balancer needs.
+//!   Statistics are kept per shard, under the shard's own queue lock (see
+//!   [`ShardStats`]), and aggregated on snapshot.
 //!
-//! Graceful shutdown ([`ServerHandle::shutdown`]) stops the acceptor,
-//! rejects new sessions, lets connection threads finish their in-flight
-//! request, then drains every queued job before the workers exit — no
-//! accepted frame is ever silently dropped.
+//! Graceful shutdown ([`ServerHandle::shutdown`]) stops accepting and
+//! reading, drains every job already handed to the shards, flushes the
+//! responses, then joins every thread — no accepted frame is ever silently
+//! dropped.
 
-use crate::protocol::{ErrorCode, FrameFormat, Request, Response};
+use crate::protocol::{ErrorCode, Response};
 use crate::registry::ModelRegistry;
-use crate::wire::{self, BinaryFrameHeader, WireError, BINARY_FRAME_MAGIC, BINARY_HEADER_LEN};
-use metaseg::stream::MetaSegStream;
-use metaseg::DispersionPrecision;
-use metaseg_data::{Frame, FrameId, ProbMap, ProbPayload};
-use rayon::prelude::*;
+use crate::shard::{worker_loop, Completion, Shard};
+use crate::transport::Transport;
+use mio::{Interest, Poll, Token, Waker};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 /// Tuning knobs of a server instance.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
-    /// Worker threads draining the inference queue.
+    /// Worker threads — one per shard; sessions are keyed onto shards by
+    /// `session_id % workers`.
     pub workers: usize,
-    /// Bounded depth of the inference queue; submissions beyond it are
+    /// Bounded frame-queue depth *per shard*; submissions beyond it are
     /// rejected with [`ErrorCode::Backpressure`].
     pub queue_depth: usize,
-    /// Largest cross-session micro-batch one worker drains from the queue in
-    /// one go (at least 1). Only frames *already queued* are taken — a
-    /// worker never waits to fill a batch, so lightly loaded servers keep
-    /// single-frame latency while loaded ones amortise dispatch across
-    /// sessions.
+    /// Largest micro-batch one shard worker drains from its queue in one go
+    /// (at least 1). Only jobs *already queued* are taken — a worker never
+    /// waits to fill a batch, so lightly loaded servers keep single-frame
+    /// latency while loaded ones amortise dispatch.
     pub batch_max: usize,
     /// Artificial per-frame inference delay in milliseconds — a loadtest /
     /// test knob emulating heavier models; `0` (the default) for real
     /// serving.
     pub synthetic_delay_ms: u64,
-    /// Poll interval of the acceptor loop and the connection-thread read
-    /// timeout; bounds how quickly shutdown is observed.
+    /// Poll timeout of the event loop; bounds how quickly shutdown is
+    /// observed when no traffic arrives.
     pub poll_interval_ms: u64,
     /// Maximum accepted message length in bytes — the request-line cap of
     /// the JSON path and the payload cap of the binary path. A connection
@@ -99,12 +90,16 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    fn poll_interval(&self) -> Duration {
+    pub(crate) fn poll_interval(&self) -> Duration {
         Duration::from_millis(self.poll_interval_ms.max(1))
     }
 }
 
 /// Lifetime counters of a server, snapshot via [`ServerHandle::stats`].
+///
+/// Queue- and batch-related counters are kept per shard (see
+/// [`ShardStats`]); this aggregate sums the counts and takes the maximum of
+/// the peaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Connections accepted.
@@ -117,37 +112,48 @@ pub struct ServerStats {
     pub binary_frames: usize,
     /// Frame submissions rejected with `backpressure`.
     pub rejected: usize,
-    /// Largest queue occupancy ever observed.
+    /// Largest queue occupancy ever observed on any one shard.
     pub peak_queue_depth: usize,
-    /// Micro-batches drained by the worker pool (every drain counts, even a
-    /// single-frame one).
+    /// Micro-batches drained across all shard workers (every drain that
+    /// contained at least one frame counts, even a single-frame one).
     pub batches: usize,
-    /// Largest micro-batch ever drained in one go.
+    /// Largest micro-batch (in frames) any shard ever drained in one go.
     pub peak_batch: usize,
 }
 
-/// State shared by every thread of one server.
-struct Shared {
-    registry: Arc<ModelRegistry>,
-    config: ServerConfig,
-    shutting_down: AtomicBool,
-    next_session: AtomicU64,
-    queue_len: AtomicUsize,
-    connections: AtomicUsize,
-    sessions_opened: AtomicUsize,
-    frames_processed: AtomicUsize,
-    binary_frames: AtomicUsize,
-    rejected: AtomicUsize,
-    peak_queue_depth: AtomicUsize,
-    batches: AtomicUsize,
-    peak_batch: AtomicUsize,
+/// Lifetime counters of one shard, snapshot via [`ServerHandle::shard_stats`].
+///
+/// Every field mutates under the shard's queue lock, so the numbers are
+/// exact: in particular `peak_queue_depth` counts only frames that were
+/// actually admitted — a backpressure-rejected submission increments
+/// `rejected` and touches nothing else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Index of this shard (`session_id % workers` keys sessions onto it).
+    pub shard: usize,
+    /// Frame jobs fully processed by this shard's worker.
+    pub frames_processed: usize,
+    /// Frame submissions rejected with `backpressure` because this shard's
+    /// queue was full.
+    pub rejected: usize,
+    /// Largest frame-queue occupancy ever observed on this shard.
+    pub peak_queue_depth: usize,
+    /// Micro-batches containing at least one frame drained by this shard's
+    /// worker.
+    pub batches: usize,
+    /// Largest micro-batch (in frames) this shard ever drained in one go.
+    pub peak_batch: usize,
 }
 
-/// One camera session: the engine plus bookkeeping labels.
-struct Session {
-    engine: MetaSegStream,
-    #[allow(dead_code)]
-    camera: String,
+/// State shared between the event loop, the shard workers and the handle.
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) config: ServerConfig,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) next_session: AtomicU64,
+    pub(crate) connections: AtomicUsize,
+    pub(crate) sessions_opened: AtomicUsize,
+    pub(crate) binary_frames: AtomicUsize,
 }
 
 /// A session whose mutex is poisoned is *dead*: a previous frame panicked
@@ -155,7 +161,7 @@ struct Session {
 /// windows not) and serving it further could emit silently-wrong verdicts.
 /// Every operation on it answers this typed error — the connection stays
 /// usable and the camera recovers by opening a fresh session.
-fn session_poisoned_error(session: u64) -> Response {
+pub(crate) fn session_poisoned_error(session: u64) -> Response {
     Response::Error {
         code: ErrorCode::Internal,
         message: format!(
@@ -164,43 +170,35 @@ fn session_poisoned_error(session: u64) -> Response {
     }
 }
 
-/// Per-connection state owned by its connection thread.
-struct Connection {
-    sessions: HashMap<u64, Arc<Mutex<Session>>>,
-    /// Whether binary frame submissions have been negotiated.
-    binary_frames: bool,
-    /// Negotiated dispersion-scan precision for this connection's frames.
-    dispersion: DispersionPrecision,
+pub(crate) fn bad_request(message: impl ToString) -> Response {
+    Response::Error {
+        code: ErrorCode::BadRequest,
+        message: message.to_string(),
+    }
 }
 
-/// How a queued frame travels to the worker that will serve it.
-enum JobPayload {
-    /// A softmax field decoded at the connection thread (the JSON path —
-    /// the document decoder produces an owned [`ProbMap`] anyway).
-    Decoded(ProbMap),
-    /// Checksum-verified wire bytes, untouched since the socket read. The
-    /// worker dequantizes them directly into the session engine's extraction
-    /// scratch — no intermediate `ProbMap` is ever materialised.
-    Encoded(ProbPayload),
+pub(crate) fn shutting_down_error() -> Response {
+    Response::Error {
+        code: ErrorCode::ShuttingDown,
+        message: "server is shutting down".to_string(),
+    }
 }
 
-/// A queued inference job: one frame of one session plus the reply channel
-/// of the submitting connection thread.
-struct Job {
-    session_id: u64,
-    session: Arc<Mutex<Session>>,
-    payload: JobPayload,
-    dispersion: DispersionPrecision,
-    reply: Sender<Response>,
+pub(crate) fn unknown_session_error(session: u64) -> Response {
+    Response::Error {
+        code: ErrorCode::UnknownSession,
+        message: format!("session {session} is not open on this connection"),
+    }
 }
 
-/// A running server; dropping the handle aborts without draining, calling
-/// [`ServerHandle::shutdown`] drains gracefully.
+/// A running server. Dropping the handle signals shutdown without waiting;
+/// calling [`ServerHandle::shutdown`] drains gracefully and joins.
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    job_tx: Option<SyncSender<Job>>,
-    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    shards: Arc<[Shard]>,
+    waker: Arc<Waker>,
+    transport: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -208,13 +206,14 @@ pub struct ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the
-    /// acceptor and worker threads. Returns immediately; the server runs
-    /// until [`ServerHandle::shutdown`].
+    /// Binds `addr` (use port 0 for an ephemeral port) and spawns the event
+    /// loop and one worker thread per shard. Returns immediately; the
+    /// server runs until [`ServerHandle::shutdown`].
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error when binding fails.
+    /// Returns the underlying I/O error when binding or setting up the
+    /// poller fails.
     pub fn spawn(
         addr: impl ToSocketAddrs,
         registry: Arc<ModelRegistry>,
@@ -224,50 +223,60 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let poll = Poll::new()?;
+        poll.register(&listener, Token(0), Interest::READABLE)?;
+        let waker = Arc::new(Waker::new(&poll, Token(1))?);
+
         let shared = Arc::new(Shared {
             registry,
             config,
             shutting_down: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
-            queue_len: AtomicUsize::new(0),
             connections: AtomicUsize::new(0),
             sessions_opened: AtomicUsize::new(0),
-            frames_processed: AtomicUsize::new(0),
             binary_frames: AtomicUsize::new(0),
-            rejected: AtomicUsize::new(0),
-            peak_queue_depth: AtomicUsize::new(0),
-            batches: AtomicUsize::new(0),
-            peak_batch: AtomicUsize::new(0),
         });
 
-        let workers = config.workers.max(1);
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-        let job_rx = Arc::new(Mutex::new(job_rx));
-        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        let shard_count = config.workers.max(1);
+        let shards: Arc<[Shard]> = (0..shard_count)
+            .map(|index| Shard::new(index, &config))
+            .collect();
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..shard_count)
             .map(|index| {
-                let rx = Arc::clone(&job_rx);
-                let shared = Arc::clone(&shared);
+                let shards = Arc::clone(&shards);
+                let completions: Sender<Completion> = completion_tx.clone();
+                let waker = Arc::clone(&waker);
                 thread::Builder::new()
-                    .name(format!("metaseg-worker-{index}"))
-                    .spawn(move || worker_loop(&rx, &shared))
-                    .expect("spawning a worker thread succeeds")
+                    .name(format!("metaseg-shard-{index}"))
+                    .spawn(move || worker_loop(&shards[index], &completions, &waker))
+                    .expect("spawning a shard worker thread succeeds")
             })
             .collect();
+        drop(completion_tx);
 
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let job_tx = job_tx.clone();
+        let transport = {
+            let transport = Transport::new(
+                listener,
+                poll,
+                Arc::clone(&waker),
+                Arc::clone(&shared),
+                Arc::clone(&shards),
+                completion_rx,
+            );
             thread::Builder::new()
-                .name("metaseg-acceptor".to_string())
-                .spawn(move || acceptor_loop(&listener, &shared, &job_tx))
-                .expect("spawning the acceptor thread succeeds")
+                .name("metaseg-transport".to_string())
+                .spawn(move || transport.run())
+                .expect("spawning the transport thread succeeds")
         };
 
         Ok(ServerHandle {
             addr,
             shared,
-            job_tx: Some(job_tx),
-            acceptor: Some(acceptor),
+            shards,
+            waker,
+            transport: Some(transport),
             workers: worker_handles,
         })
     }
@@ -279,18 +288,38 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Snapshot of the server's lifetime counters.
+    /// The model registry this server serves from. Models swapped into the
+    /// registry (see [`ModelRegistry::swap`]) are picked up by sessions
+    /// opened afterwards; existing sessions keep the engine they started
+    /// with and are never dropped by a swap.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// Snapshot of the server's lifetime counters, aggregated across shards
+    /// (counts are summed, peaks are maxed).
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
+        let mut stats = ServerStats {
             connections: self.shared.connections.load(Ordering::Relaxed),
             sessions_opened: self.shared.sessions_opened.load(Ordering::Relaxed),
-            frames_processed: self.shared.frames_processed.load(Ordering::Relaxed),
             binary_frames: self.shared.binary_frames.load(Ordering::Relaxed),
-            rejected: self.shared.rejected.load(Ordering::Relaxed),
-            peak_queue_depth: self.shared.peak_queue_depth.load(Ordering::Relaxed),
-            batches: self.shared.batches.load(Ordering::Relaxed),
-            peak_batch: self.shared.peak_batch.load(Ordering::Relaxed),
+            ..ServerStats::default()
+        };
+        for shard in self.shards.iter() {
+            let shard = shard.snapshot();
+            stats.frames_processed += shard.frames_processed;
+            stats.rejected += shard.rejected;
+            stats.batches += shard.batches;
+            stats.peak_queue_depth = stats.peak_queue_depth.max(shard.peak_queue_depth);
+            stats.peak_batch = stats.peak_batch.max(shard.peak_batch);
         }
+        stats
+    }
+
+    /// Per-shard counters, in shard order — the exact numbers the aggregate
+    /// [`ServerHandle::stats`] snapshot is computed from.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(Shard::snapshot).collect()
     }
 
     /// Whether shutdown has been initiated.
@@ -298,20 +327,20 @@ impl ServerHandle {
         self.shared.shutting_down.load(Ordering::SeqCst)
     }
 
-    /// Graceful shutdown: stop accepting, let every connection finish its
-    /// in-flight request, drain all queued jobs, join every thread, and
-    /// return the final statistics.
+    /// Graceful shutdown: stop accepting and reading, drain every job
+    /// already handed to the shards, flush the responses, join every
+    /// thread, and return the final statistics.
     pub fn shutdown(mut self) -> ServerStats {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        if let Some(acceptor) = self.acceptor.take() {
-            let connection_threads = acceptor.join().expect("acceptor thread never panics");
-            for handle in connection_threads {
-                let _ = handle.join();
-            }
+        self.waker.wake();
+        if let Some(transport) = self.transport.take() {
+            let _ = transport.join();
         }
-        // All connection threads are gone, so the acceptor-side sender is
-        // the last one: dropping it lets workers drain the queue and exit.
-        drop(self.job_tx.take());
+        // The transport has drained: every submitted job has completed, so
+        // the shard queues are empty and closing them lets the workers exit.
+        for shard in self.shards.iter() {
+            shard.close();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -319,614 +348,19 @@ impl ServerHandle {
     }
 }
 
-fn acceptor_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    job_tx: &SyncSender<Job>,
-) -> Vec<JoinHandle<()>> {
-    let mut connections: Vec<JoinHandle<()>> = Vec::new();
-    let mut accepted = 0usize;
-    while !shared.shutting_down.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                shared.connections.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(shared);
-                let job_tx = job_tx.clone();
-                let handle = thread::Builder::new()
-                    .name(format!("metaseg-conn-{accepted}"))
-                    .spawn(move || connection_loop(stream, &shared, &job_tx))
-                    .expect("spawning a connection thread succeeds");
-                accepted += 1;
-                connections.push(handle);
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                // Reap finished connection threads while idle so a
-                // long-running server with connection churn does not
-                // accumulate one JoinHandle per connection ever accepted.
-                reap_finished(&mut connections);
-                thread::sleep(shared.config.poll_interval());
-            }
-            // Transient accept errors (aborted handshakes) must not kill
-            // the server.
-            Err(_) => thread::sleep(shared.config.poll_interval()),
-        }
-    }
-    connections
-}
-
-/// Joins and drops every connection thread that has already exited.
-fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
-    let mut index = 0;
-    while index < connections.len() {
-        if connections[index].is_finished() {
-            let _ = connections.swap_remove(index).join();
-        } else {
-            index += 1;
-        }
-    }
-}
-
-/// Peeks the first byte of the next message, tolerating read timeouts (used
-/// to poll the shutdown flag). Returns `None` on EOF, a fatal transport
-/// error, or shutdown — the connection then closes.
-fn peek_byte_polled(reader: &mut BufReader<TcpStream>, shared: &Shared) -> Option<u8> {
-    loop {
-        match reader.fill_buf() {
-            Ok([]) => return None,
-            Ok(buffered) => return Some(buffered[0]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return None;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return None,
-        }
-    }
-}
-
-/// Fills `buffer` completely, tolerating read timeouts. Returns `None` on
-/// EOF, a fatal transport error, or shutdown mid-read.
-fn read_exact_polled(
-    reader: &mut BufReader<TcpStream>,
-    buffer: &mut [u8],
-    shared: &Shared,
-) -> Option<()> {
-    let mut filled = 0;
-    while filled < buffer.len() {
-        match reader.read(&mut buffer[filled..]) {
-            Ok(0) => return None,
-            Ok(read) => filled += read,
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return None;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return None,
-        }
-    }
-    Some(())
-}
-
-/// Reads and discards exactly `count` bytes — how the binary path
-/// resynchronises after a frame whose header was readable but invalid.
-fn skip_polled(reader: &mut BufReader<TcpStream>, count: usize, shared: &Shared) -> Option<()> {
-    let mut scratch = [0u8; 8192];
-    let mut remaining = count;
-    while remaining > 0 {
-        let chunk = remaining.min(scratch.len());
-        read_exact_polled(reader, &mut scratch[..chunk], shared)?;
-        remaining -= chunk;
-    }
-    Some(())
-}
-
-/// Reads one line, tolerating read timeouts (used to poll the shutdown
-/// flag). Returns `None` on EOF, a fatal transport error, or a line
-/// exceeding the configured size cap (the transport-level analogue of the
-/// JSON parser's nesting-depth cap: a peer that never sends a newline must
-/// not grow server memory without bound).
-///
-/// Reads raw bytes via `read_until`, *not* `read_line`: `read_line`'s UTF-8
-/// guard truncates its output when a read error interrupts the stream
-/// mid-multi-byte-character, silently losing bytes already consumed from
-/// the socket — a timeout landing inside a multi-byte camera name would
-/// corrupt a well-formed request. Bytes survive timeouts here; the caller
-/// validates UTF-8 once, after the newline arrived, and answers a typed
-/// `bad-request` on invalid sequences (never silent replacement, never a
-/// dropped byte).
-fn read_line_polled(
-    reader: &mut BufReader<TcpStream>,
-    buffer: &mut Vec<u8>,
-    shared: &Shared,
-) -> Option<()> {
-    buffer.clear();
-    loop {
-        match reader.read_until(b'\n', buffer) {
-            Ok(0) => return None,
-            Ok(_) => {
-                // Timeouts can split a line: keep reading until the
-                // newline actually arrived.
-                if buffer.ends_with(b"\n") {
-                    return Some(());
-                }
-                if buffer.len() > shared.config.max_line_bytes {
-                    return None;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return None;
-                }
-                if buffer.len() > shared.config.max_line_bytes {
-                    return None;
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => return None,
-        }
-    }
-}
-
-/// Outcome of reading one binary frame off the stream.
-enum BinaryRead {
-    /// A checksum-verified frame of an open session: submit its raw payload.
-    Frame { session: u64, payload: ProbPayload },
-    /// A frame that was skipped or failed decoding: answer the typed
-    /// response, keep the connection.
-    Reject(Response),
-    /// The stream cannot be resynchronised (EOF, transport error, or a
-    /// declared payload beyond the size cap): answer if possible, then
-    /// close the connection.
-    Drop(Option<WireError>),
-}
-
-fn bad_request(message: impl ToString) -> Response {
-    Response::Error {
-        code: ErrorCode::BadRequest,
-        message: message.to_string(),
-    }
-}
-
-/// Reads one binary frame (the magic byte has been peeked, not consumed).
-///
-/// The header is fixed-size and carries the payload length, so even frames
-/// that fail validation can usually be skipped exactly; only payloads
-/// declared beyond the cap force a disconnect (reading them would defeat
-/// the memory bound, and skipping terabytes is indistinguishable from a
-/// hung connection).
-///
-/// Frames that are doomed regardless of their contents — binary framing not
-/// negotiated, or a session id (carried in the header) that is not open on
-/// this connection — are rejected *before* the payload is read: the bytes
-/// are skipped in a fixed scratch buffer, so a peer cannot make the server
-/// allocate, checksum or float-decode work it will throw away.
-fn read_binary_message(
-    reader: &mut BufReader<TcpStream>,
-    connection: &Connection,
-    shared: &Shared,
-) -> BinaryRead {
-    let mut header_bytes = [0u8; BINARY_HEADER_LEN];
-    if read_exact_polled(reader, &mut header_bytes, shared).is_none() {
-        return BinaryRead::Drop(None);
-    }
-    let cap = shared.config.max_line_bytes as u64;
-    let validated = BinaryFrameHeader::parse(&header_bytes)
-        .and_then(|header| header.checked_payload_len(cap).map(|len| (header, len)));
-    match validated {
-        Ok((header, payload_len)) => {
-            let rejection = if !connection.binary_frames {
-                Some(bad_request(
-                    "binary framing was not negotiated on this connection \
-                     (send the negotiate op first)",
-                ))
-            } else if !connection.sessions.contains_key(&header.session) {
-                Some(unknown_session_error(header.session))
-            } else {
-                None
-            };
-            if let Some(response) = rejection {
-                if skip_polled(reader, payload_len, shared).is_none() {
-                    return BinaryRead::Drop(None);
-                }
-                return BinaryRead::Reject(response);
-            }
-            let mut payload = vec![0u8; payload_len];
-            if read_exact_polled(reader, &mut payload, shared).is_none() {
-                return BinaryRead::Drop(None);
-            }
-            // Zero-copy ingest: verify the checksum, then hand the wire
-            // bytes to the worker unchanged — dequantization happens in the
-            // worker, straight into the session's extraction scratch.
-            match header.verified_payload(payload) {
-                Ok(payload) => BinaryRead::Frame {
-                    session: header.session,
-                    payload,
-                },
-                Err(e) => BinaryRead::Reject(bad_request(e)),
-            }
-        }
-        Err(e) => {
-            // The declared length sits at a fixed offset whatever else is
-            // wrong with the header; use it to resynchronise if it is
-            // bounded.
-            let declared = wire::declared_payload_len(&header_bytes);
-            if declared <= cap && skip_polled(reader, declared as usize, shared).is_some() {
-                BinaryRead::Reject(bad_request(e))
-            } else {
-                BinaryRead::Drop(Some(e))
-            }
-        }
-    }
-}
-
-fn connection_loop(stream: TcpStream, shared: &Arc<Shared>, job_tx: &SyncSender<Job>) {
-    let _ = stream.set_nodelay(true);
-    if stream
-        .set_read_timeout(Some(shared.config.poll_interval()))
-        .is_err()
-    {
-        return;
-    }
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut writer = write_half;
-    let mut reader = BufReader::new(stream);
-    let mut connection = Connection {
-        sessions: HashMap::new(),
-        binary_frames: false,
-        dispersion: DispersionPrecision::F64,
-    };
-    let mut line_bytes = Vec::new();
-
-    loop {
-        let Some(first_byte) = peek_byte_polled(&mut reader, shared) else {
-            return;
-        };
-        let (response, close_after_reply) = if first_byte == BINARY_FRAME_MAGIC {
-            match read_binary_message(&mut reader, &connection, shared) {
-                BinaryRead::Frame { session, payload } => {
-                    shared.binary_frames.fetch_add(1, Ordering::Relaxed);
-                    (
-                        submit_frame(
-                            session,
-                            JobPayload::Encoded(payload),
-                            &connection,
-                            shared,
-                            job_tx,
-                        ),
-                        false,
-                    )
-                }
-                BinaryRead::Reject(response) => (response, false),
-                BinaryRead::Drop(Some(e)) => (bad_request(e), true),
-                BinaryRead::Drop(None) => return,
-            }
-        } else {
-            let Some(()) = read_line_polled(&mut reader, &mut line_bytes, shared) else {
-                return;
-            };
-            // Strict UTF-8 at the trust boundary: lossy replacement would
-            // silently alter string fields (e.g. a camera name) inside an
-            // otherwise well-formed request.
-            let response = match std::str::from_utf8(&line_bytes) {
-                Ok(line) => match Request::decode(line.trim_end()) {
-                    Ok(request) => handle_request(request, &mut connection, shared, job_tx),
-                    Err(e) => bad_request(e),
-                },
-                Err(e) => bad_request(format_args!("request line is not valid UTF-8: {e}")),
-            };
-            (response, false)
-        };
-        if writeln!(writer, "{}", response.encode()).is_err() {
-            return;
-        }
-        if writer.flush().is_err() {
-            return;
-        }
-        if close_after_reply {
-            return;
-        }
-    }
-}
-
-fn handle_request(
-    request: Request,
-    connection: &mut Connection,
-    shared: &Arc<Shared>,
-    job_tx: &SyncSender<Job>,
-) -> Response {
-    match request {
-        Request::Ping => Response::Pong,
-        Request::Negotiate { format, dispersion } => {
-            // Binary framing is a per-connection capability switch; control
-            // operations and responses stay JSON lines either way. The
-            // payload encoding of each binary frame is self-describing, so
-            // the server only needs to remember "binary allowed". The
-            // dispersion precision applies to every frame submitted after
-            // this confirmation, whatever its format.
-            connection.binary_frames = matches!(format, FrameFormat::Binary(_));
-            connection.dispersion = dispersion;
-            Response::Negotiated { format, dispersion }
-        }
-        Request::Open { model, camera } => {
-            if shared.shutting_down.load(Ordering::SeqCst) {
-                return shutting_down_error();
-            }
-            let Some(entry) = shared.registry.get(&model) else {
-                return Response::Error {
-                    code: ErrorCode::UnknownModel,
-                    message: format!("no model named `{model}` is registered"),
-                };
-            };
-            let engine = entry.open_stream();
-            let series_length = engine.series_length();
-            let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-            connection
-                .sessions
-                .insert(session, Arc::new(Mutex::new(Session { engine, camera })));
-            shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
-            Response::Opened {
-                session,
-                series_length,
-            }
-        }
-        Request::Frame { session, probs } => submit_frame(
-            session,
-            JobPayload::Decoded(probs),
-            connection,
-            shared,
-            job_tx,
-        ),
-        Request::Stats { session } => match connection.sessions.get(&session).cloned() {
-            Some(state) => match state.lock() {
-                Ok(guard) => Response::Stats {
-                    session,
-                    stats: guard.engine.session_stats(),
-                },
-                Err(_) => {
-                    // Dead session: evict it so later requests get the
-                    // honest unknown-session answer.
-                    connection.sessions.remove(&session);
-                    session_poisoned_error(session)
-                }
-            },
-            None => unknown_session_error(session),
-        },
-        Request::Close { session } => match connection.sessions.remove(&session) {
-            Some(state) => match state.lock() {
-                Ok(guard) => Response::Closed {
-                    session,
-                    stats: guard.engine.session_stats(),
-                },
-                // Evicted either way; the final statistics are unknowable.
-                Err(_) => session_poisoned_error(session),
-            },
-            None => unknown_session_error(session),
-        },
-    }
-}
-
-/// Submits one frame payload to the worker pool and waits for its verdicts —
-/// the shared tail of the JSON and binary submission paths.
-fn submit_frame(
-    session: u64,
-    payload: JobPayload,
-    connection: &Connection,
-    shared: &Arc<Shared>,
-    job_tx: &SyncSender<Job>,
-) -> Response {
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        return shutting_down_error();
-    }
-    let Some(state) = connection.sessions.get(&session) else {
-        return unknown_session_error(session);
-    };
-    // Decoded payloads cross a trust boundary: an inconsistent shape would
-    // panic deep inside metric extraction. (The binary path validates shape
-    // against byte count before the job is built.)
-    if let JobPayload::Decoded(probs) = &payload {
-        if !probs.shape_consistent() {
-            return Response::Error {
-                code: ErrorCode::BadRequest,
-                message: "frame payload has an inconsistent shape".to_string(),
-            };
-        }
-    }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job {
-        session_id: session,
-        session: Arc::clone(state),
-        payload,
-        dispersion: connection.dispersion,
-        reply: reply_tx,
-    };
-    // Count the job before handing it over: the worker decrements after
-    // picking it up, so incrementing afterwards could race the counter
-    // below zero.
-    let depth = shared.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
-    shared.peak_queue_depth.fetch_max(depth, Ordering::Relaxed);
-    match job_tx.try_send(job) {
-        // The worker pool owns the job now; relay its verdicts in request
-        // order.
-        Ok(()) => reply_rx.recv().unwrap_or_else(|_| Response::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "worker pool exited before the frame was processed".to_string(),
-        }),
-        Err(TrySendError::Full(_)) => {
-            shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-            shared.rejected.fetch_add(1, Ordering::Relaxed);
-            Response::Error {
-                code: ErrorCode::Backpressure,
-                message: format!(
-                    "inference queue is full ({} jobs); retry after backing off",
-                    shared.config.queue_depth.max(1)
-                ),
-            }
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.queue_len.fetch_sub(1, Ordering::Relaxed);
-            shutting_down_error()
-        }
-    }
-}
-
-fn shutting_down_error() -> Response {
-    Response::Error {
-        code: ErrorCode::ShuttingDown,
-        message: "server is shutting down".to_string(),
-    }
-}
-
-fn unknown_session_error(session: u64) -> Response {
-    Response::Error {
-        code: ErrorCode::UnknownSession,
-        message: format!("session {session} is not open on this connection"),
-    }
-}
-
-/// One session's slice of a drained micro-batch: its jobs, in arrival order.
-struct SessionBatch {
-    session_id: u64,
-    session: Arc<Mutex<Session>>,
-    jobs: Vec<(JobPayload, DispersionPrecision, Sender<Response>)>,
-}
-
-/// Processes one session group: lock once, push the frames in order through
-/// the engine, reply per frame.
-///
-/// Decoded frames go through [`MetaSegStream::push_frame`]; encoded wire
-/// payloads go through [`MetaSegStream::push_payload`], which dequantizes
-/// the bytes directly into the session's extraction scratch (pinned
-/// bit-identical at f64 precision by the engine's own tests, so the two
-/// paths can never disagree on a verdict).
-fn process_session_batch(batch: SessionBatch, shared: &Shared) {
-    let SessionBatch {
-        session_id,
-        session,
-        jobs,
-    } = batch;
-    let batched = jobs.len();
-    let Ok(mut session) = session.lock() else {
-        // A previous frame of this session panicked mid-inference: the
-        // engine state is unknown, so refuse to serve it rather than risk
-        // silently-wrong verdicts.
-        for (_, _, reply) in jobs {
-            let _ = reply.send(session_poisoned_error(session_id));
-        }
-        return;
-    };
-    if shared.config.synthetic_delay_ms > 0 {
-        // The synthetic delay models *per-frame* model cost, so a group of
-        // n frames sleeps n times the configured delay — identical to the
-        // unbatched schedule; batching only parallelises across sessions.
-        thread::sleep(Duration::from_millis(
-            shared.config.synthetic_delay_ms * batched as u64,
-        ));
-    }
-    let mut processed = 0usize;
-    let mut responses = Vec::with_capacity(batched);
-    for (payload, dispersion, reply) in jobs {
-        let response = match payload {
-            JobPayload::Decoded(probs) => {
-                let frame = Frame::unlabeled(
-                    FrameId::new(session_id as usize, session.engine.frames_seen()),
-                    probs,
-                );
-                let verdicts = session.engine.push_frame(&frame);
-                processed += 1;
-                Response::Verdicts {
-                    session: session_id,
-                    frame: verdicts.frame,
-                    verdicts: verdicts.verdicts,
-                }
-            }
-            JobPayload::Encoded(payload) => {
-                match session.engine.push_payload(&payload, dispersion) {
-                    Ok(verdicts) => {
-                        processed += 1;
-                        Response::Verdicts {
-                            session: session_id,
-                            frame: verdicts.frame,
-                            verdicts: verdicts.verdicts,
-                        }
-                    }
-                    // The engine state is untouched on a codec error; the
-                    // session keeps serving subsequent frames.
-                    Err(e) => bad_request(e),
-                }
-            }
-        };
-        responses.push((reply, response));
-    }
-    drop(session);
-    shared
-        .frames_processed
-        .fetch_add(processed, Ordering::Relaxed);
-    for (reply, response) in responses {
-        // The connection may have gone away mid-flight; dropping the
-        // verdicts is then the right thing.
-        let _ = reply.send(response);
-    }
-}
-
-fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, shared: &Arc<Shared>) {
-    let batch_max = shared.config.batch_max.max(1);
-    loop {
-        // Hold the queue lock only to drain: block for the first job, then
-        // opportunistically take whatever is already queued, up to the
-        // batch cap. Inference runs unlocked so the pool actually
-        // parallelises across sessions.
-        let jobs: Vec<Job> = {
-            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
-            match guard.recv() {
-                Ok(first) => {
-                    let mut jobs = vec![first];
-                    while jobs.len() < batch_max {
-                        match guard.try_recv() {
-                            Ok(job) => jobs.push(job),
-                            Err(_) => break,
-                        }
-                    }
-                    jobs
-                }
-                // Every sender is gone and the queue is drained: shutdown.
-                Err(_) => return,
-            }
-        };
-        shared.queue_len.fetch_sub(jobs.len(), Ordering::Relaxed);
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        shared.peak_batch.fetch_max(jobs.len(), Ordering::Relaxed);
-
-        // Group by session, preserving arrival order within each group, so
-        // one session's frames stay strictly ordered while distinct
-        // sessions fan out across the rayon pool. A linear scan is right:
-        // batches are small (≤ batch_max).
-        let mut groups: Vec<SessionBatch> = Vec::new();
-        for job in jobs {
-            match groups
-                .iter_mut()
-                .find(|group| group.session_id == job.session_id)
-            {
-                Some(group) => group.jobs.push((job.payload, job.dispersion, job.reply)),
-                None => groups.push(SessionBatch {
-                    session_id: job.session_id,
-                    session: job.session,
-                    jobs: vec![(job.payload, job.dispersion, job.reply)],
-                }),
-            }
-        }
-        if groups.len() == 1 {
-            // The common lightly-loaded case: skip the parallel dispatch.
-            let group = groups.pop().expect("length checked above");
-            process_session_batch(group, shared);
-        } else {
-            let () = groups
-                .into_par_iter()
-                .map(|group| process_session_batch(group, shared))
-                .collect();
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A dropped handle must not strand the server's threads: signal
+        // shutdown and let them wind down on their own (without joining —
+        // `shutdown` is the graceful, joining path; this one is idempotent
+        // after it). Workers drain what is already queued before exiting,
+        // and the transport still submits safely against closed shards (the
+        // submission is refused and answered, never stranded), so the drain
+        // invariant — outstanding jobs all complete — holds here too.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        for shard in self.shards.iter() {
+            shard.close();
         }
     }
 }

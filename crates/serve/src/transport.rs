@@ -1,0 +1,771 @@
+//! The readiness-driven connection transport.
+//!
+//! One event-loop thread owns the listener and **every** client socket,
+//! nonblocking, multiplexed through the vendored [`mio`] poller (epoll on
+//! Linux) — no thread per connection, so ten thousand idle cameras cost ten
+//! thousand small buffers, not ten thousand stacks, and there is no
+//! `JoinHandle` to leak per connection ever accepted: a connection's entire
+//! footprint dies with its slot in the event loop's table.
+//!
+//! Per connection the loop runs a byte-level state machine over one growable
+//! input buffer: at each message boundary the first byte routes to either a
+//! JSON line (always starts with `{`) or a binary frame (the magic byte),
+//! mirroring the peek-based routing of the old blocking transport, including
+//! resynchronisation — a binary frame whose header is readable but invalid
+//! is skipped by its declared length, and only an unbounded declared payload
+//! (or an oversized newline-free line) forces a disconnect.
+//!
+//! Inference never runs on the event loop. Frame, `stats` and `close`
+//! operations become [`Job`]s on the session's shard queue; the shard worker
+//! posts a [`Completion`] back through a channel and wakes the poller. The
+//! loop keeps responses in request order with a per-connection sequence of
+//! response slots: every request allocates the next slot, inline operations
+//! fill theirs immediately, queued operations fill theirs on completion, and
+//! the write side only ever flushes the longest filled prefix.
+
+use crate::protocol::{ErrorCode, FrameFormat, Request, Response};
+use crate::server::{bad_request, shutting_down_error, unknown_session_error, Shared};
+use crate::shard::{Completion, ConnId, Job, JobKind, JobPayload, Session, Shard};
+use crate::wire::{self, BinaryFrameHeader, BINARY_FRAME_MAGIC, BINARY_HEADER_LEN};
+use metaseg::DispersionPrecision;
+use mio::{Events, Interest, Poll, Token, Waker};
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+
+/// Poll token of the listener.
+const LISTENER: usize = 0;
+/// Poll token of the cross-thread waker.
+const WAKER: usize = 1;
+/// First token handed to client connections.
+const FIRST_CONN: usize = 2;
+
+/// A growable input buffer with an O(1) consume offset; compacts lazily so
+/// steady-state parsing never memmoves per message.
+struct ByteBuf {
+    data: Vec<u8>,
+    start: usize,
+}
+
+impl ByteBuf {
+    fn new() -> ByteBuf {
+        ByteBuf {
+            data: Vec::new(),
+            start: 0,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    fn extend(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    fn consume(&mut self, count: usize) {
+        self.start += count;
+        debug_assert!(self.start <= self.data.len());
+        if self.start == self.data.len() {
+            self.data.clear();
+            self.start = 0;
+        } else if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+    }
+
+    /// Copies out and consumes exactly `count` bytes.
+    fn take(&mut self, count: usize) -> Vec<u8> {
+        let taken = self.as_slice()[..count].to_vec();
+        self.consume(count);
+        taken
+    }
+}
+
+/// Where the byte-level state machine stands between reads.
+enum ReadState {
+    /// At a message boundary: route on the first byte.
+    Route,
+    /// A valid binary header was consumed; accumulating its payload.
+    BinaryPayload {
+        header: BinaryFrameHeader,
+        needed: usize,
+    },
+    /// A rejected binary frame's payload is being discarded so the stream
+    /// resynchronises at the next message boundary (the typed error response
+    /// was already slotted when the header was consumed).
+    BinarySkip { remaining: usize },
+}
+
+/// One client connection: socket, parse state, sessions, and the ordered
+/// response slots.
+struct Conn {
+    stream: TcpStream,
+    id: ConnId,
+    inbuf: ByteBuf,
+    outbuf: Vec<u8>,
+    out_start: usize,
+    read_state: ReadState,
+    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    /// Whether binary frame submissions have been negotiated.
+    binary_frames: bool,
+    /// Negotiated dispersion-scan precision for this connection's frames.
+    dispersion: DispersionPrecision,
+    /// Response slots in request order: `pending[i]` answers request
+    /// `base_seq + i`. `None` slots await a shard completion.
+    pending: VecDeque<Option<Response>>,
+    base_seq: u64,
+    /// Responses flushed, then close — set by unrecoverable protocol errors
+    /// that still deserve an answer.
+    closing: bool,
+    /// Whether the poll registration currently includes write interest.
+    write_interest: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, id: ConnId) -> Conn {
+        Conn {
+            stream,
+            id,
+            inbuf: ByteBuf::new(),
+            outbuf: Vec::new(),
+            out_start: 0,
+            read_state: ReadState::Route,
+            sessions: HashMap::new(),
+            binary_frames: false,
+            dispersion: DispersionPrecision::F64,
+            pending: VecDeque::new(),
+            base_seq: 0,
+            closing: false,
+            write_interest: false,
+        }
+    }
+
+    /// Allocates the next response slot and returns its sequence number.
+    fn alloc_slot(&mut self) -> u64 {
+        self.pending.push_back(None);
+        self.base_seq + self.pending.len() as u64 - 1
+    }
+
+    /// Fills a previously allocated slot.
+    fn fill(&mut self, seq: u64, response: Response) {
+        let index = seq.checked_sub(self.base_seq).map(|i| i as usize);
+        if let Some(slot) = index.and_then(|i| self.pending.get_mut(i)) {
+            *slot = Some(response);
+        }
+    }
+
+    /// Moves every leading filled slot into the output buffer, in order.
+    fn flush_ready(&mut self) {
+        while matches!(self.pending.front(), Some(Some(_))) {
+            let response = self
+                .pending
+                .pop_front()
+                .expect("front checked above")
+                .expect("front checked above");
+            self.base_seq += 1;
+            self.outbuf.extend_from_slice(response.encode().as_bytes());
+            self.outbuf.push(b'\n');
+        }
+    }
+
+    fn out_len(&self) -> usize {
+        self.outbuf.len() - self.out_start
+    }
+
+    /// Writes as much of the output buffer as the socket accepts.
+    /// `Ok(())` leaves the connection alive; `Err` means it is gone.
+    fn write_pending(&mut self) -> Result<(), ()> {
+        while self.out_start < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.out_start..]) {
+                Ok(0) => return Err(()),
+                Ok(written) => self.out_start += written,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(()),
+            }
+        }
+        if self.out_start == self.outbuf.len() {
+            self.outbuf.clear();
+            self.out_start = 0;
+        } else if self.out_start > 4096 && self.out_start * 2 > self.outbuf.len() {
+            self.outbuf.drain(..self.out_start);
+            self.out_start = 0;
+        }
+        Ok(())
+    }
+
+    /// Whether everything this connection will ever say has been said.
+    fn finished_closing(&self) -> bool {
+        self.closing && self.pending.is_empty() && self.out_len() == 0
+    }
+}
+
+/// What driving a connection's read side concluded.
+#[derive(PartialEq, Eq)]
+enum ReadOutcome {
+    Alive,
+    /// EOF, transport error, or an unanswerable protocol violation (e.g. an
+    /// oversized newline-free line): drop the connection without a response.
+    Dead,
+}
+
+/// The event loop: owns the listener, the poller and every connection slot.
+pub(crate) struct Transport {
+    listener: TcpListener,
+    poll: Poll,
+    waker: Arc<Waker>,
+    shared: Arc<Shared>,
+    shards: Arc<[Shard]>,
+    completions: Receiver<Completion>,
+    /// Connection slots, indexed by `token - FIRST_CONN`; freed slots are
+    /// reused (with a fresh generation) before the table grows.
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_generation: u64,
+    /// Jobs handed to shards whose completions have not come back yet; the
+    /// drain phase of shutdown ends when this reaches zero.
+    outstanding: usize,
+}
+
+impl Transport {
+    pub(crate) fn new(
+        listener: TcpListener,
+        poll: Poll,
+        waker: Arc<Waker>,
+        shared: Arc<Shared>,
+        shards: Arc<[Shard]>,
+        completions: Receiver<Completion>,
+    ) -> Transport {
+        Transport {
+            listener,
+            poll,
+            waker,
+            shared,
+            shards,
+            completions,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_generation: 0,
+            outstanding: 0,
+        }
+    }
+
+    /// Runs until shutdown: poll, dispatch, pump completions. After the
+    /// shutdown flag is raised the loop stops accepting and reading but
+    /// keeps pumping completions and flushing writes until every job handed
+    /// to the shards has been answered — no accepted frame is ever silently
+    /// dropped.
+    pub(crate) fn run(mut self) {
+        let mut events = Events::with_capacity(256);
+        let timeout = self.shared.config.poll_interval();
+        loop {
+            let draining = self.shared.shutting_down.load(Ordering::SeqCst);
+            if draining && self.outstanding == 0 {
+                self.final_flush();
+                return;
+            }
+            if self.poll.poll(&mut events, Some(timeout)).is_err() {
+                // A failing poller cannot be recovered; drain what we can
+                // via the completion channel and exit.
+                self.pump_completions();
+                continue;
+            }
+            let mut touched: Vec<usize> = Vec::new();
+            for event in &events {
+                match event.token() {
+                    Token(LISTENER) => {
+                        if !draining {
+                            self.accept_all();
+                        }
+                    }
+                    Token(WAKER) => self.waker.drain(),
+                    Token(token) => {
+                        self.conn_event(token, event.is_readable(), event.is_writable(), draining);
+                        touched.push(token);
+                    }
+                }
+            }
+            touched.extend(self.pump_completions());
+            touched.sort_unstable();
+            touched.dedup();
+            for token in touched {
+                self.after_io(token);
+            }
+        }
+    }
+
+    /// Accepts until the listener would block. Transient errors (aborted
+    /// handshakes) must not kill the server; the next readiness event
+    /// retries.
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let index = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    let token = index + FIRST_CONN;
+                    if self
+                        .poll
+                        .register(&stream, Token(token), Interest::READABLE)
+                        .is_err()
+                    {
+                        self.free.push(index);
+                        continue;
+                    }
+                    self.next_generation += 1;
+                    let id = ConnId {
+                        token,
+                        generation: self.next_generation,
+                    };
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    self.conns[index] = Some(Conn::new(stream, id));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn conn_event(&mut self, token: usize, readable: bool, writable: bool, draining: bool) {
+        let index = token - FIRST_CONN;
+        let Some(mut conn) = self.conns.get_mut(index).and_then(Option::take) else {
+            return;
+        };
+        let mut alive = true;
+        if writable && conn.write_pending().is_err() {
+            alive = false;
+        }
+        if alive && readable && !draining && !conn.closing {
+            alive = self.drive_read(&mut conn) == ReadOutcome::Alive;
+        }
+        if alive {
+            self.conns[index] = Some(conn);
+        } else {
+            self.teardown(conn);
+        }
+    }
+
+    /// Reads until the socket would block, feeding the parse state machine
+    /// after every chunk.
+    fn drive_read(&mut self, conn: &mut Conn) -> ReadOutcome {
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => return ReadOutcome::Dead,
+                Ok(count) => {
+                    conn.inbuf.extend(&scratch[..count]);
+                    if self.parse_messages(conn) == ReadOutcome::Dead {
+                        return ReadOutcome::Dead;
+                    }
+                    if conn.closing {
+                        return ReadOutcome::Alive;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return ReadOutcome::Alive,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Dead,
+            }
+        }
+    }
+
+    /// Consumes every complete message currently buffered.
+    fn parse_messages(&mut self, conn: &mut Conn) -> ReadOutcome {
+        loop {
+            if conn.closing {
+                return ReadOutcome::Alive;
+            }
+            match conn.read_state {
+                ReadState::Route => {
+                    let buffered = conn.inbuf.as_slice();
+                    let Some(&first) = buffered.first() else {
+                        return ReadOutcome::Alive;
+                    };
+                    if first == BINARY_FRAME_MAGIC {
+                        if buffered.len() < BINARY_HEADER_LEN {
+                            return ReadOutcome::Alive;
+                        }
+                        self.route_binary_header(conn);
+                    } else {
+                        match buffered.iter().position(|&b| b == b'\n') {
+                            Some(position) => {
+                                let line = conn.inbuf.take(position + 1);
+                                self.handle_line(conn, &line);
+                            }
+                            None => {
+                                // The transport-level analogue of the JSON
+                                // parser's nesting-depth cap: a peer that
+                                // never sends a newline must not grow server
+                                // memory without bound. No response — there
+                                // is no parseable request to answer.
+                                if buffered.len() > self.shared.config.max_line_bytes {
+                                    return ReadOutcome::Dead;
+                                }
+                                return ReadOutcome::Alive;
+                            }
+                        }
+                    }
+                }
+                ReadState::BinaryPayload { ref header, needed } => {
+                    if conn.inbuf.len() < needed {
+                        return ReadOutcome::Alive;
+                    }
+                    let header = *header;
+                    let payload = conn.inbuf.take(needed);
+                    conn.read_state = ReadState::Route;
+                    let seq = conn.alloc_slot();
+                    // Zero-copy ingest: verify the checksum, then hand the
+                    // wire bytes to the shard unchanged — dequantization
+                    // happens in the worker, straight into the session's
+                    // extraction scratch.
+                    match header.verified_payload(payload) {
+                        Ok(payload) => {
+                            self.shared.binary_frames.fetch_add(1, Ordering::Relaxed);
+                            if let Some(response) = self.submit_frame(
+                                conn,
+                                seq,
+                                header.session,
+                                JobPayload::Encoded(payload),
+                            ) {
+                                conn.fill(seq, response);
+                            }
+                        }
+                        Err(e) => conn.fill(seq, bad_request(e)),
+                    }
+                }
+                ReadState::BinarySkip { remaining } => {
+                    let discard = remaining.min(conn.inbuf.len());
+                    conn.inbuf.consume(discard);
+                    let remaining = remaining - discard;
+                    if remaining > 0 {
+                        conn.read_state = ReadState::BinarySkip { remaining };
+                        return ReadOutcome::Alive;
+                    }
+                    conn.read_state = ReadState::Route;
+                }
+            }
+        }
+    }
+
+    /// Routes a buffered 36-byte binary header: a valid header either starts
+    /// payload accumulation or (for a frame doomed regardless of its
+    /// contents — binary framing not negotiated, or an unknown session id)
+    /// slots the typed rejection and discards the payload without ever
+    /// buffering it for decode. An invalid header is answered and skipped by
+    /// its declared length when that is bounded; otherwise the connection is
+    /// answered and closed (reading an unbounded payload would defeat the
+    /// memory cap, and skipping terabytes is indistinguishable from a hung
+    /// connection).
+    fn route_binary_header(&mut self, conn: &mut Conn) {
+        let mut header_bytes = [0u8; BINARY_HEADER_LEN];
+        header_bytes.copy_from_slice(&conn.inbuf.as_slice()[..BINARY_HEADER_LEN]);
+        conn.inbuf.consume(BINARY_HEADER_LEN);
+        let cap = self.shared.config.max_line_bytes as u64;
+        let validated = BinaryFrameHeader::parse(&header_bytes)
+            .and_then(|header| header.checked_payload_len(cap).map(|len| (header, len)));
+        match validated {
+            Ok((header, payload_len)) => {
+                let rejection = if !conn.binary_frames {
+                    Some(bad_request(
+                        "binary framing was not negotiated on this connection \
+                         (send the negotiate op first)",
+                    ))
+                } else if !conn.sessions.contains_key(&header.session) {
+                    Some(unknown_session_error(header.session))
+                } else {
+                    None
+                };
+                match rejection {
+                    Some(response) => {
+                        let seq = conn.alloc_slot();
+                        conn.fill(seq, response);
+                        conn.read_state = ReadState::BinarySkip {
+                            remaining: payload_len,
+                        };
+                    }
+                    None => {
+                        conn.read_state = ReadState::BinaryPayload {
+                            header,
+                            needed: payload_len,
+                        };
+                    }
+                }
+            }
+            Err(e) => {
+                let seq = conn.alloc_slot();
+                conn.fill(seq, bad_request(e));
+                // The declared length sits at a fixed offset whatever else
+                // is wrong with the header; use it to resynchronise if it
+                // is bounded.
+                let declared = wire::declared_payload_len(&header_bytes);
+                if declared <= cap {
+                    conn.read_state = ReadState::BinarySkip {
+                        remaining: declared as usize,
+                    };
+                } else {
+                    conn.closing = true;
+                }
+            }
+        }
+    }
+
+    /// Handles one JSON request line (trailing newline included).
+    fn handle_line(&mut self, conn: &mut Conn, line: &[u8]) {
+        let seq = conn.alloc_slot();
+        // Strict UTF-8 at the trust boundary: lossy replacement would
+        // silently alter string fields (e.g. a camera name) inside an
+        // otherwise well-formed request.
+        let request = match std::str::from_utf8(line) {
+            Ok(text) => match Request::decode(text.trim_end()) {
+                Ok(request) => request,
+                Err(e) => {
+                    conn.fill(seq, bad_request(e));
+                    return;
+                }
+            },
+            Err(e) => {
+                conn.fill(
+                    seq,
+                    bad_request(format_args!("request line is not valid UTF-8: {e}")),
+                );
+                return;
+            }
+        };
+        if let Some(response) = self.handle_request(conn, seq, request) {
+            conn.fill(seq, response);
+        }
+    }
+
+    /// Executes one decoded request. `Some` is an immediate response for the
+    /// allocated slot; `None` means the slot will be filled by a shard
+    /// completion.
+    fn handle_request(&mut self, conn: &mut Conn, seq: u64, request: Request) -> Option<Response> {
+        match request {
+            Request::Ping => Some(Response::Pong),
+            Request::Negotiate { format, dispersion } => {
+                // Binary framing is a per-connection capability switch;
+                // control operations and responses stay JSON lines either
+                // way. The payload encoding of each binary frame is
+                // self-describing, so the server only needs to remember
+                // "binary allowed". The dispersion precision applies to
+                // every frame submitted after this confirmation, whatever
+                // its format.
+                conn.binary_frames = matches!(format, FrameFormat::Binary(_));
+                conn.dispersion = dispersion;
+                Some(Response::Negotiated { format, dispersion })
+            }
+            Request::Open { model, camera } => {
+                if self.shared.shutting_down.load(Ordering::SeqCst) {
+                    return Some(shutting_down_error());
+                }
+                let Some(entry) = self.shared.registry.get(&model) else {
+                    return Some(Response::Error {
+                        code: ErrorCode::UnknownModel,
+                        message: format!("no model named `{model}` is registered"),
+                    });
+                };
+                let engine = entry.open_stream();
+                let series_length = engine.series_length();
+                let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+                conn.sessions
+                    .insert(session, Arc::new(Mutex::new(Session { engine, camera })));
+                self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                Some(Response::Opened {
+                    session,
+                    series_length,
+                })
+            }
+            Request::Frame { session, probs } => {
+                self.submit_frame(conn, seq, session, JobPayload::Decoded(probs))
+            }
+            Request::Stats { session } => self.submit_control(conn, seq, session, JobKind::Stats),
+            Request::Close { session } => {
+                // Evict first so later requests get the honest
+                // unknown-session answer even while the final counters are
+                // still in flight on the shard.
+                match conn.sessions.remove(&session) {
+                    Some(state) => {
+                        let shard = self.shard_for(session);
+                        let job = Job {
+                            session_id: session,
+                            session: state,
+                            kind: JobKind::Close,
+                            conn: conn.id,
+                            seq,
+                        };
+                        if shard.submit_control(job) {
+                            self.outstanding += 1;
+                            None
+                        } else {
+                            Some(shutting_down_error())
+                        }
+                    }
+                    None => Some(unknown_session_error(session)),
+                }
+            }
+        }
+    }
+
+    fn shard_for(&self, session: u64) -> &Shard {
+        &self.shards[(session % self.shards.len() as u64) as usize]
+    }
+
+    /// Submits one frame payload to the session's shard — the shared tail of
+    /// the JSON and binary submission paths.
+    fn submit_frame(
+        &mut self,
+        conn: &mut Conn,
+        seq: u64,
+        session: u64,
+        payload: JobPayload,
+    ) -> Option<Response> {
+        if self.shared.shutting_down.load(Ordering::SeqCst) {
+            return Some(shutting_down_error());
+        }
+        let Some(state) = conn.sessions.get(&session) else {
+            return Some(unknown_session_error(session));
+        };
+        // Decoded payloads cross a trust boundary: an inconsistent shape
+        // would panic deep inside metric extraction. (The binary path
+        // validates shape against byte count before the job is built.)
+        if let JobPayload::Decoded(probs) = &payload {
+            if !probs.shape_consistent() {
+                return Some(Response::Error {
+                    code: ErrorCode::BadRequest,
+                    message: "frame payload has an inconsistent shape".to_string(),
+                });
+            }
+        }
+        let job = Job {
+            session_id: session,
+            session: Arc::clone(state),
+            kind: JobKind::Frame {
+                payload,
+                dispersion: conn.dispersion,
+            },
+            conn: conn.id,
+            seq,
+        };
+        if self.shard_for(session).submit_frame(job) {
+            self.outstanding += 1;
+            None
+        } else {
+            Some(Response::Error {
+                code: ErrorCode::Backpressure,
+                message: format!(
+                    "inference queue is full ({} jobs); retry after backing off",
+                    self.shared.config.queue_depth.max(1)
+                ),
+            })
+        }
+    }
+
+    /// Submits a `stats`-style control job, answering inline when the
+    /// session is unknown.
+    fn submit_control(
+        &mut self,
+        conn: &mut Conn,
+        seq: u64,
+        session: u64,
+        kind: JobKind,
+    ) -> Option<Response> {
+        let Some(state) = conn.sessions.get(&session) else {
+            return Some(unknown_session_error(session));
+        };
+        let job = Job {
+            session_id: session,
+            session: Arc::clone(state),
+            kind,
+            conn: conn.id,
+            seq,
+        };
+        if self.shard_for(session).submit_control(job) {
+            self.outstanding += 1;
+            None
+        } else {
+            Some(shutting_down_error())
+        }
+    }
+
+    /// Drains the completion channel into connection response slots,
+    /// returning the tokens that received something. Completions for
+    /// connections that died in flight (or whose slot was reused — the
+    /// generation check) are dropped after the accounting.
+    fn pump_completions(&mut self) -> Vec<usize> {
+        let mut touched = Vec::new();
+        while let Ok(completion) = self.completions.try_recv() {
+            self.outstanding = self.outstanding.saturating_sub(1);
+            let index = completion.conn.token - FIRST_CONN;
+            if let Some(conn) = self.conns.get_mut(index).and_then(Option::as_mut) {
+                if conn.id == completion.conn {
+                    if let Some(session) = completion.evict {
+                        conn.sessions.remove(&session);
+                    }
+                    conn.fill(completion.seq, completion.response);
+                    touched.push(completion.conn.token);
+                }
+            }
+        }
+        touched
+    }
+
+    /// Post-I/O bookkeeping for one connection: move ready responses to the
+    /// output buffer, push bytes, settle write interest, and finish a
+    /// deferred close once everything has been said.
+    fn after_io(&mut self, token: usize) {
+        let index = token - FIRST_CONN;
+        let Some(mut conn) = self.conns.get_mut(index).and_then(Option::take) else {
+            return;
+        };
+        conn.flush_ready();
+        if conn.write_pending().is_err() || conn.finished_closing() {
+            self.teardown(conn);
+            return;
+        }
+        let want_write = conn.out_len() > 0;
+        if want_write != conn.write_interest {
+            conn.write_interest = want_write;
+            let interest = if want_write {
+                Interest::READABLE | Interest::WRITABLE
+            } else {
+                Interest::READABLE
+            };
+            let _ = self.poll.reregister(&conn.stream, Token(token), interest);
+        }
+        self.conns[index] = Some(conn);
+    }
+
+    /// Releases a connection: deregister, free the slot (its generation is
+    /// retired, so in-flight completions for it are dropped on receipt), and
+    /// drop the socket and every session it owned.
+    fn teardown(&mut self, conn: Conn) {
+        let _ = self.poll.deregister(&conn.stream);
+        self.free.push(conn.id.token - FIRST_CONN);
+    }
+
+    /// One best-effort flush of every connection on the way out: shutdown
+    /// has drained all outstanding jobs, so anything still buffered is a
+    /// complete response that the peer may be waiting on.
+    fn final_flush(&mut self) {
+        for slot in &mut self.conns {
+            if let Some(conn) = slot.as_mut() {
+                conn.flush_ready();
+                let _ = conn.write_pending();
+            }
+        }
+    }
+}

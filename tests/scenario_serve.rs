@@ -30,9 +30,12 @@ use std::thread;
 /// duplicate some).
 const FRAMES_PER_CAMERA: usize = 5;
 
-/// Concurrent degraded cameras per regime — two so the single worker must
-/// drain cross-session micro-batches.
-const CAMERAS: usize = 2;
+/// Concurrent degraded cameras per regime — three so the single worker
+/// must drain cross-session micro-batches: while it infers one camera's
+/// frame, the other two both queue, so the next drain always has a
+/// two-session batch available (two cameras would only alternate single
+/// jobs and batch by scheduling luck).
+const CAMERAS: usize = 3;
 
 fn tiny_video_config() -> VideoConfig {
     serve_fixture::video_config(FRAMES_PER_CAMERA, 48, 24)

@@ -287,7 +287,172 @@ fn backpressure_is_a_typed_error_and_the_connection_survives() {
     let server_stats = handle.shutdown();
     assert_eq!(server_stats.rejected, 1);
     assert_eq!(server_stats.frames_processed, 3);
-    assert!(server_stats.peak_queue_depth <= 2);
+    // Regression: the peak is recorded only after a successful enqueue, so
+    // the rejected third submission must not move it. The worker drains each
+    // admitted frame before the next arrives, so the queue never holds more
+    // than the one slot it has.
+    assert_eq!(server_stats.peak_queue_depth, 1);
+}
+
+#[test]
+fn shard_stats_sum_to_the_aggregate_under_forced_backpressure() {
+    // Two shards, each with a single queue slot and a slow worker. Sessions
+    // are opened sequentially, so their ids (1..=6) — and therefore their
+    // shards (`id % workers`) — are known: each wave below lands one
+    // session on each shard.
+    let handle = spawn_server(ServerConfig {
+        workers: 2,
+        queue_depth: 1,
+        synthetic_delay_ms: 400,
+        ..ServerConfig::default()
+    });
+    let addr = handle.local_addr();
+    let probs = camera_frames(0).remove(0);
+
+    let mut clients: Vec<ServeClient> = Vec::new();
+    let mut sessions = Vec::new();
+    for camera in 0..6 {
+        let mut client = ServeClient::connect(addr).expect("connect succeeds");
+        let (session, _) = client.open("default", &format!("cam-{camera}")).unwrap();
+        assert_eq!(session, camera as u64 + 1, "sequential opens pin the ids");
+        clients.push(client);
+        sessions.push(session);
+    }
+
+    // Wave 1 (sessions 1, 2) lands one frame on each shard; both are
+    // drained immediately and occupy their workers for the synthetic delay.
+    // Wave 2 (sessions 3, 4) then fills the single queue slot of each shard.
+    let submit = |mut client: ServeClient, session: u64, probs: ProbMap| {
+        thread::spawn(move || {
+            client.submit(session, &probs).unwrap();
+            client
+        })
+    };
+    let mut waves = Vec::new();
+    for wave in 0..2 {
+        let occupied: Vec<_> = (0..2)
+            .map(|i| {
+                let session = sessions[wave * 2 + i];
+                submit(clients.remove(0), session, probs.clone())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(150));
+        waves.push(occupied);
+    }
+
+    // Wave 3 (sessions 5, 6): both shards are busy with a full queue, so
+    // both submissions are rejected with the typed backpressure error.
+    for (client, session) in clients.iter_mut().zip(&sessions[4..]) {
+        let err = client.submit(*session, &probs).unwrap_err();
+        assert_eq!(err.server_code(), Some(ErrorCode::Backpressure));
+    }
+    let mut done: Vec<_> = waves
+        .into_iter()
+        .flatten()
+        .map(|t| t.join().expect("camera thread never panics"))
+        .collect();
+    // The rejected sessions retry once the shards drain; every camera ends
+    // with exactly one processed frame.
+    for (client, session) in clients.iter_mut().zip(&sessions[4..]) {
+        client.submit(*session, &probs).unwrap();
+    }
+    done.append(&mut clients);
+    for (client, session) in done.iter_mut().zip(&sessions) {
+        let stats = client.close(*session).unwrap();
+        assert_eq!(stats.frames, 1);
+    }
+
+    // The per-shard counters must reproduce the aggregate snapshot exactly:
+    // counts by summation, peaks by maximum.
+    let shards = handle.shard_stats();
+    let stats = handle.shutdown();
+    assert_eq!(shards.len(), 2);
+    for (index, shard) in shards.iter().enumerate() {
+        assert_eq!(shard.shard, index);
+        assert_eq!(shard.frames_processed, 3);
+        assert_eq!(shard.rejected, 1);
+        assert_eq!(shard.peak_queue_depth, 1);
+        // Batch sanity: the choreography drains every admitted frame alone,
+        // and a batch can never exceed what the shard processed.
+        assert!(shard.batches >= 1 && shard.batches <= shard.frames_processed);
+        assert!(shard.peak_batch >= 1);
+        assert!(shard.batches * shard.peak_batch >= shard.frames_processed);
+    }
+    assert_eq!(
+        shards.iter().map(|s| s.frames_processed).sum::<usize>(),
+        stats.frames_processed
+    );
+    assert_eq!(
+        shards.iter().map(|s| s.rejected).sum::<usize>(),
+        stats.rejected
+    );
+    assert_eq!(
+        shards.iter().map(|s| s.batches).sum::<usize>(),
+        stats.batches
+    );
+    assert_eq!(
+        shards.iter().map(|s| s.peak_queue_depth).max(),
+        Some(stats.peak_queue_depth)
+    );
+    assert_eq!(
+        shards.iter().map(|s| s.peak_batch).max(),
+        Some(stats.peak_batch)
+    );
+    // `frames_processed + rejected` accounts for every submission made.
+    assert_eq!(stats.frames_processed + stats.rejected, 8);
+    assert_eq!(stats.sessions_opened, 6);
+    assert_eq!(stats.connections, 6);
+}
+
+#[test]
+fn hot_swap_mid_stream_keeps_old_sessions_bit_identical_and_drops_none() {
+    // A rolling model upgrade: sessions opened before the swap pin their
+    // registry entry and must finish bit-identically on the old model;
+    // sessions opened afterwards come up on the new one.
+    let handle = spawn_server(ServerConfig::default());
+    let addr = handle.local_addr();
+    let frames = camera_frames(0);
+    let reference = in_process_verdicts(&frames);
+
+    // A second model fitted on longer time series: distinguishable from the
+    // fixture model by the `series_length` that `open` reports.
+    let (swap_config, swap_predictor) = serve_fixture::fit_predictor(&tiny_video_config(), 3, 4000);
+
+    let mut client = ServeClient::connect(addr).expect("connect succeeds");
+    let (session, series_length) = client.open("default", "cam-old").unwrap();
+    assert_eq!(series_length, 2);
+    let mut served = Vec::new();
+    for (index, probs) in frames.iter().enumerate() {
+        if index == frames.len() / 2 {
+            // Mid-stream hot reload through the checkpoint path, exactly as
+            // an operator would push a new container file.
+            let version = handle
+                .registry()
+                .swap_checkpoint("default", swap_config, &swap_predictor.to_container_bytes())
+                .expect("the swapped checkpoint round-trips");
+            assert_eq!(version, 2, "the first swap bumps the seed version");
+        }
+        let (frame, verdicts) = client.submit(session, probs).unwrap();
+        served.push(FrameVerdicts { frame, verdicts });
+    }
+    // The pre-swap session was never rebound: every verdict — including the
+    // ones served after the swap — matches the old model bit for bit.
+    assert_eq!(served, reference);
+    let stats = client.close(session).unwrap();
+    assert_eq!(stats.frames, frames.len());
+
+    // A session opened after the swap runs on the new model.
+    assert_eq!(handle.registry().get("default").unwrap().version(), 2);
+    let (fresh, fresh_series_length) = client.open("default", "cam-new").unwrap();
+    assert_eq!(fresh_series_length, 3);
+    let (frame, _) = client.submit(fresh, &frames[0]).unwrap();
+    assert_eq!(frame, 0);
+    client.close(fresh).unwrap();
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.sessions_opened, 2);
+    assert_eq!(stats.frames_processed, frames.len() + 1);
+    assert_eq!(stats.rejected, 0);
 }
 
 #[test]
