@@ -33,7 +33,20 @@
 //! SLOs (`--slo-p50-ms` / `--slo-p90-ms` / `--slo-p99-ms`), and writing
 //! `BENCH_serve_scale.json` (override with `--out`) — re-read from disk and
 //! gated on finite percentiles, exact frame accounting and per-shard /
-//! aggregate consistency:
+//! aggregate consistency.
+//!
+//! `--chaos` is the survival mode: the corpus is replayed *through* the
+//! in-process byte-level fault proxy (`metaseg_sim::ChaosProxy`) under every
+//! named [`metaseg_sim::FaultPlan`] (`--plan <name>` picks one, `--smoke`
+//! the reduced CI pair), each plan against a dedicated server with tight
+//! deadline/linger settings, driven by the retrying client
+//! (`submit_with_retry` + reconnect-and-resume). It writes
+//! `BENCH_chaos.json` (override with `--out`) and exits non-zero unless the
+//! re-read report survives: every session completed, zero killed, every
+//! served verdict bit-identical to the in-process reference engine, zero
+//! leaked sessions/connections. `--chaos --check <path>` re-gates an
+//! already-written report without replaying (how CI guards the committed
+//! artifact):
 //!
 //! ```text
 //! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
@@ -41,17 +54,23 @@
 //!     --wire binary-f64 --batch 8 --compare
 //! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
 //!     --scale --cameras 1000 --frames 4 --hot-swap
+//! cargo run --release -p metaseg-bench --bin serve_loadtest -- \
+//!     --chaos --corpus corpus.msgc --cameras 4 --frames 6
 //! ```
 
+use metaseg::stream::MetaSegStream;
+use metaseg_bench::chaos::{ChaosPlanReport, ChaosReport};
 use metaseg_bench::corpus::{load_corpus, CorpusReport, LatencySummary};
 use metaseg_bench::scale::{HotSwapReport, ScaleReport, ScaleSlo};
 use metaseg_bench::serve_fixture::{fit_predictor, percentile_ms, video_config};
 use metaseg_data::ProbMap;
 use metaseg_serve::{
-    ErrorCode, FrameFormat, ModelRegistry, ServeClient, Server, ServerConfig, ServerStats,
+    ClientConfig, ClientError, ErrorCode, FrameFormat, ModelRegistry, ServeClient, Server,
+    ServerConfig, ServerStats, Submission,
 };
 use metaseg_sim::{
-    FrameSource, NetworkProfile, NetworkSim, ProbEncoding, RegimeKind, RegimeSource, VideoStream,
+    ChaosProxy, DecodedFrameSource, FaultPlan, FrameSource, NetworkProfile, NetworkSim,
+    ProbEncoding, RegimeKind, RegimeSource, VideoStream,
 };
 use rand::{rngs::StdRng, SeedableRng};
 use std::path::PathBuf;
@@ -83,6 +102,10 @@ struct Options {
     conns: Option<usize>,
     hot_swap: bool,
     slo: ScaleSlo,
+    chaos: bool,
+    plan: Option<String>,
+    smoke: bool,
+    check: Option<PathBuf>,
 }
 
 impl Options {
@@ -104,6 +127,10 @@ impl Options {
             conns: None,
             hot_swap: false,
             slo: ScaleSlo::default(),
+            chaos: false,
+            plan: None,
+            smoke: false,
+            check: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -155,6 +182,28 @@ impl Options {
                 "--scale" => options.scale = true,
                 "--conns" => options.conns = Some(take("--conns").max(1)),
                 "--hot-swap" => options.hot_swap = true,
+                "--chaos" => options.chaos = true,
+                "--smoke" => options.smoke = true,
+                "--plan" => {
+                    let name = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--plan expects a fault plan name"));
+                    assert!(
+                        FaultPlan::named(&name).is_some(),
+                        "--plan expects one of {:?}, got `{name}`",
+                        FaultPlan::suite()
+                            .iter()
+                            .map(|p| p.name)
+                            .collect::<Vec<_>>()
+                    );
+                    options.plan = Some(name);
+                }
+                "--check" => {
+                    options.check = Some(PathBuf::from(
+                        args.next()
+                            .unwrap_or_else(|| panic!("--check expects a path")),
+                    ));
+                }
                 "--slo-p50-ms" | "--slo-p90-ms" | "--slo-p99-ms" => {
                     let limit = args
                         .next()
@@ -753,8 +802,400 @@ fn run_scale(
     println!("serve_loadtest: OK (scale mode, all metrics finite)");
 }
 
+/// Per-camera outcome of one chaos plan.
+struct ChaosCameraOutcome {
+    latencies: Vec<Duration>,
+    served: usize,
+    lost_response: usize,
+    mismatches: usize,
+    reconnects: usize,
+    completed: bool,
+    killed: Option<String>,
+}
+
+/// The deadline/retry policy chaos cameras drive with: deadlines tight
+/// enough to cut through a stalled wire quickly, retries generous enough
+/// to outlast every decaying fault plan.
+fn chaos_client_config(camera: usize) -> ClientConfig {
+    ClientConfig {
+        connect_timeout: Duration::from_secs(2),
+        read_timeout: Some(Duration::from_secs(3)),
+        write_timeout: Some(Duration::from_secs(3)),
+        max_retries: 30,
+        backoff_base: Duration::from_millis(15),
+        backoff_max: Duration::from_millis(500),
+        jitter_seed: 0xC0FF_EE00 ^ camera as u64,
+    }
+}
+
+/// Connects through the proxy, negotiates the checksummed binary wire and
+/// opens a session — retrying the whole bootstrap on faults (a plan can
+/// kill the connection before the session even exists).
+fn chaos_bootstrap(
+    proxy_addr: std::net::SocketAddr,
+    camera: usize,
+) -> Result<(ServeClient, u64), ClientError> {
+    let config = chaos_client_config(camera);
+    let mut last: Option<ClientError> = None;
+    for attempt in 0..config.max_retries {
+        let outcome = (|| -> Result<(ServeClient, u64), ClientError> {
+            let mut client = ServeClient::connect_with(proxy_addr, config)?;
+            // The checksummed binary wire is load-bearing: upstream byte
+            // corruption is always *rejected* (typed bad-request), never
+            // silently applied, so the differential below stays sound.
+            client.negotiate(FrameFormat::Binary(ProbEncoding::F64))?;
+            let (session, _) = client.open("default", &format!("chaos-{camera}"))?;
+            Ok((client, session))
+        })();
+        match outcome {
+            Ok(ok) => return Ok(ok),
+            Err(e) => {
+                last = Some(e);
+                thread::sleep(Duration::from_millis(20 * (attempt as u64 + 1)));
+            }
+        }
+    }
+    Err(last.expect("max_retries >= 1"))
+}
+
+/// One chaos plan: dedicated server + fault proxy, every camera replays its
+/// corpus slice through the proxy with the retrying client, served verdicts
+/// compared bit-for-bit against the in-process reference.
+fn run_chaos_plan(
+    options: &Options,
+    registry: &Arc<ModelRegistry>,
+    plan: &FaultPlan,
+    seed: u64,
+    sequences: &Arc<Vec<Vec<ProbMap>>>,
+    reference: &Arc<Vec<Vec<Vec<metaseg::stream::SegmentVerdict>>>>,
+) -> ChaosPlanReport {
+    let handle = Server::spawn(
+        "127.0.0.1:0",
+        Arc::clone(registry),
+        ServerConfig {
+            workers: options.workers,
+            queue_depth: options.queue_depth,
+            batch_max: options.batch,
+            // Tight defenses: a mid-frame stall beyond 1.5 s is reaped (the
+            // stall plans hold the wire longer than that on purpose), and
+            // orphans of faulted connections linger 4 s for resume.
+            read_timeout_ms: 1_500,
+            idle_timeout_ms: 10_000,
+            session_linger_ms: 4_000,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind succeeds");
+    let proxy =
+        ChaosProxy::spawn(handle.local_addr(), plan.clone(), seed).expect("proxy bind succeeds");
+    let proxy_addr = proxy.local_addr();
+    println!(
+        "chaos plan `{}`: {} cameras x {} frames through {proxy_addr} -> {}",
+        plan.name,
+        options.cameras,
+        options.frames,
+        handle.local_addr(),
+    );
+
+    let started = Instant::now();
+    let cameras: Vec<_> = (0..options.cameras)
+        .map(|camera| {
+            let frames = options.frames;
+            let maps = Arc::clone(sequences);
+            let reference = Arc::clone(reference);
+            thread::spawn(move || -> ChaosCameraOutcome {
+                let mut outcome = ChaosCameraOutcome {
+                    latencies: Vec::with_capacity(frames),
+                    served: 0,
+                    lost_response: 0,
+                    mismatches: 0,
+                    reconnects: 0,
+                    completed: false,
+                    killed: None,
+                };
+                let (mut client, session) = match chaos_bootstrap(proxy_addr, camera) {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        outcome.killed = Some(format!("bootstrap: {e}"));
+                        return outcome;
+                    }
+                };
+                let source = &maps[camera % maps.len()];
+                let expected = &reference[camera];
+                for index in 0..frames {
+                    let frame = &source[index % source.len()];
+                    let submitted = Instant::now();
+                    match client.submit_with_retry(session, frame) {
+                        Ok(Submission::Served { frame, verdicts }) => {
+                            outcome.latencies.push(submitted.elapsed());
+                            outcome.served += 1;
+                            // The differential: a served verdict must be
+                            // bit-identical to the in-process engine at the
+                            // same frame index — and the index itself must
+                            // be exactly the next one (no double-apply, no
+                            // skip, whatever the wire did).
+                            if frame != index || expected[index] != verdicts {
+                                outcome.mismatches += 1;
+                            }
+                        }
+                        Ok(Submission::Applied { frame }) => {
+                            outcome.latencies.push(submitted.elapsed());
+                            outcome.lost_response += 1;
+                            if frame != index {
+                                outcome.mismatches += 1;
+                            }
+                        }
+                        Err(e) => {
+                            outcome.killed = Some(format!("frame {index}: {e}"));
+                            outcome.reconnects = client.reconnects();
+                            return outcome;
+                        }
+                    }
+                }
+                match client.close_with_retry(session) {
+                    // `None` means the close landed earlier and only its
+                    // response was lost — the session still completed.
+                    Ok(_) => outcome.completed = true,
+                    Err(e) => outcome.killed = Some(format!("close: {e}")),
+                }
+                outcome.reconnects = client.reconnects();
+                outcome
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut completed = 0usize;
+    let mut killed = 0usize;
+    let mut served = 0usize;
+    let mut lost_response = 0usize;
+    let mut mismatches = 0usize;
+    let mut reconnects = 0usize;
+    for camera in cameras {
+        let outcome = camera.join().expect("chaos camera thread never panics");
+        if let Some(reason) = &outcome.killed {
+            killed += 1;
+            eprintln!("chaos plan `{}`: session killed — {reason}", plan.name);
+        } else if outcome.completed {
+            completed += 1;
+        }
+        latencies.extend(outcome.latencies);
+        served += outcome.served;
+        lost_response += outcome.lost_response;
+        mismatches += outcome.mismatches;
+        reconnects += outcome.reconnects;
+    }
+    let elapsed = started.elapsed();
+    let proxy_stats = proxy.shutdown();
+
+    // The leak gate: with every client gone and the proxy down, the server
+    // must drain to zero connections and zero sessions — abandoned
+    // bootstrap orphans expire via the linger window, so give the gauges a
+    // settle budget comfortably past it.
+    let settle_deadline = Instant::now() + Duration::from_secs(20);
+    let (mut leaked_connections, mut leaked_sessions) = (usize::MAX, usize::MAX);
+    while Instant::now() < settle_deadline {
+        leaked_connections = handle.active_connections();
+        leaked_sessions = handle.open_sessions();
+        if leaked_connections == 0 && leaked_sessions == 0 {
+            break;
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    let server = handle.shutdown();
+
+    latencies.sort();
+    let frames_per_s = latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let report = ChaosPlanReport {
+        plan: plan.name.to_string(),
+        cameras: options.cameras,
+        frames_per_camera: options.frames,
+        sessions_completed: completed,
+        sessions_killed: killed,
+        frames_served: served,
+        frames_lost_response: lost_response,
+        verdict_mismatches: mismatches,
+        reconnects,
+        proxy: proxy_stats,
+        server,
+        leaked_sessions,
+        leaked_connections,
+        latency: LatencySummary::from_sorted(&latencies),
+        frames_per_s,
+    };
+    println!(
+        "chaos plan `{}`: {completed}/{} sessions, {served} served + {lost_response} \
+         applied-lost frames, {mismatches} mismatches, {reconnects} reconnects, \
+         {} cuts / {} stalls / {} garbage bytes injected, {} timed out / {} shed / {} \
+         evicted / {} resumed / {} expired server-side, {:.1} frames/s — {}",
+        plan.name,
+        options.cameras,
+        report.proxy.cuts,
+        report.proxy.stalls,
+        report.proxy.garbage_bytes,
+        report.server.timed_out,
+        report.server.shed_connections,
+        report.server.evicted_slow,
+        report.server.sessions_resumed,
+        report.server.sessions_expired,
+        frames_per_s,
+        if report.survived() {
+            "survived"
+        } else {
+            "FAILED"
+        },
+    );
+    report
+}
+
+/// The chaos survival mode: replay the corpus through the fault proxy under
+/// each selected plan, write `BENCH_chaos.json`, re-read it and gate on
+/// survival.
+fn run_chaos(
+    options: &Options,
+    registry: &Arc<ModelRegistry>,
+    stream_config: metaseg::stream::StreamConfig,
+    predictor: &metaseg_learners::MetaPredictor,
+) {
+    let corpus_path = options.corpus.as_ref().expect("caller checked --corpus");
+    let corpus = load_corpus(corpus_path).unwrap_or_else(|e| panic!("--corpus: {e}"));
+    let sequences: Arc<Vec<Vec<ProbMap>>> = Arc::new(
+        corpus
+            .sequences
+            .iter()
+            .map(|(_, frames)| {
+                frames
+                    .iter()
+                    .map(|f| f.payload.decode().expect("recorded payloads decode"))
+                    .collect()
+            })
+            .collect(),
+    );
+
+    // The in-process ground truth, computed once per camera up front: the
+    // exact per-frame verdicts a fresh engine produces for the exact frame
+    // cycle each camera will push through the chaotic wire.
+    let reference: Arc<Vec<Vec<Vec<metaseg::stream::SegmentVerdict>>>> = Arc::new(
+        (0..options.cameras)
+            .map(|camera| {
+                let source = &sequences[camera % sequences.len()];
+                let frames: Vec<ProbMap> = (0..options.frames)
+                    .map(|i| source[i % source.len()].clone())
+                    .collect();
+                let mut engine = MetaSegStream::new(stream_config, predictor.clone())
+                    .expect("loadtest model is valid");
+                engine
+                    .drain(DecodedFrameSource::new(0, frames))
+                    .frame_verdicts
+                    .into_iter()
+                    .map(|fv| fv.verdicts)
+                    .collect()
+            })
+            .collect(),
+    );
+
+    let plans: Vec<FaultPlan> = match (&options.plan, options.smoke) {
+        (Some(name), _) => vec![FaultPlan::named(name).expect("validated at parse time")],
+        (None, true) => vec![FaultPlan::trickle(), FaultPlan::torn()],
+        (None, false) => FaultPlan::suite(),
+    };
+    println!(
+        "serve_loadtest: chaos mode — {} plans over {} ({} sequences, {} frames)",
+        plans.len(),
+        corpus_path.display(),
+        sequences.len(),
+        corpus.total_frames(),
+    );
+
+    let reports: Vec<ChaosPlanReport> = plans
+        .iter()
+        .enumerate()
+        .map(|(index, plan)| {
+            run_chaos_plan(
+                options,
+                registry,
+                plan,
+                9_000 + index as u64,
+                &sequences,
+                &reference,
+            )
+        })
+        .collect();
+    let report = ChaosReport {
+        bench: "serve_loadtest_chaos".to_string(),
+        corpus: corpus_path.display().to_string(),
+        smoke: options.smoke,
+        plans: reports,
+    };
+
+    let out = options.artifact_path("BENCH_chaos.json");
+    let json = serde_json::to_string_pretty(&report).expect("chaos report serialises");
+    std::fs::write(&out, format!("{json}\n")).expect("artifact path is writable");
+    println!("wrote {}", out.display());
+
+    // The survival gate, evaluated against the written bytes (the same
+    // re-read-and-exit-nonzero invariant as the other artifacts).
+    let written = std::fs::read_to_string(&out).expect("artifact re-reads");
+    let parsed: ChaosReport = serde_json::from_str(&written).expect("artifact re-parses");
+    if !parsed.is_survivable() {
+        eprintln!(
+            "chaos survival gate failed for plans {:?}",
+            parsed.failed_plans()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "serve_loadtest: OK (chaos mode, {} plans survived)",
+        parsed.plans.len()
+    );
+}
+
+/// `--chaos --check <path>`: re-gate an already-written survival report
+/// without replaying anything — how CI guards the committed artifact
+/// against schema drift and hand-edits.
+fn check_chaos(path: &std::path::Path) {
+    let written =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--check {}: {e}", path.display()));
+    let parsed: ChaosReport = serde_json::from_str(&written)
+        .unwrap_or_else(|e| panic!("--check {}: {e}", path.display()));
+    if !parsed.is_survivable() {
+        eprintln!(
+            "chaos survival gate failed for plans {:?} in {}",
+            parsed.failed_plans(),
+            path.display()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "serve_loadtest: OK ({} re-read, {} plans survived)",
+        path.display(),
+        parsed.plans.len()
+    );
+}
+
 fn main() {
     let options = Options::parse();
+    if options.chaos {
+        assert!(
+            !options.scale && !options.compare && options.regime.is_none(),
+            "--chaos replays a corpus through the fault proxy; it excludes \
+             --scale, --compare and --regime"
+        );
+        if let Some(path) = &options.check {
+            check_chaos(path);
+            return;
+        }
+        assert!(
+            options.corpus.is_some(),
+            "--chaos needs --corpus <path> (record one with corpus_record), \
+             or --check <path> to re-gate an existing report"
+        );
+    } else {
+        assert!(
+            options.plan.is_none() && !options.smoke && options.check.is_none(),
+            "--plan, --smoke and --check are chaos-mode flags; add --chaos"
+        );
+    }
     if options.scale {
         assert!(
             !options.compare && options.regime.is_none() && options.corpus.is_none(),
@@ -806,6 +1247,10 @@ fn main() {
         .insert("default", stream_config, predictor.clone())
         .expect("loadtest model is valid");
 
+    if options.chaos {
+        run_chaos(&options, &registry, stream_config, &predictor);
+        return;
+    }
     if options.scale {
         run_scale(&options, &registry, stream_config, &predictor);
         return;

@@ -18,6 +18,7 @@
 
 use std::path::{Path, PathBuf};
 
+pub mod chaos;
 pub mod corpus;
 pub mod scale;
 pub mod scenario;

@@ -138,6 +138,11 @@ mod tests {
                 peak_queue_depth: 2,
                 batches: 10,
                 peak_batch: 2,
+                timed_out: 0,
+                evicted_slow: 0,
+                shed_connections: 0,
+                sessions_resumed: 0,
+                sessions_expired: 0,
             },
             shards: vec![
                 ShardStats {

@@ -22,7 +22,10 @@
 //! * [`ScenarioSuite`] / [`Regime`] — composable adverse-condition
 //!   degradations (fog, occlusion bursts, NaN/zero sensor dropout, class
 //!   imbalance, frame jitter/duplication, mid-stream resolution switches)
-//!   layered over any frame source with seeded determinism.
+//!   layered over any frame source with seeded determinism,
+//! * [`ChaosProxy`] / [`FaultPlan`] — a seeded byte-level TCP fault proxy
+//!   (trickle delivery, slow-loris stalls, torn frames, duplicated bytes,
+//!   garbage preludes) for chaos-testing the serving transport.
 //!
 //! The simulator is deliberately *not* a neural network: MetaSeg only ever
 //! consumes the softmax field and the ground truth, so any generator that
@@ -44,12 +47,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod network;
 mod scenario;
 mod scene;
 mod source;
 mod video;
 
+pub use chaos::{ChaosProxy, ChaosStats, FaultPlan};
 pub use metaseg_data::{LabelMap, ProbEncoding, ProbMap, ProbPayload};
 pub use network::{NetworkProfile, NetworkSim};
 pub use scenario::{

@@ -95,14 +95,38 @@
 //!
 //! ## Session lifecycle
 //!
-//! `open` creates a per-connection session owning a fresh
+//! `open` creates a session owning a fresh
 //! [`MetaSegStream`](metaseg::stream::MetaSegStream); each `frame`
 //! submission runs the single-pass extraction → incremental tracking →
 //! windowed inference pipeline and answers with per-segment verdicts
 //! (predicted IoU, false-positive probability, track id) for *that* frame;
-//! `stats` snapshots the session counters; `close` (or disconnecting)
-//! releases the session. Sessions die with their connection — there is no
-//! server-side session leak when a camera goes away.
+//! `stats` snapshots the session counters; `close` releases the session.
+//!
+//! Sessions are keyed by id, **not** by connection. When a connection dies
+//! with sessions still open, those sessions are *orphaned* and linger for
+//! [`ServerConfig::session_linger_ms`] — a reconnecting client re-attaches
+//! with `resume` (see [`ServeClient::resume`]), which answers the
+//! authoritative count of frames applied so far, routed through the
+//! session's shard queue so it is ordered behind any in-flight frame. A
+//! session that is never resumed expires at the end of its linger window,
+//! so there is still no server-side session leak when a camera goes away
+//! for good (`session_linger_ms: 0` restores strict die-with-connection
+//! behaviour).
+//!
+//! ## Fault tolerance
+//!
+//! The server assumes clients misbehave: per-connection idle and mid-frame
+//! read deadlines (a deadline heap swept each poll tick) reap wedged and
+//! slow-loris peers, an accept-time `max_connections` cap sheds overload
+//! with a typed [`ErrorCode::Overloaded`] reply, and a bounded
+//! per-connection output buffer evicts slow consumers instead of buffering
+//! without limit. The client assumes the network misbehaves: socket
+//! deadlines by default, jittered exponential backoff on overload, and
+//! reconnect-resume on connection faults ([`ClientConfig`],
+//! [`ServeClient::submit_with_retry`], [`Submission`]). The whole stack is
+//! exercised end to end by the byte-level chaos proxy
+//! (`metaseg_sim::ChaosProxy`) in the `chaos` integration tests and the
+//! `serve_loadtest --chaos` survival bench.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -115,7 +139,7 @@ mod shard;
 mod transport;
 pub mod wire;
 
-pub use client::{ClientError, ServeClient};
+pub use client::{ClientConfig, ClientError, ServeClient, Submission};
 pub use protocol::{ErrorCode, FrameFormat, ProtocolError, Request, Response};
 pub use registry::{ModelEntry, ModelRegistry};
 pub use server::{Server, ServerConfig, ServerHandle, ServerStats, ShardStats};

@@ -109,6 +109,15 @@ pub enum Request {
         /// Session to close.
         session: u64,
     },
+    /// Re-attaches this connection to a session opened (and possibly
+    /// orphaned) by an earlier connection. Answered with
+    /// [`Response::Resumed`] carrying the number of frames the server has
+    /// applied, so a reconnecting client knows exactly where to pick up
+    /// without double-applying an in-flight frame.
+    Resume {
+        /// Session to re-attach to.
+        session: u64,
+    },
     /// Liveness probe; answered with [`Response::Pong`] without touching any
     /// session.
     Ping,
@@ -160,6 +169,14 @@ pub enum Response {
         /// Final statistics of the session.
         stats: SessionStats,
     },
+    /// A session was re-attached to this connection.
+    Resumed {
+        /// The resumed session.
+        session: u64,
+        /// Frames the server has applied to the session so far; the next
+        /// submitted frame is frame `frames`.
+        frames: usize,
+    },
     /// Answer to [`Request::Ping`].
     Pong,
     /// The connection's frame-submission format was switched.
@@ -195,6 +212,9 @@ pub enum ErrorCode {
     BadRequest,
     /// The server is shutting down and accepts no new work.
     ShuttingDown,
+    /// The server is at its connection limit and shed this connection at
+    /// accept time. Back off and retry; nothing was processed.
+    Overloaded,
     /// The server hit an internal failure serving this session (e.g. a
     /// panic mid-inference left the engine in an unknown state). The
     /// session is dead; open a new one. The connection stays usable.
@@ -210,6 +230,7 @@ impl ErrorCode {
             ErrorCode::UnknownSession => "unknown-session",
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
         }
     }
@@ -222,6 +243,7 @@ impl ErrorCode {
             "unknown-session" => ErrorCode::UnknownSession,
             "bad-request" => ErrorCode::BadRequest,
             "shutting-down" => ErrorCode::ShuttingDown,
+            "overloaded" => ErrorCode::Overloaded,
             "internal" => ErrorCode::Internal,
             _ => return None,
         })
@@ -331,6 +353,10 @@ impl Request {
                 ("op", Value::String("close".into())),
                 ("session", session.serialize()),
             ]),
+            Request::Resume { session } => object(vec![
+                ("op", Value::String("resume".into())),
+                ("session", session.serialize()),
+            ]),
             Request::Ping => object(vec![("op", Value::String("ping".into()))]),
             Request::Negotiate { format, dispersion } => {
                 let mut entries = vec![
@@ -370,6 +396,9 @@ impl Request {
                 session: u64_field(&value, "session")?,
             }),
             "close" => Ok(Request::Close {
+                session: u64_field(&value, "session")?,
+            }),
+            "resume" => Ok(Request::Resume {
                 session: u64_field(&value, "session")?,
             }),
             "ping" => Ok(Request::Ping),
@@ -418,6 +447,11 @@ impl Response {
                 ("ok", Value::String("closed".into())),
                 ("session", session.serialize()),
                 ("stats", stats.serialize()),
+            ]),
+            Response::Resumed { session, frames } => object(vec![
+                ("ok", Value::String("resumed".into())),
+                ("session", session.serialize()),
+                ("frames", frames.serialize()),
             ]),
             Response::Pong => object(vec![("ok", Value::String("pong".into()))]),
             Response::Negotiated { format, dispersion } => {
@@ -477,6 +511,10 @@ impl Response {
                 session: u64_field(&value, "session")?,
                 stats: SessionStats::deserialize(required(&value, "stats")?)?,
             }),
+            "resumed" => Ok(Response::Resumed {
+                session: u64_field(&value, "session")?,
+                frames: usize::deserialize(required(&value, "frames")?)?,
+            }),
             "pong" => Ok(Response::Pong),
             "negotiated" => {
                 let text = string_field(&value, "frames")?;
@@ -518,6 +556,7 @@ mod tests {
             },
             Request::Stats { session: 7 },
             Request::Close { session: 7 },
+            Request::Resume { session: 7 },
             Request::Ping,
             Request::Negotiate {
                 format: FrameFormat::Binary(metaseg_data::ProbEncoding::F64),
@@ -597,6 +636,10 @@ mod tests {
             Response::Closed {
                 session: 1,
                 stats: SessionStats::default(),
+            },
+            Response::Resumed {
+                session: 1,
+                frames: 17,
             },
             Response::Pong,
             Response::Negotiated {
@@ -701,6 +744,7 @@ mod tests {
             ErrorCode::UnknownSession,
             ErrorCode::BadRequest,
             ErrorCode::ShuttingDown,
+            ErrorCode::Overloaded,
             ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_str_opt(code.as_str()), Some(code));

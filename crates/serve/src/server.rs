@@ -72,6 +72,32 @@ pub struct ServerConfig {
     /// declares a payload beyond it, is answered (where possible) and
     /// dropped rather than allowed to grow server memory without bound.
     pub max_line_bytes: usize,
+    /// Connections the event loop will hold at once. Accepts beyond the cap
+    /// are shed at accept time: the server writes one typed
+    /// [`ErrorCode::Overloaded`] line (best effort) and drops the socket,
+    /// keeping the slab and poller bounded under connection floods.
+    pub max_connections: usize,
+    /// Bound on one connection's buffered-but-unsent response bytes. A
+    /// consumer that stops reading while responses accumulate past this is
+    /// evicted — its memory must not grow with the backlog it refuses to
+    /// drain. `0` disables the cap.
+    pub max_outbuf_bytes: usize,
+    /// Milliseconds a connection may sit idle (no request in progress, no
+    /// response in flight) before the event loop drops it. `0` disables
+    /// idle deadlines.
+    pub idle_timeout_ms: u64,
+    /// Milliseconds a connection may stall *mid-message* — a partial JSON
+    /// line or binary frame buffered, no new bytes arriving — before it is
+    /// dropped. This is the slow-loris defense: a trickling peer holds its
+    /// slot only as long as it keeps feeding bytes. `0` disables read
+    /// deadlines.
+    pub read_timeout_ms: u64,
+    /// Milliseconds an *orphaned* session (its owning connection died
+    /// without closing it) lingers server-side awaiting a
+    /// [`Request::Resume`](crate::protocol::Request::Resume) from a
+    /// reconnecting client before it is reaped. `0` reaps sessions the
+    /// moment their connection dies (the pre-resume behaviour).
+    pub session_linger_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +111,11 @@ impl Default for ServerConfig {
             // Generous for softmax payloads (a 500x300x19 frame is ~40 MiB
             // of JSON) while still bounding a hostile newline-free stream.
             max_line_bytes: 256 << 20,
+            max_connections: 4096,
+            max_outbuf_bytes: 64 << 20,
+            idle_timeout_ms: 60_000,
+            read_timeout_ms: 10_000,
+            session_linger_ms: 60_000,
         }
     }
 }
@@ -119,6 +150,20 @@ pub struct ServerStats {
     pub batches: usize,
     /// Largest micro-batch (in frames) any shard ever drained in one go.
     pub peak_batch: usize,
+    /// Connections dropped by an idle or mid-message read deadline.
+    pub timed_out: usize,
+    /// Connections evicted because their buffered response backlog exceeded
+    /// [`ServerConfig::max_outbuf_bytes`].
+    pub evicted_slow: usize,
+    /// Connections shed at accept time because the server was at
+    /// [`ServerConfig::max_connections`].
+    pub shed_connections: usize,
+    /// Sessions re-attached to a (new) connection via `resume`.
+    pub sessions_resumed: usize,
+    /// Sessions reaped without an explicit `close`: their connection died
+    /// and no client resumed them within
+    /// [`ServerConfig::session_linger_ms`].
+    pub sessions_expired: usize,
 }
 
 /// Lifetime counters of one shard, snapshot via [`ServerHandle::shard_stats`].
@@ -154,6 +199,15 @@ pub(crate) struct Shared {
     pub(crate) connections: AtomicUsize,
     pub(crate) sessions_opened: AtomicUsize,
     pub(crate) binary_frames: AtomicUsize,
+    pub(crate) timed_out: AtomicUsize,
+    pub(crate) evicted_slow: AtomicUsize,
+    pub(crate) shed_connections: AtomicUsize,
+    pub(crate) sessions_resumed: AtomicUsize,
+    pub(crate) sessions_expired: AtomicUsize,
+    /// Gauge: sessions currently open server-side (owned or lingering).
+    pub(crate) open_sessions: AtomicUsize,
+    /// Gauge: connections currently registered with the event loop.
+    pub(crate) active_connections: AtomicUsize,
 }
 
 /// A session whose mutex is poisoned is *dead*: a previous frame panicked
@@ -188,6 +242,13 @@ pub(crate) fn unknown_session_error(session: u64) -> Response {
     Response::Error {
         code: ErrorCode::UnknownSession,
         message: format!("session {session} is not open on this connection"),
+    }
+}
+
+pub(crate) fn overloaded_error(limit: usize) -> Response {
+    Response::Error {
+        code: ErrorCode::Overloaded,
+        message: format!("server is at its connection limit ({limit}); retry after backing off"),
     }
 }
 
@@ -235,6 +296,13 @@ impl Server {
             connections: AtomicUsize::new(0),
             sessions_opened: AtomicUsize::new(0),
             binary_frames: AtomicUsize::new(0),
+            timed_out: AtomicUsize::new(0),
+            evicted_slow: AtomicUsize::new(0),
+            shed_connections: AtomicUsize::new(0),
+            sessions_resumed: AtomicUsize::new(0),
+            sessions_expired: AtomicUsize::new(0),
+            open_sessions: AtomicUsize::new(0),
+            active_connections: AtomicUsize::new(0),
         });
 
         let shard_count = config.workers.max(1);
@@ -303,6 +371,11 @@ impl ServerHandle {
             connections: self.shared.connections.load(Ordering::Relaxed),
             sessions_opened: self.shared.sessions_opened.load(Ordering::Relaxed),
             binary_frames: self.shared.binary_frames.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            evicted_slow: self.shared.evicted_slow.load(Ordering::Relaxed),
+            shed_connections: self.shared.shed_connections.load(Ordering::Relaxed),
+            sessions_resumed: self.shared.sessions_resumed.load(Ordering::Relaxed),
+            sessions_expired: self.shared.sessions_expired.load(Ordering::Relaxed),
             ..ServerStats::default()
         };
         for shard in self.shards.iter() {
@@ -320,6 +393,21 @@ impl ServerHandle {
     /// [`ServerHandle::stats`] snapshot is computed from.
     pub fn shard_stats(&self) -> Vec<ShardStats> {
         self.shards.iter().map(Shard::snapshot).collect()
+    }
+
+    /// Gauge: sessions currently open server-side, including orphaned
+    /// sessions lingering for a resume. Zero after every camera has closed
+    /// (or its linger expired) — the "no leaked sessions" invariant chaos
+    /// harnesses assert.
+    pub fn open_sessions(&self) -> usize {
+        self.shared.open_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Gauge: connections currently registered with the event loop. Zero
+    /// once every client has disconnected and the loop has reaped the slots
+    /// — the "no leaked slab slots" invariant chaos harnesses assert.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_connections.load(Ordering::Relaxed)
     }
 
     /// Whether shutdown has been initiated.

@@ -84,6 +84,12 @@ pub(crate) enum JobKind {
     },
     /// Snapshot the session counters.
     Stats,
+    /// Answer how many frames the engine has applied. Routed through the
+    /// shard FIFO like any other job, so the count is ordered *behind* any
+    /// in-flight frame of the session — a reconnecting client can trust it
+    /// as the exact resume point and never double-applies a frame whose
+    /// response was lost on the dead connection.
+    Resume,
     /// Final counters of a session the event loop already evicted.
     Close,
 }
@@ -378,6 +384,10 @@ fn run_group(
             JobKind::Stats => Response::Stats {
                 session: session_id,
                 stats: guard.engine.session_stats(),
+            },
+            JobKind::Resume => Response::Resumed {
+                session: session_id,
+                frames: guard.engine.frames_seen(),
             },
             JobKind::Close => Response::Closed {
                 session: session_id,

@@ -24,17 +24,21 @@
 //! the write side only ever flushes the longest filled prefix.
 
 use crate::protocol::{ErrorCode, FrameFormat, Request, Response};
-use crate::server::{bad_request, shutting_down_error, unknown_session_error, Shared};
+use crate::server::{
+    bad_request, overloaded_error, shutting_down_error, unknown_session_error, ServerConfig, Shared,
+};
 use crate::shard::{Completion, ConnId, Job, JobKind, JobPayload, Session, Shard};
 use crate::wire::{self, BinaryFrameHeader, BINARY_FRAME_MAGIC, BINARY_HEADER_LEN};
 use metaseg::DispersionPrecision;
 use mio::{Events, Interest, Poll, Token, Waker};
-use std::collections::{HashMap, VecDeque};
-use std::io::{ErrorKind, Read, Write};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc::Receiver;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Poll token of the listener.
 const LISTENER: usize = 0;
@@ -42,6 +46,18 @@ const LISTENER: usize = 0;
 const WAKER: usize = 1;
 /// First token handed to client connections.
 const FIRST_CONN: usize = 2;
+
+/// Deadline-heap entry kind: a connection's idle / mid-message deadline.
+const DL_CONN: u8 = 0;
+/// Deadline-heap entry kind: an orphaned session's linger expiry.
+const DL_ORPHAN: u8 = 1;
+
+/// One lazily-invalidated deadline-heap entry: `(when, kind, a, b)` where
+/// `(a, b)` is `(token, generation)` for [`DL_CONN`] and `(session, 0)` for
+/// [`DL_ORPHAN`]. Entries are never removed on activity — a popped entry is
+/// revalidated against the live state and re-pushed at the true deadline,
+/// so the heap stays O(log n) per event with no cancellation bookkeeping.
+type DeadlineEntry = (Instant, u8, u64, u64);
 
 /// A growable input buffer with an O(1) consume offset; compacts lazily so
 /// steady-state parsing never memmoves per message.
@@ -114,7 +130,16 @@ struct Conn {
     outbuf: Vec<u8>,
     out_start: usize,
     read_state: ReadState,
-    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    /// Ids of the sessions this connection currently owns; the session
+    /// state itself lives in the transport's session table so it can
+    /// outlive the connection (see [`SessionEntry`]).
+    sessions: HashSet<u64>,
+    /// When the socket last produced bytes; deadlines measure from here.
+    last_activity: Instant,
+    /// The earliest deadline-heap entry currently scheduled for this
+    /// connection (`None` when none is); avoids pushing a heap entry per
+    /// read.
+    scheduled_deadline: Option<Instant>,
     /// Whether binary frame submissions have been negotiated.
     binary_frames: bool,
     /// Negotiated dispersion-scan precision for this connection's frames.
@@ -139,7 +164,9 @@ impl Conn {
             outbuf: Vec::new(),
             out_start: 0,
             read_state: ReadState::Route,
-            sessions: HashMap::new(),
+            sessions: HashSet::new(),
+            last_activity: Instant::now(),
+            scheduled_deadline: None,
             binary_frames: false,
             dispersion: DispersionPrecision::F64,
             pending: VecDeque::new(),
@@ -207,6 +234,23 @@ impl Conn {
     fn finished_closing(&self) -> bool {
         self.closing && self.pending.is_empty() && self.out_len() == 0
     }
+
+    /// When this connection's deadline clock would expire, under the
+    /// configured timeouts: the (shorter) read deadline while a message is
+    /// partially buffered, the idle deadline while truly quiet, and no
+    /// deadline at all while a response is in flight on a shard — a
+    /// connection waiting on *us* is not idle. `None` means "no deadline".
+    fn effective_deadline(&self, config: &ServerConfig) -> Option<Instant> {
+        let mid_message = self.inbuf.len() > 0 || !matches!(self.read_state, ReadState::Route);
+        let millis = if mid_message {
+            config.read_timeout_ms
+        } else if self.pending.is_empty() {
+            config.idle_timeout_ms
+        } else {
+            0
+        };
+        (millis > 0).then(|| self.last_activity + Duration::from_millis(millis))
+    }
 }
 
 /// What driving a connection's read side concluded.
@@ -216,6 +260,20 @@ enum ReadOutcome {
     /// EOF, transport error, or an unanswerable protocol violation (e.g. an
     /// oversized newline-free line): drop the connection without a response.
     Dead,
+}
+
+/// A session in the transport's table. Sessions are keyed by id — not by
+/// connection — so a session survives the death of the connection that
+/// opened it: the entry is *orphaned* (owner cleared, linger clock started)
+/// and a reconnecting client re-attaches with `resume` any time before the
+/// linger expires.
+struct SessionEntry {
+    state: Arc<Mutex<Session>>,
+    /// The connection currently allowed to drive this session; `None`
+    /// while orphaned.
+    owner: Option<ConnId>,
+    /// When the owning connection died (`None` while owned).
+    orphaned_at: Option<Instant>,
 }
 
 /// The event loop: owns the listener, the poller and every connection slot.
@@ -234,6 +292,11 @@ pub(crate) struct Transport {
     /// Jobs handed to shards whose completions have not come back yet; the
     /// drain phase of shutdown ends when this reaches zero.
     outstanding: usize,
+    /// Every open session, keyed by id (see [`SessionEntry`]).
+    sessions: HashMap<u64, SessionEntry>,
+    /// Min-heap of pending deadlines, lazily invalidated (see
+    /// [`DeadlineEntry`]), swept once per poll tick.
+    deadlines: BinaryHeap<Reverse<DeadlineEntry>>,
 }
 
 impl Transport {
@@ -256,6 +319,8 @@ impl Transport {
             free: Vec::new(),
             next_generation: 0,
             outstanding: 0,
+            sessions: HashMap::new(),
+            deadlines: BinaryHeap::new(),
         }
     }
 
@@ -273,11 +338,17 @@ impl Transport {
                 self.final_flush();
                 return;
             }
-            if self.poll.poll(&mut events, Some(timeout)).is_err() {
-                // A failing poller cannot be recovered; drain what we can
-                // via the completion channel and exit.
-                self.pump_completions();
-                continue;
+            if let Err(e) = self.poll.poll(&mut events, Some(timeout)) {
+                if !fatal_poll_error(&e) {
+                    continue;
+                }
+                // A persistently failing poller cannot be recovered, and
+                // retrying it would busy-spin the loop at poll-interval
+                // cadence forever: drain the completion channel directly
+                // (blocking — there is no poller left to multiplex with),
+                // flush what can be flushed, and exit.
+                self.drain_without_poller();
+                return;
             }
             let mut touched: Vec<usize> = Vec::new();
             for event in &events {
@@ -295,6 +366,9 @@ impl Transport {
                 }
             }
             touched.extend(self.pump_completions());
+            if !draining {
+                self.enforce_deadlines();
+            }
             touched.sort_unstable();
             touched.dedup();
             for token in touched {
@@ -303,13 +377,126 @@ impl Transport {
         }
     }
 
+    /// Sweeps every expired deadline-heap entry: kills connections whose
+    /// idle / mid-message deadline truly passed, reaps orphaned sessions
+    /// whose linger ran out, and re-schedules entries whose underlying
+    /// clock moved (activity since the entry was pushed).
+    fn enforce_deadlines(&mut self) {
+        let now = Instant::now();
+        let config = self.shared.config;
+        while let Some(&Reverse((at, kind, a, b))) = self.deadlines.peek() {
+            if at > now {
+                break;
+            }
+            self.deadlines.pop();
+            match kind {
+                DL_CONN => {
+                    let token = a as usize;
+                    let index = token - FIRST_CONN;
+                    let Some(conn) = self.conns.get_mut(index).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if conn.id.generation != b {
+                        continue;
+                    }
+                    match conn.effective_deadline(&config) {
+                        Some(effective) if effective <= now => {
+                            let conn = self.conns[index].take().expect("checked above");
+                            self.shared.timed_out.fetch_add(1, Ordering::Relaxed);
+                            self.teardown(conn);
+                        }
+                        Some(effective) => {
+                            conn.scheduled_deadline = Some(effective);
+                            self.deadlines.push(Reverse((effective, DL_CONN, a, b)));
+                        }
+                        None => conn.scheduled_deadline = None,
+                    }
+                }
+                _ => {
+                    let session = a;
+                    let linger = Duration::from_millis(config.session_linger_ms);
+                    let Some(entry) = self.sessions.get(&session) else {
+                        continue;
+                    };
+                    // Re-owned since this entry was pushed: drop it; a new
+                    // orphaning pushes a fresh entry.
+                    let Some(orphaned_at) = entry.orphaned_at.filter(|_| entry.owner.is_none())
+                    else {
+                        continue;
+                    };
+                    if orphaned_at + linger <= now {
+                        self.sessions.remove(&session);
+                        self.shared.sessions_expired.fetch_add(1, Ordering::Relaxed);
+                        self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+                    } else {
+                        // Orphaned again later than this entry anticipated.
+                        self.deadlines
+                            .push(Reverse((orphaned_at + linger, DL_ORPHAN, session, 0)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ensures a deadline-heap entry exists at (or before) the
+    /// connection's effective deadline. O(1) when one already is — the
+    /// common case on every read.
+    fn arm_deadline(
+        deadlines: &mut BinaryHeap<Reverse<DeadlineEntry>>,
+        config: &ServerConfig,
+        conn: &mut Conn,
+    ) {
+        if let Some(at) = conn.effective_deadline(config) {
+            if conn
+                .scheduled_deadline
+                .is_none_or(|scheduled| at < scheduled)
+            {
+                conn.scheduled_deadline = Some(at);
+                deadlines.push(Reverse((
+                    at,
+                    DL_CONN,
+                    conn.id.token as u64,
+                    conn.id.generation,
+                )));
+            }
+        }
+    }
+
+    /// The completion-channel drain used when the poller has died: without
+    /// a poller no new bytes can be read, but jobs already handed to the
+    /// shards still complete; wait (bounded per job) for each so no
+    /// accepted frame is silently dropped, then flush best-effort.
+    fn drain_without_poller(&mut self) {
+        while self.outstanding > 0 {
+            match self.completions.recv_timeout(Duration::from_secs(5)) {
+                Ok(completion) => {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    self.apply_completion(completion);
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.final_flush();
+    }
+
     /// Accepts until the listener would block. Transient errors (aborted
     /// handshakes) must not kill the server; the next readiness event
-    /// retries.
+    /// retries. At [`ServerConfig::max_connections`] occupancy the server
+    /// load-sheds instead of admitting: one typed `overloaded` line goes
+    /// out best-effort and the socket is dropped, so a connection flood
+    /// can never grow the slab, the poller set, or per-connection buffers.
     fn accept_all(&mut self) {
+        let limit = self.shared.config.max_connections.max(1);
         loop {
             match self.listener.accept() {
-                Ok((stream, _)) => {
+                Ok((mut stream, _)) => {
+                    if self.conns.len() - self.free.len() >= limit {
+                        self.shared.shed_connections.fetch_add(1, Ordering::Relaxed);
+                        let mut line = overloaded_error(limit).encode();
+                        line.push('\n');
+                        let _ = stream.write_all(line.as_bytes());
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -333,7 +520,12 @@ impl Transport {
                         generation: self.next_generation,
                     };
                     self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    self.conns[index] = Some(Conn::new(stream, id));
+                    self.shared
+                        .active_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    let mut conn = Conn::new(stream, id);
+                    Self::arm_deadline(&mut self.deadlines, &self.shared.config, &mut conn);
+                    self.conns[index] = Some(conn);
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => break,
                 Err(_) => break,
@@ -354,6 +546,7 @@ impl Transport {
             alive = self.drive_read(&mut conn) == ReadOutcome::Alive;
         }
         if alive {
+            Self::arm_deadline(&mut self.deadlines, &self.shared.config, &mut conn);
             self.conns[index] = Some(conn);
         } else {
             self.teardown(conn);
@@ -368,6 +561,7 @@ impl Transport {
             match conn.stream.read(&mut scratch) {
                 Ok(0) => return ReadOutcome::Dead,
                 Ok(count) => {
+                    conn.last_activity = Instant::now();
                     conn.inbuf.extend(&scratch[..count]);
                     if self.parse_messages(conn) == ReadOutcome::Dead {
                         return ReadOutcome::Dead;
@@ -484,7 +678,7 @@ impl Transport {
                         "binary framing was not negotiated on this connection \
                          (send the negotiate op first)",
                     ))
-                } else if !conn.sessions.contains_key(&header.session) {
+                } else if self.owned_state(conn, header.session).is_none() {
                     Some(unknown_session_error(header.session))
                 } else {
                     None
@@ -581,13 +775,57 @@ impl Transport {
                 let engine = entry.open_stream();
                 let series_length = engine.series_length();
                 let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
-                conn.sessions
-                    .insert(session, Arc::new(Mutex::new(Session { engine, camera })));
+                self.sessions.insert(
+                    session,
+                    SessionEntry {
+                        state: Arc::new(Mutex::new(Session { engine, camera })),
+                        owner: Some(conn.id),
+                        orphaned_at: None,
+                    },
+                );
+                conn.sessions.insert(session);
                 self.shared.sessions_opened.fetch_add(1, Ordering::Relaxed);
+                self.shared.open_sessions.fetch_add(1, Ordering::Relaxed);
                 Some(Response::Opened {
                     session,
                     series_length,
                 })
+            }
+            Request::Resume { session } => {
+                if self.shared.shutting_down.load(Ordering::SeqCst) {
+                    return Some(shutting_down_error());
+                }
+                let Some(entry) = self.sessions.get_mut(&session) else {
+                    return Some(unknown_session_error(session));
+                };
+                // A session owned by another *live* connection is not up
+                // for grabs; only orphaned sessions (and the owner itself,
+                // idempotently) can be re-attached.
+                if entry.owner.is_some_and(|owner| owner != conn.id) {
+                    return Some(unknown_session_error(session));
+                }
+                entry.owner = Some(conn.id);
+                entry.orphaned_at = None;
+                let state = Arc::clone(&entry.state);
+                conn.sessions.insert(session);
+                self.shared.sessions_resumed.fetch_add(1, Ordering::Relaxed);
+                // The frames-applied count must be authoritative with
+                // respect to any frame of this session still in flight on
+                // the shard, so it is answered by the shard worker through
+                // the same FIFO rather than inline here.
+                let job = Job {
+                    session_id: session,
+                    session: state,
+                    kind: JobKind::Resume,
+                    conn: conn.id,
+                    seq,
+                };
+                if self.shard_for(session).submit_control(job) {
+                    self.outstanding += 1;
+                    None
+                } else {
+                    Some(shutting_down_error())
+                }
             }
             Request::Frame { session, probs } => {
                 self.submit_frame(conn, seq, session, JobPayload::Decoded(probs))
@@ -597,8 +835,11 @@ impl Transport {
                 // Evict first so later requests get the honest
                 // unknown-session answer even while the final counters are
                 // still in flight on the shard.
-                match conn.sessions.remove(&session) {
+                match self.owned_state(conn, session) {
                     Some(state) => {
+                        conn.sessions.remove(&session);
+                        self.sessions.remove(&session);
+                        self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
                         let shard = self.shard_for(session);
                         let job = Job {
                             session_id: session,
@@ -620,6 +861,17 @@ impl Transport {
         }
     }
 
+    /// The session state `conn` may operate on under id `session`: present
+    /// only when the session exists *and* this connection owns it. A
+    /// session orphaned or owned elsewhere answers as unknown — ownership
+    /// is transferred explicitly by `resume`, never implicitly by use.
+    fn owned_state(&self, conn: &Conn, session: u64) -> Option<Arc<Mutex<Session>>> {
+        self.sessions
+            .get(&session)
+            .filter(|entry| entry.owner == Some(conn.id))
+            .map(|entry| Arc::clone(&entry.state))
+    }
+
     fn shard_for(&self, session: u64) -> &Shard {
         &self.shards[(session % self.shards.len() as u64) as usize]
     }
@@ -636,7 +888,7 @@ impl Transport {
         if self.shared.shutting_down.load(Ordering::SeqCst) {
             return Some(shutting_down_error());
         }
-        let Some(state) = conn.sessions.get(&session) else {
+        let Some(state) = self.owned_state(conn, session) else {
             return Some(unknown_session_error(session));
         };
         // Decoded payloads cross a trust boundary: an inconsistent shape
@@ -652,7 +904,7 @@ impl Transport {
         }
         let job = Job {
             session_id: session,
-            session: Arc::clone(state),
+            session: state,
             kind: JobKind::Frame {
                 payload,
                 dispersion: conn.dispersion,
@@ -683,12 +935,12 @@ impl Transport {
         session: u64,
         kind: JobKind,
     ) -> Option<Response> {
-        let Some(state) = conn.sessions.get(&session) else {
+        let Some(state) = self.owned_state(conn, session) else {
             return Some(unknown_session_error(session));
         };
         let job = Job {
             session_id: session,
-            session: Arc::clone(state),
+            session: state,
             kind,
             conn: conn.id,
             seq,
@@ -709,18 +961,38 @@ impl Transport {
         let mut touched = Vec::new();
         while let Ok(completion) = self.completions.try_recv() {
             self.outstanding = self.outstanding.saturating_sub(1);
-            let index = completion.conn.token - FIRST_CONN;
-            if let Some(conn) = self.conns.get_mut(index).and_then(Option::as_mut) {
-                if conn.id == completion.conn {
-                    if let Some(session) = completion.evict {
-                        conn.sessions.remove(&session);
-                    }
-                    conn.fill(completion.seq, completion.response);
-                    touched.push(completion.conn.token);
-                }
+            if let Some(token) = self.apply_completion(completion) {
+                touched.push(token);
             }
         }
         touched
+    }
+
+    /// Slots one completion into its connection (generation-checked) and
+    /// applies any eviction it carries to both the connection's session set
+    /// and the transport's session table. Returns the touched token, if the
+    /// connection is still the one that submitted the job.
+    fn apply_completion(&mut self, completion: Completion) -> Option<usize> {
+        if let Some(session) = completion.evict {
+            if self
+                .sessions
+                .get(&session)
+                .is_some_and(|entry| entry.owner == Some(completion.conn))
+            {
+                self.sessions.remove(&session);
+                self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let index = completion.conn.token - FIRST_CONN;
+        let conn = self.conns.get_mut(index).and_then(Option::as_mut)?;
+        if conn.id != completion.conn {
+            return None;
+        }
+        if let Some(session) = completion.evict {
+            conn.sessions.remove(&session);
+        }
+        conn.fill(completion.seq, completion.response);
+        Some(completion.conn.token)
     }
 
     /// Post-I/O bookkeeping for one connection: move ready responses to the
@@ -736,6 +1008,18 @@ impl Transport {
             self.teardown(conn);
             return;
         }
+        // Slow-consumer eviction: a peer that stops reading while responses
+        // pile up past the cap loses its connection — the backlog it
+        // refuses to drain must not grow server memory without bound.
+        let cap = self.shared.config.max_outbuf_bytes;
+        if cap > 0 && conn.out_len() > cap {
+            self.shared.evicted_slow.fetch_add(1, Ordering::Relaxed);
+            self.teardown(conn);
+            return;
+        }
+        // A connection whose in-flight responses just drained re-enters
+        // "idle" — make sure an idle deadline is armed for it.
+        Self::arm_deadline(&mut self.deadlines, &self.shared.config, &mut conn);
         let want_write = conn.out_len() > 0;
         if want_write != conn.write_interest {
             conn.write_interest = want_write;
@@ -750,11 +1034,41 @@ impl Transport {
     }
 
     /// Releases a connection: deregister, free the slot (its generation is
-    /// retired, so in-flight completions for it are dropped on receipt), and
-    /// drop the socket and every session it owned.
+    /// retired, so in-flight completions for it are dropped on receipt) and
+    /// drop the socket. Sessions the connection owned are *orphaned* — left
+    /// in the session table with a linger clock running so a reconnecting
+    /// client can `resume` them — unless lingering is disabled, in which
+    /// case they are reaped here.
     fn teardown(&mut self, conn: Conn) {
         let _ = self.poll.deregister(&conn.stream);
         self.free.push(conn.id.token - FIRST_CONN);
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::Relaxed);
+        let linger_ms = self.shared.config.session_linger_ms;
+        let now = Instant::now();
+        for session in conn.sessions {
+            let Some(entry) = self.sessions.get_mut(&session) else {
+                continue;
+            };
+            if entry.owner != Some(conn.id) {
+                continue;
+            }
+            if linger_ms == 0 {
+                self.sessions.remove(&session);
+                self.shared.sessions_expired.fetch_add(1, Ordering::Relaxed);
+                self.shared.open_sessions.fetch_sub(1, Ordering::Relaxed);
+            } else {
+                entry.owner = None;
+                entry.orphaned_at = Some(now);
+                self.deadlines.push(Reverse((
+                    now + Duration::from_millis(linger_ms),
+                    DL_ORPHAN,
+                    session,
+                    0,
+                )));
+            }
+        }
     }
 
     /// One best-effort flush of every connection on the way out: shutdown
@@ -767,5 +1081,43 @@ impl Transport {
                 let _ = conn.write_pending();
             }
         }
+    }
+}
+
+/// Whether a surfaced poll failure is unrecoverable. The vendored poller
+/// already swallows `EINTR` internally (a signal-interrupted wait reports
+/// as an empty timeout), so anything that still surfaces here — `EBADF` /
+/// `EINVAL` from a broken epoll fd, resource exhaustion — is persistent:
+/// the same call will fail the same way on the next iteration, and treating
+/// it as transient busy-spins the event loop at poll-interval cadence
+/// forever. The `Interrupted` check is defensive belt-and-braces for any
+/// future poller that does surface it.
+fn fatal_poll_error(e: &io::Error) -> bool {
+    e.kind() != ErrorKind::Interrupted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression test for the poll-error branch: a persistent poller
+    /// failure must classify as fatal (drain and exit the loop) — it used
+    /// to be retried unconditionally, busy-spinning the transport thread —
+    /// while a genuine `EINTR`, should a poller ever surface one, must
+    /// stay non-fatal.
+    #[test]
+    fn persistent_poll_errors_are_fatal_and_eintr_is_not() {
+        for kind in [
+            ErrorKind::InvalidInput,
+            ErrorKind::NotFound,
+            ErrorKind::OutOfMemory,
+            ErrorKind::Other,
+        ] {
+            assert!(fatal_poll_error(&io::Error::new(kind, "persistent")));
+        }
+        assert!(!fatal_poll_error(&io::Error::new(
+            ErrorKind::Interrupted,
+            "signal"
+        )));
     }
 }
